@@ -1,0 +1,45 @@
+//! §5.3 ablation bench: Two-Phase vs Writing-First vs the explicit
+//! last-element-check variant, on one high-granularity matrix.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use capellini_core::kernels::writing_first;
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::{DeviceConfig, GpuDevice};
+use capellini_sparse::gen;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_two_phase_vs_wf");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let l = gen::powerlaw(8_000, 3.0, 101);
+    let b = vec![1.0; l.n()];
+    let wf = solve_simulated(&cfg, &l, &b, Algorithm::CapelliniWritingFirst).unwrap();
+    let tp = solve_simulated(&cfg, &l, &b, Algorithm::CapelliniTwoPhase).unwrap();
+    println!(
+        "[ablation] writing-first {:.2} GFLOPS vs two-phase {:.2} GFLOPS ({:.1}x)",
+        wf.gflops,
+        tp.gflops,
+        wf.gflops / tp.gflops
+    );
+    g.bench_function("two-phase", |bch| {
+        bch.iter(|| solve_simulated(&cfg, &l, &b, Algorithm::CapelliniTwoPhase).unwrap())
+    });
+    g.bench_function("writing-first", |bch| {
+        bch.iter(|| solve_simulated(&cfg, &l, &b, Algorithm::CapelliniWritingFirst).unwrap())
+    });
+    g.bench_function("writing-first-explicit-check", |bch| {
+        bch.iter(|| {
+            let mut dev = GpuDevice::new(cfg.clone());
+            writing_first::solve_with_explicit_last_check(&mut dev, &l, &b).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

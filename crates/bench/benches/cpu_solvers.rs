@@ -1,0 +1,52 @@
+//! Real wall-clock benchmarks of the native CPU solvers: the serial
+//! reference (Algorithm 1), barrier-synchronized Level-Set, and the
+//! self-scheduled busy-wait solver (the CPU analog of CapelliniSpTRSV),
+//! across thread counts and matrix shapes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use capellini_core::cpu::{solve_levelset_parallel, solve_selfsched, Distribution};
+use capellini_core::solve_serial_csr;
+use capellini_sparse::{gen, LevelSets, LowerTriangularCsr};
+
+fn matrices() -> Vec<(&'static str, LowerTriangularCsr)> {
+    vec![
+        ("graph-20k", gen::powerlaw(20_000, 3.0, 71)),
+        ("circuit-20k", gen::circuit_like(20_000, 4, 800, 72)),
+        ("stencil-17k", gen::stencil3d(26, 26, 26, 73)),
+        ("band-8k", gen::dense_band(8_000, 24, 74)),
+    ]
+}
+
+fn bench_cpu_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_solvers");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, l) in matrices() {
+        let b: Vec<f64> = (0..l.n()).map(|i| (i % 11) as f64 - 5.0).collect();
+        let levels = LevelSets::analyze(&l);
+        g.throughput(Throughput::Elements(2 * l.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("serial", name), &l, |bch, l| {
+            bch.iter(|| solve_serial_csr(l, &b))
+        });
+        for threads in [2usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("levelset-{threads}t"), name),
+                &l,
+                |bch, l| bch.iter(|| solve_levelset_parallel(l, &levels, &b, threads)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("selfsched-{threads}t"), name),
+                &l,
+                |bch, l| bch.iter(|| solve_selfsched(l, &b, threads, Distribution::Cyclic)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_solvers);
+criterion_main!(benches);

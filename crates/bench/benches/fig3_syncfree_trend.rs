@@ -1,0 +1,38 @@
+//! Figure 3 bench: SyncFree across the granularity spectrum — three points
+//! from the low, peak, and high regimes. Simulated GFLOPS (the figure's
+//! y-axis) are printed per point.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::{gen, LowerTriangularCsr, MatrixStats};
+
+fn bench_fig3_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_syncfree_trend");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let points: Vec<(&str, LowerTriangularCsr)> = vec![
+        ("low-granularity-band", gen::dense_band(1_200, 16, 95)),
+        ("mid-granularity-stencil", gen::stencil3d(14, 14, 14, 96)),
+        ("peak-granularity-layered", gen::layered(8_000, 8, 16, 97)),
+        ("high-granularity-lp", gen::ultra_sparse_wide(8_000, 16, 1, 98)),
+    ];
+    for (name, l) in points {
+        let b = vec![1.0; l.n()];
+        let s = MatrixStats::compute(&l);
+        let rep = solve_simulated(&cfg, &l, &b, Algorithm::SyncFree).expect("solves");
+        println!("[fig3] {name}: granularity {:.2} -> {:.2} simulated GFLOPS", s.granularity, rep.gflops);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &l, |bch, l| {
+            bch.iter(|| solve_simulated(&cfg, l, &b, Algorithm::SyncFree).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_points);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figures 7-8 bench: one high-granularity solve per algorithm, printing the
+//! simulated bandwidth, instruction count, and dependency-stall percentage
+//! behind the figures while Criterion times the harness.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::gen;
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_bandwidth");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let l = gen::layered(12_000, 4, 3, 99);
+    let b = vec![1.0; l.n()];
+    for algo in Algorithm::evaluation_trio() {
+        let rep = solve_simulated(&cfg, &l, &b, algo).expect("solves");
+        println!(
+            "[fig7/8] {}: {:.2} GB/s, {} warp instr, {:.1}% dependency stalls",
+            algo.label(),
+            rep.bandwidth_gbs,
+            rep.stats.warp_instructions,
+            rep.stats.stall_pct()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |bch, &algo| {
+            bch.iter(|| solve_simulated(&cfg, &l, &b, algo).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7_fig8);
+criterion_main!(benches);

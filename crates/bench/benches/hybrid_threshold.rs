@@ -1,0 +1,63 @@
+//! §4.4 hybrid bench: the warp/thread fusion at several thresholds against
+//! the pure algorithms on a mixed sparse/dense matrix.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::kernels::hybrid;
+use capellini_simt::{DeviceConfig, GpuDevice};
+use capellini_sparse::{gen, CooMatrix, CsrMatrix, LowerTriangularCsr};
+
+fn striped(n: usize) -> LowerTriangularCsr {
+    use rand::{Rng, SeedableRng};
+    let stripe = 256usize;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4949);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        let stripe_start = (i / stripe) * stripe;
+        if stripe_start > 0 {
+            let k = if (i / stripe) % 2 == 1 { 32 } else { 2 };
+            for _ in 0..k {
+                coo.push(i as u32, rng.gen_range(0..stripe_start as u32), 0.4 / k as f64);
+            }
+        }
+        coo.push(i as u32, i as u32, 1.0);
+    }
+    let mut c = coo;
+    c.compress();
+    LowerTriangularCsr::try_new(CsrMatrix::from_coo(&c)).unwrap()
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_threshold");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let l = striped(6_000);
+    let _ = gen::diagonal(1); // keep gen linked for parity with other benches
+    let b = vec![1.0; l.n()];
+    for thr in [0.0f64, 8.0, 16.0, 32.0, f64::INFINITY] {
+        let label = if thr == 0.0 {
+            "pure-warp".to_string()
+        } else if thr.is_infinite() {
+            "pure-thread".to_string()
+        } else {
+            format!("threshold-{thr:.0}")
+        };
+        let mut dev = GpuDevice::new(cfg.clone());
+        let sol = hybrid::solve_with_threshold(&mut dev, &l, &b, thr).unwrap();
+        println!("[hybrid] {label}: {:.2} simulated GFLOPS", sol.stats.gflops(&cfg, 2 * l.nnz() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &thr, |bch, &thr| {
+            bch.iter(|| {
+                let mut dev = GpuDevice::new(cfg.clone());
+                hybrid::solve_with_threshold(&mut dev, &l, &b, thr).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Substrate micro-benchmarks: matrix generation, level-set analysis (the
+//! Level-Set preprocessing cost Table 1 measures), CSR→CSC transposition
+//! (the SyncFree preprocessing), and SpMV.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use capellini_sparse::{gen, linalg, LevelSets};
+
+fn bench_sparse_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_ops");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [10_000usize, 40_000] {
+        let l = gen::powerlaw(n, 3.0, 81);
+        let x = vec![1.0f64; n];
+        g.throughput(Throughput::Elements(l.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("generate-powerlaw", n), &n, |b, &n| {
+            b.iter(|| gen::powerlaw(n, 3.0, 81))
+        });
+        g.bench_with_input(BenchmarkId::new("level-analysis", n), &l, |b, l| {
+            b.iter(|| LevelSets::analyze(l))
+        });
+        g.bench_with_input(BenchmarkId::new("csr-to-csc", n), &l, |b, l| {
+            b.iter(|| l.csr().to_csc())
+        });
+        g.bench_with_input(BenchmarkId::new("spmv", n), &l, |b, l| {
+            b.iter(|| linalg::spmv(l.csr(), &x))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparse_ops);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Table 1 bench: the *real* preprocessing work of each algorithm family on
+//! the three case-study stand-ins — level-set analysis + reorder arrays
+//! (Level-Set), dependency analysis (cuSPARSE-like), CSR→CSC conversion +
+//! flag array (SyncFree), and flag array only (Capellini).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_sparse::dataset::{self, Scale};
+use capellini_sparse::LevelSets;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_preproc");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let entries = [
+        dataset::nlpkkt160_like(Scale::Medium),
+        dataset::wiki_talk_like(Scale::Medium),
+        dataset::cant_like(Scale::Medium),
+    ];
+    for e in entries {
+        let l = e.build();
+        // Level-Set preprocessing: the full analysis producing layer,
+        // layer_num, and order.
+        g.bench_with_input(BenchmarkId::new("levelset", &e.name), &l, |b, l| {
+            b.iter(|| LevelSets::analyze(l))
+        });
+        // SyncFree preprocessing: CSC conversion plus the flag array.
+        g.bench_with_input(BenchmarkId::new("syncfree", &e.name), &l, |b, l| {
+            b.iter(|| {
+                let csc = l.csr().to_csc();
+                let flags = vec![0u8; l.n()];
+                (csc, flags)
+            })
+        });
+        // cuSPARSE-like analysis: per-row metadata extraction.
+        g.bench_with_input(BenchmarkId::new("cusparse-analysis", &e.name), &l, |b, l| {
+            b.iter(|| {
+                let rp = l.csr().row_ptr();
+                let info: Vec<u32> = rp.windows(2).map(|w| w[1] - w[0]).collect();
+                info
+            })
+        });
+        // Capellini preprocessing: the flag array alone.
+        g.bench_with_input(BenchmarkId::new("capellini", &e.name), &l, |b, l| {
+            b.iter(|| vec![0u8; l.n()])
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 4 bench: one simulated solve per (algorithm, platform) cell on a
+//! representative high-granularity matrix. Criterion measures harness wall
+//! time; the simulated GFLOPS behind Table 4 are printed once per cell.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::gen;
+
+fn bench_table4_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_gflops");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    // Large enough for thread-level occupancy on the scaled Volta too.
+    let l = gen::ultra_sparse_wide(24_000, 16, 1, 91);
+    let b = vec![1.0; l.n()];
+    for cfg in DeviceConfig::evaluation_platforms_scaled() {
+        for algo in Algorithm::evaluation_trio() {
+            let rep = solve_simulated(&cfg, &l, &b, algo).expect("solve succeeds");
+            println!("[table4] {} / {}: {:.2} simulated GFLOPS", cfg.name, algo.label(), rep.gflops);
+            g.bench_with_input(
+                BenchmarkId::new(algo.label(), cfg.name),
+                &cfg,
+                |bch, cfg| bch.iter(|| solve_simulated(cfg, &l, &b, algo).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4_cells);
+criterion_main!(benches);

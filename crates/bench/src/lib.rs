@@ -1,0 +1,12 @@
+//! # capellini-bench
+//!
+//! The evaluation harness: regenerates every table and figure of the paper
+//! (see DESIGN.md §3 for the experiment index). The `repro` binary drives
+//! the experiments; Criterion benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod runner;
+pub mod tables;

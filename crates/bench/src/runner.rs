@@ -1,0 +1,324 @@
+//! Experiment runner: executes (matrix × algorithm × platform) cells on the
+//! simulator, verifies every solve against the serial reference, and caches
+//! results as CSV under `results/` so each table/figure command can reuse
+//! one expensive sweep.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::dataset::{DatasetEntry, Scale};
+use capellini_sparse::linalg::{rel_error_inf, rhs_for_solution};
+use capellini_sparse::{LowerTriangularCsr, MatrixStats};
+
+use crate::tables::{read_csv, write_csv};
+
+/// One measured cell of the evaluation grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Matrix name from the dataset.
+    pub matrix: String,
+    /// Platform name (Pascal/Volta/Turing).
+    pub platform: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// α: average nonzeros per row.
+    pub nnz_row: f64,
+    /// β: average components per level.
+    pub n_level: f64,
+    /// δ: parallel granularity.
+    pub granularity: f64,
+    /// Host preprocessing in ms.
+    pub pre_ms: f64,
+    /// Kernel execution in ms (simulated).
+    pub exec_ms: f64,
+    /// GFLOPS/s at 2·nnz flops.
+    pub gflops: f64,
+    /// DRAM bandwidth GB/s.
+    pub bandwidth: f64,
+    /// Warp-level instructions executed.
+    pub warp_instr: u64,
+    /// Dependency-stall percentage (failed polls / thread instructions).
+    pub dep_stall_pct: f64,
+    /// Issue-slot stall percentage (supplementary).
+    pub issue_stall_pct: f64,
+    /// Relative error of the solve against the serial reference.
+    pub rel_err: f64,
+}
+
+impl CellResult {
+    const HEADER: [&'static str; 16] = [
+        "matrix", "platform", "algo", "n", "nnz", "nnz_row", "n_level", "granularity", "pre_ms",
+        "exec_ms", "gflops", "bandwidth", "warp_instr", "dep_stall_pct", "issue_stall_pct",
+        "rel_err",
+    ];
+
+    fn to_row(&self) -> Vec<String> {
+        vec![
+            self.matrix.clone(),
+            self.platform.clone(),
+            self.algo.clone(),
+            self.n.to_string(),
+            self.nnz.to_string(),
+            format!("{:.6}", self.nnz_row),
+            format!("{:.6}", self.n_level),
+            format!("{:.6}", self.granularity),
+            format!("{:.6}", self.pre_ms),
+            format!("{:.6}", self.exec_ms),
+            format!("{:.6}", self.gflops),
+            format!("{:.6}", self.bandwidth),
+            self.warp_instr.to_string(),
+            format!("{:.4}", self.dep_stall_pct),
+            format!("{:.4}", self.issue_stall_pct),
+            format!("{:.3e}", self.rel_err),
+        ]
+    }
+
+    fn from_row(row: &[String]) -> Option<CellResult> {
+        if row.len() != Self::HEADER.len() {
+            return None;
+        }
+        Some(CellResult {
+            matrix: row[0].clone(),
+            platform: row[1].clone(),
+            algo: row[2].clone(),
+            n: row[3].parse().ok()?,
+            nnz: row[4].parse().ok()?,
+            nnz_row: row[5].parse().ok()?,
+            n_level: row[6].parse().ok()?,
+            granularity: row[7].parse().ok()?,
+            pre_ms: row[8].parse().ok()?,
+            exec_ms: row[9].parse().ok()?,
+            gflops: row[10].parse().ok()?,
+            bandwidth: row[11].parse().ok()?,
+            warp_instr: row[12].parse().ok()?,
+            dep_stall_pct: row[13].parse().ok()?,
+            issue_stall_pct: row[14].parse().ok()?,
+            rel_err: row[15].parse().ok()?,
+        })
+    }
+}
+
+/// A deterministic right-hand side with a known exact solution, plus that
+/// solution's serial-reference solve for verification.
+pub fn make_problem(l: &LowerTriangularCsr) -> (Vec<f64>, Vec<f64>) {
+    let n = l.n();
+    let x_true: Vec<f64> = (0..n).map(|i| ((i * 29 + 13) % 31) as f64 - 15.0).collect();
+    let b = rhs_for_solution(l, &x_true);
+    let x_ref = capellini_core::solve_serial_csr(l, &b);
+    (b, x_ref)
+}
+
+/// Runs one cell; `Err` carries the simulator error text (e.g. deadlock).
+pub fn run_cell(
+    cfg: &DeviceConfig,
+    name: &str,
+    l: &LowerTriangularCsr,
+    stats: &MatrixStats,
+    b: &[f64],
+    x_ref: &[f64],
+    algo: Algorithm,
+) -> Result<CellResult, String> {
+    let report = solve_simulated(cfg, l, b, algo).map_err(|e| e.to_string())?;
+    Ok(CellResult {
+        matrix: name.to_string(),
+        platform: cfg.name.to_string(),
+        algo: algo.label().to_string(),
+        n: stats.n,
+        nnz: stats.nnz,
+        nnz_row: stats.nnz_row,
+        n_level: stats.n_level,
+        granularity: stats.granularity,
+        pre_ms: report.preprocessing_ms,
+        exec_ms: report.exec_ms,
+        gflops: report.gflops,
+        bandwidth: report.bandwidth_gbs,
+        warp_instr: report.stats.warp_instructions,
+        dep_stall_pct: report.stats.stall_pct(),
+        issue_stall_pct: report.stats.issue_stall_pct(),
+        rel_err: rel_error_inf(&report.x, x_ref),
+    })
+}
+
+/// Where cached sweep results live.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("CAPELLINI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Full => "full",
+    }
+}
+
+/// Runs `entries × algorithms × platforms`, verifying each solve, with CSV
+/// caching keyed by `cache_name` and scale. `limit` truncates the entry
+/// list (0 = all).
+pub fn run_grid(
+    cache_name: &str,
+    scale: Scale,
+    entries: &[DatasetEntry],
+    algorithms: &[Algorithm],
+    platforms: &[DeviceConfig],
+    limit: usize,
+) -> Vec<CellResult> {
+    let path = results_dir().join(format!("{cache_name}_{}.csv", scale_tag(scale)));
+    let entries: Vec<&DatasetEntry> =
+        entries.iter().take(if limit == 0 { entries.len() } else { limit }).collect();
+    let expected = entries.len() * algorithms.len() * platforms.len();
+    if let Some(cached) = load_cache(&path, expected) {
+        eprintln!("[runner] reusing {} cached cells from {}", cached.len(), path.display());
+        return cached;
+    }
+
+    let mut out: Vec<CellResult> = Vec::with_capacity(expected);
+    let t0 = Instant::now();
+    for (mi, entry) in entries.iter().enumerate() {
+        let (l, stats) = entry.build_with_stats();
+        let (b, x_ref) = make_problem(&l);
+        for cfg in platforms {
+            for &algo in algorithms {
+                let t = Instant::now();
+                match run_cell(cfg, &entry.name, &l, &stats, &b, &x_ref, algo) {
+                    Ok(cell) => {
+                        assert!(
+                            cell.rel_err < 1e-9,
+                            "{} / {} / {}: relative error {:.3e}",
+                            entry.name,
+                            cfg.name,
+                            algo.label(),
+                            cell.rel_err
+                        );
+                        out.push(cell);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[runner] {} / {} / {}: SKIPPED ({e})",
+                            entry.name,
+                            cfg.name,
+                            algo.label()
+                        );
+                    }
+                }
+                let _ = t;
+            }
+        }
+        if (mi + 1) % 10 == 0 || mi + 1 == entries.len() {
+            eprintln!(
+                "[runner] {cache_name}: {}/{} matrices done in {:.1?}",
+                mi + 1,
+                entries.len(),
+                t0.elapsed()
+            );
+        }
+    }
+    save_cache(&path, &out);
+    out
+}
+
+fn load_cache(path: &Path, expected: usize) -> Option<Vec<CellResult>> {
+    let (header, rows) = read_csv(path).ok()?;
+    if header != CellResult::HEADER {
+        return None;
+    }
+    let cells: Option<Vec<CellResult>> = rows.iter().map(|r| CellResult::from_row(r)).collect();
+    let cells = cells?;
+    // Deadlocked/skipped cells make the count smaller; accept caches within
+    // reason but reject obviously stale ones.
+    if cells.len() * 10 < expected * 9 {
+        return None;
+    }
+    Some(cells)
+}
+
+fn save_cache(path: &Path, cells: &[CellResult]) {
+    let rows: Vec<Vec<String>> = cells.iter().map(|c| c.to_row()).collect();
+    if let Err(e) = write_csv(path, &CellResult::HEADER, &rows) {
+        eprintln!("[runner] failed to write cache {}: {e}", path.display());
+    }
+}
+
+/// Geometric-mean helper (the paper reports arithmetic means; both are
+/// provided by the experiments).
+pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        f64::NAN
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capellini_sparse::gen::GenSpec;
+
+    #[test]
+    fn cell_csv_round_trip() {
+        let c = CellResult {
+            matrix: "m".into(),
+            platform: "Pascal".into(),
+            algo: "Capellini".into(),
+            n: 10,
+            nnz: 20,
+            nnz_row: 2.0,
+            n_level: 5.0,
+            granularity: 0.8,
+            pre_ms: 0.1,
+            exec_ms: 0.2,
+            gflops: 3.0,
+            bandwidth: 40.0,
+            warp_instr: 1234,
+            dep_stall_pct: 12.5,
+            issue_stall_pct: 80.0,
+            rel_err: 1e-14,
+        };
+        let row = c.to_row();
+        let back = CellResult::from_row(&row).unwrap();
+        assert_eq!(back.matrix, "m");
+        assert_eq!(back.warp_instr, 1234);
+        assert!((back.granularity - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_runs_and_caches() {
+        let dir = std::env::temp_dir().join(format!("capellini-grid-{}", std::process::id()));
+        std::env::set_var("CAPELLINI_RESULTS_DIR", &dir);
+        let entries = vec![DatasetEntry {
+            name: "tiny".into(),
+            spec: GenSpec::RandomK { n: 200, k: 2, window: 200 },
+            seed: 5,
+        }];
+        let platforms = vec![DeviceConfig::pascal_like().scaled_down(4)];
+        let algos = [Algorithm::CapelliniWritingFirst, Algorithm::SyncFree];
+        let cells = run_grid("test_grid", Scale::Small, &entries, &algos, &platforms, 0);
+        assert_eq!(cells.len(), 2);
+        // Second call hits the cache (values round-trip at CSV precision).
+        let again = run_grid("test_grid", Scale::Small, &entries, &algos, &platforms, 0);
+        assert_eq!(again.len(), cells.len());
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.matrix, b.matrix);
+            assert_eq!(a.algo, b.algo);
+            assert_eq!(a.warp_instr, b.warp_instr);
+            assert!((a.gflops - b.gflops).abs() < 1e-5);
+        }
+        std::env::remove_var("CAPELLINI_RESULTS_DIR");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(mean(std::iter::empty()).is_nan());
+        assert_eq!(mean([2.0, 4.0].into_iter()), 3.0);
+    }
+}

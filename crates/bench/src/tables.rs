@@ -1,0 +1,162 @@
+//! Plain-text table rendering and a minimal CSV layer for the experiment
+//! harness (results are cached under `results/` so the per-table commands
+//! can share one expensive sweep).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:<w$}", w = w);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with the given precision, using `-` for NaN.
+pub fn fnum(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+/// Writes rows as CSV (no quoting — the harness never emits commas in
+/// fields; asserted below).
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert!(row.iter().all(|c| !c.contains(',')), "CSV fields must not contain commas");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// Reads a CSV written by [`write_csv`]; returns (header, rows).
+pub fn read_csv(path: &Path) -> io::Result<(Vec<String>, Vec<Vec<String>>)> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))?
+        .split(',')
+        .map(|s| s.to_string())
+        .collect();
+    let rows = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').map(|s| s.to_string()).collect())
+        .collect();
+    Ok((header, rows))
+}
+
+/// Renders a horizontal ASCII bar chart for (label, value) pairs.
+pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let bars = ((v / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(out, "{label:<label_w$}  {:<width$}  {v:.2} {unit}", "#".repeat(bars));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1.0".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        let r = t.render();
+        assert!(r.contains("name   value"));
+        assert!(r.contains("alpha  1.0"));
+        assert!(r.contains("b      22.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        TextTable::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let dir = std::env::temp_dir().join("capellini-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "x".into()]]).unwrap();
+        let (h, rows) = read_csv(&path).unwrap();
+        assert_eq!(h, vec!["a", "b"]);
+        assert_eq!(rows, vec![vec!["1".to_string(), "x".to_string()]]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let c = bar_chart(&[("x".into(), 10.0), ("y".into(), 5.0)], 10, "u");
+        assert!(c.contains("##########"));
+        assert!(c.contains("5.00 u"));
+        assert!(c.lines().nth(1).unwrap().matches('#').count() == 5);
+    }
+
+    #[test]
+    fn fnum_handles_nan() {
+        assert_eq!(fnum(f64::NAN, 2), "-");
+        assert_eq!(fnum(1.234, 2), "1.23");
+    }
+}

@@ -1,0 +1,82 @@
+//! Device-resident matrix and solve buffers shared by all GPU kernels.
+
+use capellini_simt::{BufF64, BufFlag, BufU32, GpuDevice};
+use capellini_sparse::LowerTriangularCsr;
+
+/// A lower-triangular CSR matrix uploaded to device memory.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCsr {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// `csrRowPtr` (n+1 entries).
+    pub row_ptr: BufU32,
+    /// `csrColIdx` (nnz entries).
+    pub col_idx: BufU32,
+    /// `csrVal` (nnz entries).
+    pub values: BufF64,
+}
+
+impl DeviceCsr {
+    /// Uploads the matrix arrays.
+    pub fn upload(dev: &mut GpuDevice, l: &LowerTriangularCsr) -> Self {
+        let mem = dev.mem();
+        DeviceCsr {
+            n: l.n(),
+            nnz: l.nnz(),
+            row_ptr: mem.alloc_u32(l.csr().row_ptr()),
+            col_idx: mem.alloc_u32(l.csr().col_idx()),
+            values: mem.alloc_f64(l.csr().values()),
+        }
+    }
+}
+
+/// Right-hand side, solution, and completion-flag buffers for one solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveBuffers {
+    /// Right-hand side `b`.
+    pub b: BufF64,
+    /// Solution vector `x` (zero-initialised).
+    pub x: BufF64,
+    /// The paper's `get_value` array.
+    pub flags: BufFlag,
+}
+
+impl SolveBuffers {
+    /// Allocates `b`, a zeroed `x`, and a zeroed flag array.
+    pub fn upload(dev: &mut GpuDevice, b: &[f64]) -> Self {
+        let mem = dev.mem();
+        SolveBuffers {
+            b: mem.alloc_f64(b),
+            x: mem.alloc_f64_zeroed(b.len()),
+            flags: mem.alloc_flags(b.len()),
+        }
+    }
+
+    /// Reads the solution back to the host.
+    pub fn read_x(self, dev: &GpuDevice) -> Vec<f64> {
+        dev.mem_ref().read_f64(self.x).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capellini_simt::DeviceConfig;
+    use capellini_sparse::paper_example;
+
+    #[test]
+    fn upload_round_trips_arrays() {
+        let l = paper_example();
+        let mut dev = GpuDevice::new(DeviceConfig::pascal_like());
+        let dm = DeviceCsr::upload(&mut dev, &l);
+        assert_eq!(dm.n, 8);
+        assert_eq!(dm.nnz, 17);
+        assert_eq!(dev.mem_ref().read_u32(dm.row_ptr), l.csr().row_ptr());
+        assert_eq!(dev.mem_ref().read_f64(dm.values), l.csr().values());
+        let sb = SolveBuffers::upload(&mut dev, &[1.0; 8]);
+        assert_eq!(dev.mem_ref().read_f64(sb.x), &[0.0; 8]);
+        assert_eq!(dev.mem_ref().read_flags(sb.flags), &[0; 8]);
+    }
+}

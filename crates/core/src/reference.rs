@@ -1,0 +1,88 @@
+//! Algorithm 1: the serial forward-substitution reference. Every other
+//! solver in this project is validated against it.
+
+use capellini_sparse::{CscMatrix, LowerTriangularCsr};
+
+/// Serial CSR forward substitution (the paper's Algorithm 1).
+pub fn solve_serial_csr(l: &LowerTriangularCsr, b: &[f64]) -> Vec<f64> {
+    let n = l.n();
+    assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+    let mut x = vec![0.0f64; n];
+    let row_ptr = l.csr().row_ptr();
+    let col_idx = l.csr().col_idx();
+    let values = l.csr().values();
+    for i in 0..n {
+        let (lo, hi) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        let mut left_sum = 0.0f64;
+        for j in lo..hi - 1 {
+            left_sum += values[j] * x[col_idx[j] as usize];
+        }
+        x[i] = (b[i] - left_sum) / values[hi - 1];
+    }
+    x
+}
+
+/// Serial CSC forward substitution (column-sweep variant): once `x[j]` is
+/// known, its column's updates are scattered into a running right-hand side.
+/// This is the access pattern of Liu et al.'s CSC-based SyncFree algorithm.
+pub fn solve_serial_csc(l: &CscMatrix, b: &[f64]) -> Vec<f64> {
+    let n = l.n_cols();
+    assert_eq!(l.n_rows(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+    let mut x = b.to_vec();
+    for j in 0..n {
+        let (rows, vals) = l.col(j);
+        // Diagonal first (top of the column in a lower-triangular CSC).
+        assert!(!rows.is_empty() && rows[0] as usize == j, "missing diagonal in column {j}");
+        x[j] /= vals[0];
+        let xj = x[j];
+        for (&r, &v) in rows.iter().zip(vals).skip(1) {
+            x[r as usize] -= v * xj;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capellini_sparse::linalg::{residual_inf, rhs_for_solution};
+    use capellini_sparse::{gen, paper_example};
+
+    #[test]
+    fn csr_reference_solves_paper_example() {
+        let l = paper_example();
+        let x_true: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let b = rhs_for_solution(&l, &x_true);
+        let x = solve_serial_csr(&l, &b);
+        for (a, e) in x.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csc_variant_agrees_with_csr() {
+        let l = gen::random_k(500, 4, 500, 3);
+        let b: Vec<f64> = (0..500).map(|i| (i % 17) as f64 - 8.0).collect();
+        let x_csr = solve_serial_csr(&l, &b);
+        let x_csc = solve_serial_csc(&l.csr().to_csc(), &b);
+        for (a, e) in x_csr.iter().zip(&x_csc) {
+            assert!((a - e).abs() < 1e-10, "{a} vs {e}");
+        }
+        assert!(residual_inf(&l, &x_csr, &b) < 1e-10);
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let l = gen::diagonal(16);
+        let b: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(solve_serial_csr(&l, &b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn wrong_rhs_length_panics() {
+        let l = gen::diagonal(4);
+        solve_serial_csr(&l, &[1.0, 2.0]);
+    }
+}

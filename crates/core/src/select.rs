@@ -1,0 +1,159 @@
+//! Algorithm selection: the enumeration of every SpTRSV implementation in
+//! this library, the Table 2 property summary, and the granularity-based
+//! recommendation rule extracted from the paper's Figure 6.
+
+use capellini_sparse::MatrixStats;
+
+/// Every SpTRSV algorithm this library implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 2: level-sets with one launch per level.
+    LevelSet,
+    /// Algorithm 3: warp-level synchronization-free (Liu et al. [20]).
+    SyncFree,
+    /// Liu et al.'s original CSC scatter formulation (warp per column,
+    /// atomics + in-degree countdown).
+    SyncFreeCsc,
+    /// The cuSPARSE black-box stand-in (§2.4).
+    CusparseLike,
+    /// Algorithm 4: Two-Phase CapelliniSpTRSV.
+    CapelliniTwoPhase,
+    /// Algorithm 5: Writing-First CapelliniSpTRSV (the headline algorithm).
+    CapelliniWritingFirst,
+    /// The §3.3 straw man (deadlocks on intra-warp dependencies).
+    NaiveThread,
+    /// §4.4 warp/thread hybrid.
+    Hybrid,
+}
+
+impl Algorithm {
+    /// Display label matching the paper's naming.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::LevelSet => "Level-Set",
+            Algorithm::SyncFree => "SyncFree",
+            Algorithm::SyncFreeCsc => "SyncFree-CSC",
+            Algorithm::CusparseLike => "cuSPARSE",
+            Algorithm::CapelliniTwoPhase => "Capellini (Two-Phase)",
+            Algorithm::CapelliniWritingFirst => "Capellini",
+            Algorithm::NaiveThread => "Naive thread-level",
+            Algorithm::Hybrid => "Hybrid (warp+thread)",
+        }
+    }
+
+    /// The three algorithms of the paper's headline comparison (Tables 4-5).
+    pub fn evaluation_trio() -> [Algorithm; 3] {
+        [Algorithm::SyncFree, Algorithm::CusparseLike, Algorithm::CapelliniWritingFirst]
+    }
+
+    /// All live algorithms (excludes the deadlocking straw man).
+    pub fn all_live() -> [Algorithm; 7] {
+        [
+            Algorithm::LevelSet,
+            Algorithm::SyncFree,
+            Algorithm::SyncFreeCsc,
+            Algorithm::CusparseLike,
+            Algorithm::CapelliniTwoPhase,
+            Algorithm::CapelliniWritingFirst,
+            Algorithm::Hybrid,
+        ]
+    }
+}
+
+/// One row of the paper's Table 2 ("Summary for different SpTRSV
+/// algorithms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraitRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Preprocessing overhead.
+    pub preprocessing: &'static str,
+    /// Storage format consumed.
+    pub storage: &'static str,
+    /// Whether inter-level synchronization is required.
+    pub synchronization: &'static str,
+    /// Processing granularity.
+    pub granularity: &'static str,
+}
+
+/// The rows of Table 2, in the paper's order.
+pub fn algorithm_traits() -> [TraitRow; 4] {
+    [
+        TraitRow {
+            algorithm: "Level-Set",
+            preprocessing: "high",
+            storage: "CSR",
+            synchronization: "yes",
+            granularity: "thread/warp",
+        },
+        TraitRow {
+            algorithm: "Sync-Free",
+            preprocessing: "low",
+            storage: "CSC",
+            synchronization: "no",
+            granularity: "warp",
+        },
+        TraitRow {
+            algorithm: "cuSPARSE",
+            preprocessing: "low",
+            storage: "CSR",
+            synchronization: "unknown",
+            granularity: "unknown",
+        },
+        TraitRow {
+            algorithm: "CapelliniSpTRSV",
+            preprocessing: "none",
+            storage: "CSR",
+            synchronization: "no",
+            granularity: "thread",
+        },
+    ]
+}
+
+/// The granularity threshold above which CapelliniSpTRSV is preferred: the
+/// paper observes SyncFree's performance peaks at 0.7 and targets Capellini
+/// at δ > 0.7 (§5.2).
+pub const GRANULARITY_THRESHOLD: f64 = 0.7;
+
+/// Recommends the GPU algorithm for a matrix from its statistics — the
+/// decision rule behind Figure 6's optimal-algorithm map: thread-level when
+/// levels are wide and rows are sparse, warp-level otherwise.
+pub fn recommend(stats: &MatrixStats) -> Algorithm {
+    if stats.granularity > GRANULARITY_THRESHOLD {
+        Algorithm::CapelliniWritingFirst
+    } else {
+        Algorithm::SyncFree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capellini_sparse::gen;
+    use capellini_sparse::MatrixStats;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Algorithm::all_live().iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Algorithm::all_live().len());
+    }
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let rows = algorithm_traits();
+        assert_eq!(rows[0].preprocessing, "high");
+        assert_eq!(rows[1].storage, "CSC");
+        assert_eq!(rows[3].preprocessing, "none");
+        assert_eq!(rows[3].granularity, "thread");
+    }
+
+    #[test]
+    fn recommendation_follows_granularity() {
+        let wide = MatrixStats::compute(&gen::ultra_sparse_wide(20_000, 8, 1, 1));
+        assert_eq!(recommend(&wide), Algorithm::CapelliniWritingFirst);
+        let deep = MatrixStats::compute(&gen::dense_band(2_000, 32, 2));
+        assert_eq!(recommend(&deep), Algorithm::SyncFree);
+    }
+}

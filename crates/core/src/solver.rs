@@ -1,0 +1,206 @@
+//! The high-level solve API: dispatches any [`Algorithm`] onto a simulated
+//! device, accounts host-side preprocessing, and derives the
+//! paper's reporting metrics (GFLOPS, bandwidth, instructions, stalls).
+
+use capellini_simt::{DeviceConfig, GpuDevice, HostCostModel, LaunchStats, SimtError};
+use capellini_sparse::{LevelSets, LowerTriangularCsr, MatrixStats};
+
+use crate::kernels;
+use crate::select::{recommend, Algorithm};
+
+/// The outcome of one simulated solve, carrying everything the paper's
+/// tables report about a (matrix, algorithm, platform) cell.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Raw simulator counters.
+    pub stats: LaunchStats,
+    /// Host-side preprocessing time (Table 1's first row group).
+    pub preprocessing_ms: f64,
+    /// Kernel execution time in milliseconds.
+    pub exec_ms: f64,
+    /// GFLOPS/s at the paper's 2·nnz flop convention.
+    pub gflops: f64,
+    /// DRAM read+write bandwidth in GB/s (Figure 7).
+    pub bandwidth_gbs: f64,
+}
+
+/// Runs `algorithm` on a fresh simulated device of the given configuration.
+pub fn solve_simulated(
+    config: &DeviceConfig,
+    l: &LowerTriangularCsr,
+    b: &[f64],
+    algorithm: Algorithm,
+) -> Result<SolveReport, SimtError> {
+    let mut dev = GpuDevice::new(config.clone());
+    let host = HostCostModel::default();
+    let n = l.n();
+    let nnz = l.nnz();
+
+    let (sim, preprocessing_ms) = match algorithm {
+        Algorithm::LevelSet => {
+            let levels = LevelSets::analyze(l);
+            let pre = host.levelset_preprocessing_ms(n, nnz, levels.n_levels());
+            let dm = crate::buffers::DeviceCsr::upload(&mut dev, l);
+            let sb = crate::buffers::SolveBuffers::upload(&mut dev, b);
+            let stats = kernels::levelset::launch_with_levels(&mut dev, dm, sb, &levels)?;
+            (kernels::SimSolve { x: sb.read_x(&dev), stats }, pre)
+        }
+        Algorithm::SyncFree => {
+            let pre = host.syncfree_preprocessing_ms(n, nnz);
+            (kernels::syncfree::solve(&mut dev, l, b)?, pre)
+        }
+        Algorithm::SyncFreeCsc => {
+            // CSC conversion plus the in-degree sweep (one pass over n rows).
+            let pre = host.syncfree_preprocessing_ms(n, nnz) + (n as f64 * 0.3) / 1e6;
+            (kernels::syncfree_csc::solve(&mut dev, l, b)?, pre)
+        }
+        Algorithm::CusparseLike => {
+            let pre = host.cusparse_preprocessing_ms(n, nnz);
+            (kernels::cusparse_like::solve(&mut dev, l, b)?, pre)
+        }
+        Algorithm::CapelliniTwoPhase => {
+            let pre = host.capellini_preprocessing_ms(n);
+            (kernels::two_phase::solve(&mut dev, l, b)?, pre)
+        }
+        Algorithm::CapelliniWritingFirst => {
+            let pre = host.capellini_preprocessing_ms(n);
+            (kernels::writing_first::solve(&mut dev, l, b)?, pre)
+        }
+        Algorithm::NaiveThread => {
+            let pre = host.capellini_preprocessing_ms(n);
+            (kernels::naive::solve(&mut dev, l, b)?, pre)
+        }
+        Algorithm::Hybrid => {
+            // Task planning walks row_ptr once: charge it like a light
+            // analysis pass.
+            let pre = host.capellini_preprocessing_ms(n) + (n as f64 * 1.2) / 1e6;
+            (kernels::hybrid::solve(&mut dev, l, b)?, pre)
+        }
+    };
+
+    let useful_flops = 2 * nnz as u64;
+    Ok(SolveReport {
+        algorithm,
+        exec_ms: sim.stats.time_ms(config),
+        gflops: sim.stats.gflops(config, useful_flops),
+        bandwidth_gbs: sim.stats.bandwidth_gbs(config),
+        x: sim.x,
+        stats: sim.stats,
+        preprocessing_ms,
+    })
+}
+
+/// A reusable solver bound to one matrix: computes statistics once,
+/// recommends an algorithm, and exposes both simulated-GPU and native-CPU
+/// solving.
+pub struct Solver {
+    l: LowerTriangularCsr,
+    stats: MatrixStats,
+}
+
+impl Solver {
+    /// Wraps a validated lower-triangular system.
+    pub fn new(l: LowerTriangularCsr) -> Self {
+        let stats = MatrixStats::compute(&l);
+        Solver { l, stats }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &LowerTriangularCsr {
+        &self.l
+    }
+
+    /// The matrix statistics (α, β, δ, ...).
+    pub fn stats(&self) -> &MatrixStats {
+        &self.stats
+    }
+
+    /// The recommended GPU algorithm for this matrix (Figure 6 rule).
+    pub fn recommend(&self) -> Algorithm {
+        recommend(&self.stats)
+    }
+
+    /// Solves on a simulated device with the recommended algorithm.
+    pub fn solve_simulated(
+        &self,
+        config: &DeviceConfig,
+        b: &[f64],
+    ) -> Result<SolveReport, SimtError> {
+        solve_simulated(config, &self.l, b, self.recommend())
+    }
+
+    /// Solves on a simulated device with an explicit algorithm.
+    pub fn solve_simulated_with(
+        &self,
+        config: &DeviceConfig,
+        b: &[f64],
+        algorithm: Algorithm,
+    ) -> Result<SolveReport, SimtError> {
+        solve_simulated(config, &self.l, b, algorithm)
+    }
+
+    /// Solves natively on the CPU with self-scheduled busy-wait threads
+    /// (the CPU analog of CapelliniSpTRSV).
+    pub fn solve_cpu(&self, b: &[f64], n_threads: usize) -> Vec<f64> {
+        crate::cpu::solve_selfsched(&self.l, b, n_threads, crate::cpu::Distribution::Cyclic)
+    }
+
+    /// Serial reference solve (Algorithm 1).
+    pub fn solve_serial(&self, b: &[f64]) -> Vec<f64> {
+        crate::reference::solve_serial_csr(&self.l, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capellini_sparse::linalg::assert_solutions_close;
+    use capellini_sparse::gen;
+
+    #[test]
+    fn every_live_algorithm_produces_the_same_solution() {
+        let l = gen::random_k(600, 3, 600, 41);
+        let b: Vec<f64> = (0..600).map(|i| (i % 11) as f64 - 5.0).collect();
+        let cfg = DeviceConfig::pascal_like();
+        let x_ref = crate::reference::solve_serial_csr(&l, &b);
+        for algo in Algorithm::all_live() {
+            let rep = solve_simulated(&cfg, &l, &b, algo)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.label()));
+            assert_solutions_close(&rep.x, &x_ref, 1e-11);
+            assert!(rep.exec_ms > 0.0);
+            assert!(rep.gflops > 0.0);
+            assert!(rep.preprocessing_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn preprocessing_ordering_matches_table1() {
+        let l = gen::stencil3d(16, 16, 16, 42);
+        let b = vec![1.0; l.n()];
+        let cfg = DeviceConfig::volta_like();
+        let lv = solve_simulated(&cfg, &l, &b, Algorithm::LevelSet).unwrap();
+        let cu = solve_simulated(&cfg, &l, &b, Algorithm::CusparseLike).unwrap();
+        let sf = solve_simulated(&cfg, &l, &b, Algorithm::SyncFree).unwrap();
+        let wf = solve_simulated(&cfg, &l, &b, Algorithm::CapelliniWritingFirst).unwrap();
+        assert!(lv.preprocessing_ms > cu.preprocessing_ms);
+        assert!(cu.preprocessing_ms > sf.preprocessing_ms);
+        assert!(sf.preprocessing_ms > wf.preprocessing_ms);
+    }
+
+    #[test]
+    fn solver_facade_recommends_and_solves() {
+        let l = gen::ultra_sparse_wide(3000, 8, 1, 43);
+        let solver = Solver::new(l);
+        assert_eq!(solver.recommend(), Algorithm::CapelliniWritingFirst);
+        let b = vec![1.0; solver.matrix().n()];
+        let x_ref = solver.solve_serial(&b);
+        let rep = solver.solve_simulated(&DeviceConfig::turing_like(), &b).unwrap();
+        assert_solutions_close(&rep.x, &x_ref, 1e-11);
+        let x_cpu = solver.solve_cpu(&b, 4);
+        assert_solutions_close(&x_cpu, &x_ref, 1e-11);
+    }
+}

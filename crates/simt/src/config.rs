@@ -1,0 +1,234 @@
+//! Device configurations: the simulator's counterpart of the paper's
+//! Table 3. Each configuration carries the published shape parameters of the
+//! corresponding card (SM count, clock, DRAM bandwidth, resident-warp limit)
+//! plus the microarchitectural constants of the timing model.
+
+/// Parameters of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable name (shown in Table 3 output).
+    pub name: &'static str,
+    /// Marketing name of the card this configuration models.
+    pub model: &'static str,
+    /// Memory technology label (Table 3 "Memory Type").
+    pub memory_type: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Lanes per warp (32 on all NVIDIA GPUs; 3 in the paper's Figure 2 toy).
+    pub warp_size: usize,
+    /// Maximum warps resident per SM (occupancy limit).
+    pub max_warps_per_sm: usize,
+    /// Warp schedulers per SM — instructions issued per SM per cycle.
+    pub schedulers_per_sm: usize,
+    /// Core clock in GHz (converts cycles to seconds).
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s (drives the memory service model).
+    pub dram_bw_gbps: f64,
+    /// DRAM access latency in cycles (first touch of a sector).
+    pub dram_latency: u64,
+    /// L2 hit latency in cycles (sector already touched).
+    pub l2_latency: u64,
+    /// Shared-memory access latency in cycles.
+    pub shared_latency: u64,
+    /// Cost of an ALU/branch instruction in cycles (pipelined issue).
+    pub alu_latency: u64,
+    /// Cost of a store instruction in cycles (fire-and-forget).
+    pub store_latency: u64,
+    /// Cost of `__threadfence()` in cycles.
+    pub fence_latency: u64,
+    /// Fixed host-side cost of one kernel launch, in cycles (matters for the
+    /// per-level launches of Level-Set SpTRSV).
+    pub launch_overhead_cycles: u64,
+    /// Cycles without any store or lane retirement before the deadlock
+    /// detector fires.
+    pub deadlock_window: u64,
+    /// Hard cycle budget per launch.
+    pub max_cycles: u64,
+}
+
+impl DeviceConfig {
+    /// Pascal-generation configuration (GTX 1080-shaped; Table 3 column 1).
+    pub fn pascal_like() -> Self {
+        DeviceConfig {
+            name: "Pascal",
+            model: "GTX 1080 (simulated)",
+            memory_type: "GDDR5X",
+            sm_count: 20,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.6,
+            dram_bw_gbps: 320.0,
+            dram_latency: 400,
+            l2_latency: 130,
+            shared_latency: 25,
+            alu_latency: 2,
+            store_latency: 4,
+            fence_latency: 40,
+            launch_overhead_cycles: 8_000,
+            deadlock_window: 2_000_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Volta-generation configuration (V100-shaped; Table 3 column 2).
+    pub fn volta_like() -> Self {
+        DeviceConfig {
+            name: "Volta",
+            model: "V100 (simulated)",
+            memory_type: "HBM2",
+            sm_count: 80,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.37,
+            dram_bw_gbps: 900.0,
+            dram_latency: 430,
+            l2_latency: 140,
+            shared_latency: 22,
+            alu_latency: 2,
+            store_latency: 4,
+            fence_latency: 40,
+            launch_overhead_cycles: 7_000,
+            deadlock_window: 2_000_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Turing-generation configuration (RTX 2080 Ti-shaped; Table 3 column 3).
+    pub fn turing_like() -> Self {
+        DeviceConfig {
+            name: "Turing",
+            model: "RTX 2080 Ti (simulated)",
+            memory_type: "GDDR6",
+            sm_count: 68,
+            warp_size: 32,
+            max_warps_per_sm: 32,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.35,
+            dram_bw_gbps: 616.0,
+            dram_latency: 420,
+            l2_latency: 120,
+            shared_latency: 22,
+            alu_latency: 2,
+            store_latency: 4,
+            fence_latency: 40,
+            launch_overhead_cycles: 7_500,
+            deadlock_window: 2_000_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The paper's Figure 2 toy machine: "the GPU device can launch two
+    /// warps at the same time, and each warp can support three threads".
+    /// Unit latencies make the cycle-by-cycle schedule legible.
+    pub fn toy() -> Self {
+        DeviceConfig {
+            name: "Toy",
+            model: "Figure-2 example machine",
+            memory_type: "ideal",
+            sm_count: 1,
+            warp_size: 3,
+            max_warps_per_sm: 2,
+            schedulers_per_sm: 2,
+            clock_ghz: 1.0,
+            dram_bw_gbps: 1e9,
+            dram_latency: 1,
+            l2_latency: 1,
+            shared_latency: 1,
+            alu_latency: 1,
+            store_latency: 1,
+            fence_latency: 1,
+            // Each Level-Set launch still pays a host round trip, which is
+            // what makes Figure 2a the slowest schedule.
+            launch_overhead_cycles: 15,
+            deadlock_window: 100_000,
+            max_cycles: 10_000_000,
+        }
+    }
+
+    /// Returns a proportionally scaled-down device: SM count and DRAM
+    /// bandwidth divided by `factor`, everything per-SM unchanged.
+    ///
+    /// Occupancy behaviour — the paper's central mechanism — depends on the
+    /// *ratio* of work items to resident-warp slots, so an `f`-times smaller
+    /// device with `f`-times smaller matrices reproduces the same contrast
+    /// while keeping a single-core cycle-level simulation tractable
+    /// (EXPERIMENTS.md documents the scaling).
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        assert!(factor >= 1);
+        self.sm_count = (self.sm_count / factor).max(1);
+        self.dram_bw_gbps /= factor as f64;
+        self
+    }
+
+    /// The three evaluation platforms, in Table 3 order.
+    pub fn evaluation_platforms() -> Vec<DeviceConfig> {
+        vec![Self::pascal_like(), Self::volta_like(), Self::turing_like()]
+    }
+
+    /// The evaluation platforms scaled down 4× — the configuration the
+    /// harness actually simulates (see [`DeviceConfig::scaled_down`]).
+    pub fn evaluation_platforms_scaled() -> Vec<DeviceConfig> {
+        Self::evaluation_platforms().into_iter().map(|c| c.scaled_down(4)).collect()
+    }
+
+    /// Peak DRAM bytes transferable per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_gbps / self.clock_ghz
+    }
+
+    /// Converts a cycle count to seconds at this device's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Maximum concurrently resident warps on the whole device.
+    pub fn max_resident_warps(&self) -> usize {
+        self.sm_count * self.max_warps_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_trio_matches_table3_shape() {
+        let ps = DeviceConfig::evaluation_platforms();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].name, "Pascal");
+        assert_eq!(ps[1].name, "Volta");
+        assert_eq!(ps[2].name, "Turing");
+        // Volta has the most SMs and the most bandwidth.
+        assert!(ps[1].sm_count > ps[0].sm_count);
+        assert!(ps[1].dram_bw_gbps > ps[2].dram_bw_gbps);
+        // Turing's occupancy limit is half of Pascal/Volta's.
+        assert_eq!(ps[2].max_warps_per_sm, 32);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let c = DeviceConfig::pascal_like();
+        assert!((c.bytes_per_cycle() - 200.0).abs() < 1e-9);
+        assert!((c.cycles_to_seconds(1_600_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_down_divides_sms_and_bandwidth() {
+        let c = DeviceConfig::pascal_like().scaled_down(4);
+        assert_eq!(c.sm_count, 5);
+        assert!((c.dram_bw_gbps - 80.0).abs() < 1e-9);
+        assert_eq!(c.max_warps_per_sm, 64); // per-SM properties unchanged
+        let trio = DeviceConfig::evaluation_platforms_scaled();
+        assert_eq!(trio[1].sm_count, 20);
+        assert_eq!(trio[2].sm_count, 17);
+    }
+
+    #[test]
+    fn toy_is_tiny_and_deterministic() {
+        let t = DeviceConfig::toy();
+        assert_eq!(t.warp_size, 3);
+        assert_eq!(t.max_resident_warps(), 2);
+    }
+}

@@ -1,0 +1,884 @@
+//! The execution engine: an event-driven, cycle-accounted SIMT simulator.
+//!
+//! Model summary (see DESIGN.md §2):
+//!
+//! * Warps are the scheduling unit. Each SM issues at most
+//!   `schedulers_per_sm` warp instructions per cycle (implemented by
+//!   counting time in *ticks* of `1/schedulers` cycles and letting each SM
+//!   issue one instruction per tick).
+//! * A warp executes its active lane group in lock-step; divergent branches
+//!   are serialized on a reconvergence stack with kernel-declared
+//!   reconvergence points and branch order (pre-Volta semantics).
+//! * Memory: per-warp accesses are coalesced into 32-byte sectors; the
+//!   first touch of a sector pays DRAM latency and occupies the DRAM
+//!   bandwidth queue, later touches are L2 hits. Stores are fire-and-forget.
+//! * Warps block in-order on their own memory results; latency is hidden
+//!   across warps by the scheduler, bounded by the resident-warp limit.
+//! * A launch fails with [`SimtError::Deadlock`] if no store and no lane
+//!   retirement happens for `deadlock_window` cycles — which is exactly how
+//!   the naive thread-level busy-wait of §3.3 dies.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::DeviceConfig;
+use crate::error::SimtError;
+use crate::kernel::{Pc, WarpKernel, PC_EXIT};
+use crate::mem::{AccessKind, DeviceMemory, LaneMem, RawAccess, SECTOR_BYTES};
+use crate::metrics::LaunchStats;
+use crate::trace::{Trace, TraceEvent};
+
+/// A simulated GPU: a configuration plus device memory that persists across
+/// launches (so multi-kernel algorithms keep their data resident).
+pub struct GpuDevice {
+    config: DeviceConfig,
+    mem: DeviceMemory,
+}
+
+struct StackEntry {
+    pc: Pc,
+    reconv: Pc,
+    mask: u64,
+}
+
+struct WarpRt<L> {
+    sm: usize,
+    lanes: Vec<L>,
+    alive: u64,
+    stack: Vec<StackEntry>,
+    shared: Vec<f64>,
+}
+
+impl<L> WarpRt<L> {
+    fn done(&self) -> bool {
+        self.stack.is_empty() || self.alive == 0
+    }
+}
+
+/// Retires `mask` lanes: removes them from every stack entry.
+fn retire(stack: &mut [StackEntry], alive: &mut u64, mask: u64) -> u32 {
+    let newly = (*alive & mask).count_ones();
+    *alive &= !mask;
+    for e in stack.iter_mut() {
+        e.mask &= !mask;
+    }
+    newly
+}
+
+/// Restores the stack invariants: drop empty entries, retire lanes parked at
+/// `PC_EXIT`, and merge entries that have reached their reconvergence point.
+fn normalize(stack: &mut Vec<StackEntry>, alive: &mut u64, retired: &mut u64) {
+    while let Some(top) = stack.last() {
+        if top.mask == 0 {
+            stack.pop();
+        } else if top.pc == PC_EXIT {
+            let m = top.mask;
+            *retired += retire(stack, alive, m) as u64;
+        } else if stack.len() > 1 && top.pc == top.reconv {
+            stack.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+struct StepOutcome {
+    cost_ticks: u64,
+    stored: bool,
+    retired: u64,
+}
+
+impl GpuDevice {
+    /// Creates a device with empty memory.
+    pub fn new(config: DeviceConfig) -> Self {
+        GpuDevice { config, mem: DeviceMemory::new() }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Device memory (allocation and host read-back).
+    pub fn mem(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+
+    /// Read-only device memory access.
+    pub fn mem_ref(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Launches `n_warps` warps of `kernel` and runs to completion.
+    pub fn launch<K: WarpKernel>(
+        &mut self,
+        kernel: &K,
+        n_warps: usize,
+    ) -> Result<LaunchStats, SimtError> {
+        self.launch_inner(kernel, n_warps, None)
+    }
+
+    /// Launches with an instruction trace (intended for the toy device).
+    pub fn launch_traced<K: WarpKernel>(
+        &mut self,
+        kernel: &K,
+        n_warps: usize,
+        trace: &mut Trace,
+    ) -> Result<LaunchStats, SimtError> {
+        self.launch_inner(kernel, n_warps, Some(trace))
+    }
+
+    fn launch_inner<K: WarpKernel>(
+        &mut self,
+        kernel: &K,
+        n_warps: usize,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<LaunchStats, SimtError> {
+        if n_warps == 0 {
+            return Err(SimtError::Launch("zero warps".into()));
+        }
+        let cfg = &self.config;
+        if cfg.warp_size > 64 {
+            return Err(SimtError::Launch("warp size exceeds 64 lanes".into()));
+        }
+        let tpc = cfg.schedulers_per_sm.max(1) as u64; // ticks per cycle
+        let dram_lat = cfg.dram_latency * tpc;
+        let l2_lat = cfg.l2_latency * tpc;
+        let shared_lat = cfg.shared_latency * tpc;
+        let alu_ticks = (cfg.alu_latency * tpc).max(1);
+        let store_ticks = (cfg.store_latency * tpc).max(1);
+        let fence_ticks = (cfg.fence_latency * tpc).max(1);
+        // Bandwidth: ticks of DRAM occupancy per 32-byte sector.
+        let sector_service_ticks = SECTOR_BYTES as f64 / cfg.bytes_per_cycle() * tpc as f64;
+        let deadlock_ticks = cfg.deadlock_window * tpc;
+        let max_ticks = cfg.max_cycles.saturating_mul(tpc);
+        let warp_size = cfg.warp_size;
+        let full_mask: u64 = if warp_size == 64 { u64::MAX } else { (1u64 << warp_size) - 1 };
+        let sm_count = cfg.sm_count;
+        let max_resident = cfg.max_warps_per_sm;
+
+        let mut warps: Vec<Option<WarpRt<K::Lane>>> = Vec::with_capacity(n_warps);
+        warps.resize_with(n_warps, || None);
+
+        let make_warp = |kernel: &K, wid: usize, sm: usize| -> WarpRt<K::Lane> {
+            let lanes = (0..warp_size)
+                .map(|l| kernel.make_lane((wid * warp_size + l) as u32))
+                .collect();
+            WarpRt {
+                sm,
+                lanes,
+                alive: full_mask,
+                stack: vec![StackEntry { pc: 0, reconv: PC_EXIT, mask: full_mask }],
+                shared: vec![0.0; kernel.shared_per_warp()],
+            }
+        };
+
+        // Initial residency: fill SMs round-robin.
+        let mut resident = vec![0usize; sm_count];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut next_pending = 0usize;
+        'fill: for sm in (0..sm_count).cycle() {
+            if next_pending >= n_warps {
+                break 'fill;
+            }
+            if resident[sm] < max_resident {
+                warps[next_pending] = Some(make_warp(kernel, next_pending, sm));
+                resident[sm] += 1;
+                heap.push(Reverse((0, next_pending as u32)));
+                next_pending += 1;
+            } else if resident.iter().all(|&r| r >= max_resident) {
+                break 'fill;
+            }
+        }
+
+        let mut sm_next_free = vec![0u64; sm_count];
+        let mut sm_last_issue = vec![0u64; sm_count];
+        let mut stats = LaunchStats { warps_launched: n_warps as u64, launches: 1, ..Default::default() };
+        let mut dram_busy: f64 = 0.0;
+        let mut last_progress: u64 = 0;
+        let mut end_tick: u64 = 0;
+
+        // Reused scratch to avoid per-instruction allocation.
+        let mut accesses: Vec<RawAccess> = Vec::with_capacity(warp_size);
+        let mut targets: Vec<(u32, Pc)> = Vec::with_capacity(warp_size);
+
+        while let Some(Reverse((t, wid))) = heap.pop() {
+            let w = warps[wid as usize].as_mut().expect("scheduled warp exists");
+            let sm = w.sm;
+            if sm_next_free[sm] > t {
+                heap.push(Reverse((sm_next_free[sm], wid)));
+                continue;
+            }
+            if t > max_ticks {
+                return Err(SimtError::Timeout { max_cycles: cfg.max_cycles });
+            }
+            if t.saturating_sub(last_progress) > deadlock_ticks {
+                let live = warps.iter().filter(|w| w.is_some()).count();
+                return Err(SimtError::Deadlock { cycle: t / tpc, live_warps: live });
+            }
+
+            // Issue accounting.
+            stats.issue_ticks += 1;
+            let gap = t.saturating_sub(sm_last_issue[sm]).saturating_sub(1);
+            stats.stall_ticks += gap;
+            sm_last_issue[sm] = t;
+            sm_next_free[sm] = t + 1;
+
+            // Execute one warp instruction.
+            let out = Self::step_warp(
+                kernel,
+                w,
+                wid,
+                warp_size,
+                &mut self.mem,
+                &mut stats,
+                &mut accesses,
+                &mut targets,
+                &mut trace,
+                t,
+                tpc,
+                dram_lat,
+                l2_lat,
+                shared_lat,
+                alu_ticks,
+                store_ticks,
+                fence_ticks,
+                sector_service_ticks,
+                &mut dram_busy,
+            );
+            if out.stored || out.retired > 0 {
+                last_progress = t;
+            }
+            stats.lanes_retired += out.retired;
+            let t_done = t + out.cost_ticks;
+            end_tick = end_tick.max(t_done);
+
+            if warps[wid as usize].as_ref().is_some_and(|w| w.done()) {
+                warps[wid as usize] = None;
+                resident[sm] -= 1;
+                if next_pending < n_warps {
+                    warps[next_pending] = Some(make_warp(kernel, next_pending, sm));
+                    resident[sm] += 1;
+                    heap.push(Reverse((t + 1, next_pending as u32)));
+                    next_pending += 1;
+                }
+            } else {
+                heap.push(Reverse((t_done, wid)));
+            }
+        }
+
+        // Kernel completion includes draining the DRAM write queue
+        // (fire-and-forget stores still occupy bandwidth).
+        let end_tick = end_tick.max(dram_busy.ceil() as u64);
+        stats.cycles = end_tick.div_ceil(tpc) + cfg.launch_overhead_cycles;
+        Ok(stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_warp<K: WarpKernel>(
+        kernel: &K,
+        w: &mut WarpRt<K::Lane>,
+        wid: u32,
+        warp_size: usize,
+        mem: &mut DeviceMemory,
+        stats: &mut LaunchStats,
+        accesses: &mut Vec<RawAccess>,
+        targets: &mut Vec<(u32, Pc)>,
+        trace: &mut Option<&mut Trace>,
+        t: u64,
+        tpc: u64,
+        dram_lat: u64,
+        l2_lat: u64,
+        shared_lat: u64,
+        alu_ticks: u64,
+        store_ticks: u64,
+        fence_ticks: u64,
+        sector_service_ticks: f64,
+        dram_busy: &mut f64,
+    ) -> StepOutcome {
+        let top = w.stack.last().expect("non-done warp has stack");
+        let pc = top.pc;
+        let mask = top.mask;
+        debug_assert!(mask != 0, "active group must have lanes");
+        debug_assert_eq!(mask & !w.alive, 0, "active mask contains retired lanes");
+
+        accesses.clear();
+        targets.clear();
+        let mut shared_ops: u32 = 0;
+        let mut failed_polls: u32 = 0;
+        let mut flops: u64 = 0;
+        let mut fence = false;
+
+        for lane in 0..warp_size {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            let tid = wid * warp_size as u32 + lane as u32;
+            let mut lm = LaneMem {
+                dev: mem,
+                shared: &mut w.shared,
+                accesses,
+                shared_ops: &mut shared_ops,
+                failed_polls: &mut failed_polls,
+                #[cfg(debug_assertions)]
+                ops_this_exec: 0,
+            };
+            let eff = kernel.exec(pc, &mut w.lanes[lane], tid, &mut lm);
+            flops += eff.flops as u64;
+            fence |= eff.fence;
+            targets.push((lane as u32, eff.next));
+        }
+
+        stats.warp_instructions += 1;
+        stats.thread_instructions += mask.count_ones() as u64;
+        stats.flops += flops;
+        stats.shared_ops += shared_ops as u64;
+        stats.failed_polls += failed_polls as u64;
+
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.events.push(TraceEvent {
+                cycle: t / tpc,
+                sm: w.sm,
+                warp: wid,
+                pc,
+                label: kernel.pc_name(pc),
+                mask,
+            });
+        }
+
+        // --- Timing of this instruction ---------------------------------
+        let cost_ticks;
+        let mut stored = false;
+        if !accesses.is_empty() {
+            let kind = accesses[0].kind;
+            debug_assert!(
+                accesses.iter().all(|a| a.kind == kind),
+                "one instruction mixes access kinds"
+            );
+            stored = matches!(kind, AccessKind::Store | AccessKind::Atomic);
+            let is_store = kind == AccessKind::Store;
+            // Coalesce: unique sectors across the warp.
+            accesses.sort_unstable_by_key(|a| (a.buf, a.sector));
+            accesses.dedup();
+            let mut worst = l2_lat;
+            for &a in accesses.iter() {
+                let miss = mem.touch(a);
+                if miss {
+                    stats.dram_transactions += 1;
+                    if stored {
+                        stats.dram_write_bytes += SECTOR_BYTES as u64;
+                    } else {
+                        stats.dram_read_bytes += SECTOR_BYTES as u64;
+                    }
+                    *dram_busy = dram_busy.max(t as f64) + sector_service_ticks;
+                    let ready = (*dram_busy as u64).max(t + dram_lat);
+                    worst = worst.max(ready - t);
+                } else {
+                    stats.l2_hits += 1;
+                }
+            }
+            // Plain stores are fire-and-forget; loads and atomics block the
+            // warp until the L2/DRAM responds.
+            cost_ticks = if is_store { store_ticks } else { worst };
+            if kind == AccessKind::Atomic {
+                stats.atomic_ops += accesses.len() as u64;
+            }
+        } else if fence {
+            stats.fences += 1;
+            cost_ticks = fence_ticks;
+        } else if shared_ops > 0 {
+            cost_ticks = shared_lat;
+        } else {
+            cost_ticks = alu_ticks;
+        }
+
+        // --- Control resolution ------------------------------------------
+        let mut retired_ct: u64 = 0;
+        let first_target = targets[0].1;
+        let uniform = targets.iter().all(|&(_, tg)| tg == first_target);
+        if uniform {
+            let top = w.stack.last_mut().expect("stack non-empty");
+            if first_target == PC_EXIT {
+                let m = top.mask;
+                retired_ct += retire(&mut w.stack, &mut w.alive, m) as u64;
+            } else if first_target == top.reconv {
+                w.stack.pop();
+            } else {
+                top.pc = first_target;
+            }
+        } else {
+            let rpc = kernel.reconv(pc);
+            w.stack.last_mut().expect("stack non-empty").pc = rpc;
+            // Group lanes by target.
+            let mut groups: Vec<(Pc, u64)> = Vec::with_capacity(4);
+            for &(lane, tg) in targets.iter() {
+                match groups.iter_mut().find(|g| g.0 == tg) {
+                    Some(g) => g.1 |= 1 << lane,
+                    None => groups.push((tg, 1 << lane)),
+                }
+            }
+            // Execution order: kernel's branch order, then pc. Push in
+            // reverse so the first-executing group ends on top.
+            groups.sort_by_key(|&(tg, _)| (kernel.branch_order(pc, tg), tg));
+            for &(tg, gmask) in groups.iter().rev() {
+                if tg == rpc {
+                    continue; // parked in the parent entry
+                } else if tg == PC_EXIT {
+                    retired_ct += retire(&mut w.stack, &mut w.alive, gmask) as u64;
+                } else {
+                    w.stack.push(StackEntry { pc: tg, reconv: rpc, mask: gmask });
+                }
+            }
+        }
+        normalize(&mut w.stack, &mut w.alive, &mut retired_ct);
+
+        StepOutcome { cost_ticks: cost_ticks.max(1), stored, retired: retired_ct }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Effect;
+    use crate::mem::{BufF64, BufFlag};
+
+    /// y[i] = 2 * x[i] for i < n: 3-instruction streaming kernel.
+    struct DoubleKernel {
+        n: usize,
+        x: BufF64,
+        y: BufF64,
+    }
+
+    #[derive(Default)]
+    struct DoubleLane {
+        v: f64,
+    }
+
+    impl WarpKernel for DoubleKernel {
+        type Lane = DoubleLane;
+        fn name(&self) -> &'static str {
+            "double"
+        }
+        fn make_lane(&self, _tid: u32) -> DoubleLane {
+            DoubleLane::default()
+        }
+        fn exec(&self, pc: Pc, lane: &mut DoubleLane, tid: u32, mem: &mut LaneMem<'_>) -> Effect {
+            match pc {
+                0 => {
+                    if tid as usize >= self.n {
+                        Effect::exit()
+                    } else {
+                        lane.v = mem.load_f64(self.x, tid as usize);
+                        Effect::to(1)
+                    }
+                }
+                1 => {
+                    lane.v *= 2.0;
+                    Effect::flops(2, 1)
+                }
+                2 => {
+                    mem.store_f64(self.y, tid as usize, lane.v);
+                    Effect::exit()
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, pc: Pc) -> Pc {
+            match pc {
+                0 => PC_EXIT, // the bounds check diverges only toward EXIT
+                _ => unreachable!("no other branch diverges"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_kernel_computes_and_coalesces() {
+        let mut dev = GpuDevice::new(DeviceConfig::pascal_like());
+        let n = 100usize;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = dev.mem().alloc_f64(&xs);
+        let y = dev.mem().alloc_f64_zeroed(n);
+        let stats = dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap();
+        let out = dev.mem_ref().read_f64(y);
+        for i in 0..n {
+            assert_eq!(out[i], 2.0 * i as f64);
+        }
+        // 4 warps; full warps run 3 instructions, the tail warp's bounds
+        // check diverges (4 live lanes continue, 28 exit) but instruction
+        // count stays 3 per warp.
+        assert_eq!(stats.warp_instructions, 12);
+        assert_eq!(stats.lanes_retired, 128);
+        assert_eq!(stats.flops, 100);
+        // Coalescing: 100 f64 reads = 800 bytes = 25 sectors; same writes.
+        assert_eq!(stats.dram_read_bytes, 25 * 32);
+        assert_eq!(stats.dram_write_bytes, 25 * 32);
+        assert!(stats.cycles > 0);
+    }
+
+    /// Divergent kernel: even lanes take a long path, odd lanes short, then
+    /// everyone reconverges and stores a tag.
+    struct DivergeKernel;
+
+    #[derive(Default)]
+    struct DivergeLane {
+        tag: f64,
+    }
+
+    impl WarpKernel for DivergeKernel {
+        type Lane = DivergeLane;
+        fn name(&self) -> &'static str {
+            "diverge"
+        }
+        fn make_lane(&self, _tid: u32) -> DivergeLane {
+            DivergeLane::default()
+        }
+        fn exec(&self, pc: Pc, lane: &mut DivergeLane, tid: u32, _m: &mut LaneMem<'_>) -> Effect {
+            match pc {
+                // branch: even → 1 (long), odd → 3 (short)
+                0 => Effect::to(if tid.is_multiple_of(2) { 1 } else { 3 }),
+                1 => {
+                    lane.tag += 1.0;
+                    Effect::to(2)
+                }
+                2 => {
+                    lane.tag += 10.0;
+                    Effect::to(4) // jump to reconvergence
+                }
+                3 => {
+                    lane.tag += 100.0;
+                    Effect::to(4)
+                }
+                4 => Effect::to(5),
+                5 => Effect::exit(),
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, pc: Pc) -> Pc {
+            match pc {
+                0 => 4,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_serializes_and_reconverges() {
+        let mut dev = GpuDevice::new(DeviceConfig::toy()); // 3-lane warps
+        let k = DivergeKernel;
+        let mut trace = Trace::new();
+        let stats = dev.launch_traced(&k, 1, &mut trace).unwrap();
+        // lanes 0,2 even → +1 +10 ; lane 1 odd → +100. Check divergence
+        // instruction counting: pc0 (1) + long path 2 instrs + short path
+        // 1 instr + reconverged pc4, pc5 (2) = 6 warp instructions.
+        assert_eq!(stats.warp_instructions, 6);
+        // Reconverged instructions ran with all 3 lanes.
+        let pc4 = trace.events.iter().find(|e| e.pc == 4).unwrap();
+        assert_eq!(pc4.mask, 0b111);
+        // Divergent instructions ran with partial masks.
+        let pc1 = trace.events.iter().find(|e| e.pc == 1).unwrap();
+        assert_eq!(pc1.mask, 0b101);
+        let pc3 = trace.events.iter().find(|e| e.pc == 3).unwrap();
+        assert_eq!(pc3.mask, 0b010);
+        assert_eq!(stats.thread_instructions, 3 + 2 * 2 + 1 + 3 + 3);
+    }
+
+    /// The §3.3 Challenge-1 scenario: lane 1 spins on a flag that lane 0
+    /// sets *later in program order*. `spin_first = true` models the naive
+    /// compiled layout (spin side is the fall-through): deadlock.
+    /// `spin_first = false` models a layout where the producer side runs
+    /// first: completes.
+    struct IntraWarpSpin {
+        flag: BufFlag,
+        spin_first: bool,
+    }
+
+    impl WarpKernel for IntraWarpSpin {
+        type Lane = ();
+        fn name(&self) -> &'static str {
+            "intra-warp-spin"
+        }
+        fn make_lane(&self, _tid: u32) {}
+        fn exec(&self, pc: Pc, _l: &mut (), tid: u32, mem: &mut LaneMem<'_>) -> Effect {
+            match pc {
+                // Lane 1 heads to the spin loop; other lanes to the producer path.
+                0 => Effect::to(if tid % 3 == 1 { 1 } else { 3 }),
+                // Spin: poll flag[0].
+                1 => {
+                    let f = mem.load_flag(self.flag, 0);
+                    Effect::to(if f { 5 } else { 1 })
+                }
+                // Producer: lane 0 sets flag[0].
+                3 => {
+                    if tid.is_multiple_of(3) {
+                        mem.store_flag(self.flag, 0, true);
+                    }
+                    Effect::to(5)
+                }
+                5 => Effect::exit(),
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, pc: Pc) -> Pc {
+            match pc {
+                0 => 5,
+                1 => 5, // spin-exit branch reconverges at the join
+                _ => unreachable!(),
+            }
+        }
+        fn branch_order(&self, pc: Pc, target: Pc) -> u8 {
+            if pc == 0 {
+                // Choose which side of the initial divergence runs first.
+                match (self.spin_first, target) {
+                    (true, 1) => 0,
+                    (true, _) => 1,
+                    (false, 3) => 0,
+                    (false, _) => 1,
+                }
+            } else {
+                // Within the spin loop, keep spinning first (backward branch
+                // is the fall-through), as compiled spin loops do.
+                if target == 1 {
+                    0
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_warp_spin_deadlocks_when_spinner_runs_first() {
+        // (the range loop above indexes two vecs in lock-step; clippy's
+        // iterator suggestion would obscure it)
+        let mut cfg = DeviceConfig::toy();
+        cfg.deadlock_window = 10_000;
+        let mut dev = GpuDevice::new(cfg);
+        let flag = dev.mem().alloc_flags(1);
+        let err = dev.launch(&IntraWarpSpin { flag, spin_first: true }, 1).unwrap_err();
+        assert!(matches!(err, SimtError::Deadlock { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn intra_warp_spin_completes_when_producer_runs_first() {
+        let mut dev = GpuDevice::new(DeviceConfig::toy());
+        let flag = dev.mem().alloc_flags(1);
+        let stats = dev.launch(&IntraWarpSpin { flag, spin_first: false }, 1).unwrap();
+        assert_eq!(dev.mem_ref().read_flags(flag), &[1]);
+        assert_eq!(stats.lanes_retired, 3);
+    }
+
+    /// Cross-warp spin: warp 1 spins on a flag set by warp 0. Must complete
+    /// (this is the legal busy-wait of the SyncFree algorithm).
+    struct CrossWarpSpin {
+        flag: BufFlag,
+    }
+
+    impl WarpKernel for CrossWarpSpin {
+        type Lane = ();
+        fn name(&self) -> &'static str {
+            "cross-warp-spin"
+        }
+        fn make_lane(&self, _tid: u32) {}
+        fn exec(&self, pc: Pc, _l: &mut (), tid: u32, mem: &mut LaneMem<'_>) -> Effect {
+            let warp = tid / 3; // toy warp size
+            match pc {
+                0 => Effect::to(if warp == 0 { 1 } else { 2 }),
+                1 => {
+                    // Warp 0: do some "work", then set the flag.
+                    mem.store_flag(self.flag, 0, true);
+                    Effect::to(4)
+                }
+                2 => {
+                    let f = mem.load_flag(self.flag, 0);
+                    Effect::to(if f { 4 } else { 2 })
+                }
+                4 => Effect::exit(),
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, pc: Pc) -> Pc {
+            match pc {
+                0 | 2 => 4,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_warp_spin_completes() {
+        let mut dev = GpuDevice::new(DeviceConfig::toy());
+        let flag = dev.mem().alloc_flags(1);
+        let stats = dev.launch(&CrossWarpSpin { flag }, 2).unwrap();
+        assert_eq!(stats.lanes_retired, 6);
+        assert_eq!(dev.mem_ref().read_flags(flag), &[1]);
+    }
+
+    /// Shared-memory ping-pong within a warp.
+    struct SharedKernel {
+        y: BufF64,
+    }
+
+    impl WarpKernel for SharedKernel {
+        type Lane = ();
+        fn name(&self) -> &'static str {
+            "shared"
+        }
+        fn shared_per_warp(&self) -> usize {
+            4
+        }
+        fn make_lane(&self, _tid: u32) {}
+        fn exec(&self, pc: Pc, _l: &mut (), tid: u32, mem: &mut LaneMem<'_>) -> Effect {
+            let lane = (tid % 3) as usize;
+            match pc {
+                0 => {
+                    mem.shared_store(lane, tid as f64 + 1.0);
+                    Effect::to(1)
+                }
+                1 => {
+                    // Rotate: lane reads neighbour's slot (lock-step makes
+                    // the previous stores visible).
+                    let v = mem.shared_load((lane + 1) % 3);
+                    mem.store_f64(self.y, lane, v);
+                    Effect::exit()
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, _pc: Pc) -> Pc {
+            unreachable!("uniform control flow")
+        }
+    }
+
+    #[test]
+    fn shared_memory_visible_across_lanes_in_lockstep() {
+        let mut dev = GpuDevice::new(DeviceConfig::toy());
+        let y = dev.mem().alloc_f64_zeroed(3);
+        let stats = dev.launch(&SharedKernel { y }, 1).unwrap();
+        assert_eq!(dev.mem_ref().read_f64(y), &[2.0, 3.0, 1.0]);
+        assert_eq!(stats.shared_ops, 6);
+    }
+
+    #[test]
+    fn zero_warps_is_a_launch_error() {
+        let mut dev = GpuDevice::new(DeviceConfig::toy());
+        let flag = dev.mem().alloc_flags(1);
+        let err = dev.launch(&CrossWarpSpin { flag }, 0).unwrap_err();
+        assert!(matches!(err, SimtError::Launch(_)));
+    }
+
+    #[test]
+    fn determinism_same_launch_same_stats() {
+        let run = || {
+            let mut dev = GpuDevice::new(DeviceConfig::pascal_like());
+            let n = 1000usize;
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let x = dev.mem().alloc_f64(&xs);
+            let y = dev.mem().alloc_f64_zeroed(n);
+            dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bandwidth_queue_bounds_streaming_throughput() {
+        // A kernel that streams far more data than latency alone explains:
+        // the DRAM queue must stretch the run to at least bytes / bandwidth.
+        let mut cfg = DeviceConfig::pascal_like();
+        cfg.dram_bw_gbps = 16.0; // 10 bytes per cycle at 1.6 GHz
+        let mut dev = GpuDevice::new(cfg.clone());
+        let n = 64 * 1024usize;
+        let xs = vec![1.0f64; n];
+        let x = dev.mem().alloc_f64(&xs);
+        let y = dev.mem().alloc_f64_zeroed(n);
+        let stats = dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap();
+        let bytes = stats.dram_read_bytes + stats.dram_write_bytes;
+        assert_eq!(bytes as usize, 2 * n * 8, "streaming traffic is the footprint");
+        let min_cycles = bytes as f64 / cfg.bytes_per_cycle();
+        assert!(
+            (stats.cycles as f64) >= min_cycles * 0.9,
+            "cycles {} must be bandwidth-bound (>= {:.0})",
+            stats.cycles,
+            min_cycles
+        );
+    }
+
+    #[test]
+    fn occupancy_limits_latency_hiding() {
+        // The same launch with fewer resident warps per SM must take longer:
+        // less latency hiding — the mechanism behind the paper's occupancy
+        // argument.
+        let run = |max_warps: usize| {
+            let mut cfg = DeviceConfig::pascal_like();
+            cfg.sm_count = 1;
+            cfg.max_warps_per_sm = max_warps;
+            let mut dev = GpuDevice::new(cfg);
+            let n = 4096usize;
+            let xs = vec![1.0f64; n];
+            let x = dev.mem().alloc_f64(&xs);
+            let y = dev.mem().alloc_f64_zeroed(n);
+            dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap().cycles
+        };
+        let low_occupancy = run(2);
+        let high_occupancy = run(64);
+        assert!(
+            low_occupancy > 2 * high_occupancy,
+            "2 resident warps ({low_occupancy} cycles) must be far slower than 64 ({high_occupancy})"
+        );
+    }
+
+    #[test]
+    fn issue_width_bounds_alu_throughput() {
+        // A pure-ALU kernel issues at most schedulers_per_sm instructions
+        // per SM per cycle.
+        struct AluKernel;
+        impl WarpKernel for AluKernel {
+            type Lane = u32;
+            fn name(&self) -> &'static str {
+                "alu"
+            }
+            fn make_lane(&self, _tid: u32) -> u32 {
+                0
+            }
+            fn exec(&self, _pc: Pc, l: &mut u32, _tid: u32, _m: &mut LaneMem<'_>) -> Effect {
+                *l += 1;
+                if *l < 64 {
+                    Effect::flops(0, 1)
+                } else {
+                    Effect::exit()
+                }
+            }
+            fn reconv(&self, _pc: Pc) -> Pc {
+                PC_EXIT
+            }
+        }
+        let mut cfg = DeviceConfig::pascal_like();
+        cfg.sm_count = 1;
+        cfg.schedulers_per_sm = 2;
+        cfg.alu_latency = 1;
+        cfg.launch_overhead_cycles = 0;
+        let mut dev = GpuDevice::new(cfg);
+        let stats = dev.launch(&AluKernel, 64).unwrap();
+        // 64 warps x 64 instructions at <= 2 per cycle >= 2048 cycles.
+        assert!(stats.warp_instructions == 64 * 64);
+        assert!(
+            stats.cycles >= 64 * 64 / 2,
+            "cycles {} below the issue-width bound",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn more_warps_than_resident_still_completes() {
+        let mut cfg = DeviceConfig::toy();
+        cfg.max_warps_per_sm = 1; // only one resident warp
+        let mut dev = GpuDevice::new(cfg);
+        let n = 30usize; // 10 warps of 3 lanes
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = dev.mem().alloc_f64(&xs);
+        let y = dev.mem().alloc_f64_zeroed(n);
+        let stats = dev.launch(&DoubleKernel { n, x, y }, 10).unwrap();
+        assert_eq!(stats.warps_launched, 10);
+        let out = dev.mem_ref().read_f64(y);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64));
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for simulator launches.
+
+use std::fmt;
+
+/// Errors surfaced by a kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimtError {
+    /// No global progress (no store and no lane retirement) for longer than
+    /// the configured deadlock window — the situation the paper's
+    /// Challenge 1 (§3.3) describes for naive intra-warp busy-waiting.
+    Deadlock {
+        /// Cycle at which the detector gave up.
+        cycle: u64,
+        /// Warps still alive at that point.
+        live_warps: usize,
+    },
+    /// The launch exceeded the configured cycle budget.
+    Timeout {
+        /// The configured budget that was exhausted.
+        max_cycles: u64,
+    },
+    /// Invalid launch configuration (zero warps, oversized warp, ...).
+    Launch(String),
+}
+
+impl fmt::Display for SimtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimtError::Deadlock { cycle, live_warps } => write!(
+                f,
+                "deadlock detected at cycle {cycle}: {live_warps} warps spinning with no progress"
+            ),
+            SimtError::Timeout { max_cycles } => {
+                write!(f, "launch exceeded the cycle budget of {max_cycles}")
+            }
+            SimtError::Launch(msg) => write!(f, "invalid launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimtError {}

@@ -1,0 +1,111 @@
+//! Host-side cost model: accounts for the *preprocessing* phases the paper
+//! times in Table 1 (level-set analysis, CSR→CSC conversion, flag-array
+//! allocation), which run on the CPU, not in the simulated GPU.
+//!
+//! The model charges a fixed cost per primitive operation, calibrated to a
+//! commodity desktop CPU of the paper's era (a few ns per touched element,
+//! microseconds per allocation). What matters for reproducing Table 1 is the
+//! *asymptotics*: level-set analysis walks every nonzero and sorts rows by
+//! level (most expensive), transposition walks every nonzero (cheaper),
+//! allocation+memset touches each row once (cheapest).
+
+/// Per-operation host costs in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCostModel {
+    /// Cost per nonzero traversed in an analysis sweep.
+    pub ns_per_nnz_analysis: f64,
+    /// Cost per nonzero moved in a format conversion (transpose).
+    pub ns_per_nnz_convert: f64,
+    /// Cost per row touched in counting/scanning passes.
+    pub ns_per_row: f64,
+    /// Cost per byte of allocation + memset.
+    pub ns_per_byte_memset: f64,
+    /// Fixed cost of a device allocation call.
+    pub ns_per_malloc: f64,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        HostCostModel {
+            // Level-set analysis is a dependent pointer-chasing sweep plus a
+            // counting sort and a reorder; it runs far slower per element
+            // than a streaming pass.
+            // Level-set analysis chases dependencies (cache-hostile) while a
+            // transpose streams at memory bandwidth; Table 1's measured
+            // ratios (e.g. 310 ms vs 8 ms on nlpkkt160) imply roughly a
+            // 25-40x per-element gap.
+            ns_per_nnz_analysis: 9.0,
+            ns_per_nnz_convert: 0.35,
+            ns_per_row: 0.3,
+            ns_per_byte_memset: 0.12,
+            ns_per_malloc: 9_000.0,
+        }
+    }
+}
+
+impl HostCostModel {
+    /// Preprocessing time of Level-Set SpTRSV: full dependency analysis,
+    /// level counting, and row reordering (the paper's `layer`, `layer_num`,
+    /// `order` arrays) — the "very long" row of Table 1.
+    pub fn levelset_preprocessing_ms(&self, n: usize, nnz: usize, n_levels: usize) -> f64 {
+        let analysis = nnz as f64 * self.ns_per_nnz_analysis;
+        // Counting sort over rows + per-level bookkeeping + reorder write.
+        let sort = n as f64 * 3.0 * self.ns_per_row + n_levels as f64 * self.ns_per_row;
+        let arrays = 3.0 * self.ns_per_malloc + (n * 8) as f64 * self.ns_per_byte_memset;
+        (analysis + sort + arrays) / 1e6
+    }
+
+    /// Preprocessing time of the warp-level SyncFree algorithm [20]: CSR→CSC
+    /// transposition plus the `get_value` flag array.
+    pub fn syncfree_preprocessing_ms(&self, n: usize, nnz: usize) -> f64 {
+        let convert = nnz as f64 * self.ns_per_nnz_convert + n as f64 * self.ns_per_row;
+        let flags = self.ns_per_malloc + n as f64 * self.ns_per_byte_memset;
+        (convert + flags) / 1e6
+    }
+
+    /// Preprocessing time of the cuSPARSE-like baseline: its `csrsv_analysis`
+    /// phase builds dependency information; empirically ~2× the SyncFree
+    /// conversion on the Table 1 matrices.
+    pub fn cusparse_preprocessing_ms(&self, n: usize, nnz: usize) -> f64 {
+        let analysis = nnz as f64 * (self.ns_per_nnz_convert * 2.4)
+            + n as f64 * self.ns_per_row * 4.0;
+        let arrays = 2.0 * self.ns_per_malloc + (n * 4) as f64 * self.ns_per_byte_memset;
+        (analysis + arrays) / 1e6
+    }
+
+    /// Preprocessing time of CapelliniSpTRSV: none beyond the `get_value`
+    /// flag allocation (the paper counts this as "no preprocessing").
+    pub fn capellini_preprocessing_ms(&self, n: usize) -> f64 {
+        (self.ns_per_malloc + n as f64 * self.ns_per_byte_memset) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ordering_holds() {
+        // An nlpkkt160-shaped problem: n ≈ 8.3M, nnz ≈ 110M would be the real
+        // matrix; at our simulation scale the ordering must still hold.
+        let m = HostCostModel::default();
+        let (n, nnz, n_levels) = (40_000, 160_000, 100);
+        let level = m.levelset_preprocessing_ms(n, nnz, n_levels);
+        let cus = m.cusparse_preprocessing_ms(n, nnz);
+        let sync = m.syncfree_preprocessing_ms(n, nnz);
+        let cap = m.capellini_preprocessing_ms(n);
+        assert!(level > cus, "level-set {level} must exceed cuSPARSE {cus}");
+        assert!(cus > sync, "cuSPARSE {cus} must exceed SyncFree {sync}");
+        assert!(sync > cap, "SyncFree {sync} must exceed Capellini {cap}");
+        // Level-set preprocessing is "dozens of times" the others (§1).
+        assert!(level / sync > 10.0);
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_nnz() {
+        let m = HostCostModel::default();
+        let a = m.syncfree_preprocessing_ms(10_000, 50_000);
+        let b = m.syncfree_preprocessing_ms(10_000, 100_000);
+        assert!(b > a * 1.5 && b < a * 2.5);
+    }
+}

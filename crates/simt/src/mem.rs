@@ -1,0 +1,500 @@
+//! Device memory: typed buffers with per-sector touch tracking.
+//!
+//! The traffic model charges DRAM for the *first* touch of each 32-byte
+//! sector (read and write tracked separately) and treats later touches as L2
+//! hits — an "infinite L2" approximation that makes total DRAM traffic equal
+//! the working-set footprint, which is the regime the paper's matrices
+//! (a few MB, within real L2 reach for the hot arrays) operate in.
+
+/// Bytes per memory sector/transaction (NVIDIA L2 sector size).
+pub const SECTOR_BYTES: u32 = 32;
+
+/// Handle to a device buffer of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufF64(pub(crate) u32);
+
+/// Handle to a device buffer of `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufU32(pub(crate) u32);
+
+/// Handle to a device buffer of byte flags (the paper's `get_value` array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufFlag(pub(crate) u32);
+
+enum BufData {
+    F64(Vec<f64>),
+    U32(Vec<u32>),
+    Flag(Vec<u8>),
+}
+
+struct Buffer {
+    data: BufData,
+    /// One bit per sector: has this sector ever been read?
+    read_touched: Vec<u64>,
+    /// One bit per sector: has this sector ever been written?
+    write_touched: Vec<u64>,
+}
+
+impl Buffer {
+    fn new(data: BufData) -> Self {
+        let bytes = match &data {
+            BufData::F64(v) => v.len() * 8,
+            BufData::U32(v) => v.len() * 4,
+            BufData::Flag(v) => v.len(),
+        };
+        let sectors = bytes.div_ceil(SECTOR_BYTES as usize);
+        let words = sectors.div_ceil(64);
+        Buffer { data, read_touched: vec![0; words], write_touched: vec![0; words] }
+    }
+}
+
+/// The kind of a global-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Plain load (blocks the warp until the value returns).
+    Load,
+    /// Plain store (fire-and-forget).
+    Store,
+    /// Read-modify-write resolved at the L2 (blocks like a load, writes
+    /// like a store).
+    Atomic,
+}
+
+/// One recorded global-memory access (at most one per lane per instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawAccess {
+    /// Buffer id.
+    pub buf: u32,
+    /// Sector index within the buffer.
+    pub sector: u32,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+/// All buffers of one simulated device.
+#[derive(Default)]
+pub struct DeviceMemory {
+    bufs: Vec<Buffer>,
+}
+
+impl DeviceMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uploads an `f64` slice.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> BufF64 {
+        self.bufs.push(Buffer::new(BufData::F64(data.to_vec())));
+        BufF64(self.bufs.len() as u32 - 1)
+    }
+
+    /// Allocates a zero-initialised `f64` buffer.
+    pub fn alloc_f64_zeroed(&mut self, len: usize) -> BufF64 {
+        self.bufs.push(Buffer::new(BufData::F64(vec![0.0; len])));
+        BufF64(self.bufs.len() as u32 - 1)
+    }
+
+    /// Uploads a `u32` slice.
+    pub fn alloc_u32(&mut self, data: &[u32]) -> BufU32 {
+        self.bufs.push(Buffer::new(BufData::U32(data.to_vec())));
+        BufU32(self.bufs.len() as u32 - 1)
+    }
+
+    /// Allocates a zeroed flag array (the paper's `MALLOC/MEMSET get_value`).
+    pub fn alloc_flags(&mut self, len: usize) -> BufFlag {
+        self.bufs.push(Buffer::new(BufData::Flag(vec![0; len])));
+        BufFlag(self.bufs.len() as u32 - 1)
+    }
+
+    /// Host read-back of an `f64` buffer.
+    pub fn read_f64(&self, h: BufF64) -> &[f64] {
+        match &self.bufs[h.0 as usize].data {
+            BufData::F64(v) => v,
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    /// Host read-back of a `u32` buffer.
+    pub fn read_u32(&self, h: BufU32) -> &[u32] {
+        match &self.bufs[h.0 as usize].data {
+            BufData::U32(v) => v,
+            _ => panic!("buffer {} is not u32", h.0),
+        }
+    }
+
+    /// Host read-back of a flag buffer.
+    pub fn read_flags(&self, h: BufFlag) -> &[u8] {
+        match &self.bufs[h.0 as usize].data {
+            BufData::Flag(v) => v,
+            _ => panic!("buffer {} is not flags", h.0),
+        }
+    }
+
+    /// Host-side reset of a flag buffer (between launches).
+    pub fn clear_flags(&mut self, h: BufFlag) {
+        match &mut self.bufs[h.0 as usize].data {
+            BufData::Flag(v) => v.iter_mut().for_each(|b| *b = 0),
+            _ => panic!("buffer {} is not flags", h.0),
+        }
+    }
+
+    /// Host-side overwrite of an `f64` buffer.
+    pub fn write_f64(&mut self, h: BufF64, data: &[f64]) {
+        match &mut self.bufs[h.0 as usize].data {
+            BufData::F64(v) => {
+                assert_eq!(v.len(), data.len(), "host write length mismatch");
+                v.copy_from_slice(data);
+            }
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    fn f64s(&self, h: BufF64) -> &Vec<f64> {
+        match &self.bufs[h.0 as usize].data {
+            BufData::F64(v) => v,
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    /// Marks a sector touched; returns true if this is the first touch
+    /// (i.e. the access goes to DRAM rather than L2).
+    pub(crate) fn touch(&mut self, a: RawAccess) -> bool {
+        let buf = &mut self.bufs[a.buf as usize];
+        let map = if matches!(a.kind, AccessKind::Store | AccessKind::Atomic) {
+            &mut buf.write_touched
+        } else {
+            &mut buf.read_touched
+        };
+        let (w, b) = ((a.sector / 64) as usize, a.sector % 64);
+        let first = map[w] & (1 << b) == 0;
+        map[w] |= 1 << b;
+        first
+    }
+
+    /// Total footprint in bytes of all buffers (upper bound on traffic).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.bufs
+            .iter()
+            .map(|b| match &b.data {
+                BufData::F64(v) => v.len() as u64 * 8,
+                BufData::U32(v) => v.len() as u64 * 4,
+                BufData::Flag(v) => v.len() as u64,
+            })
+            .sum()
+    }
+}
+
+/// The per-lane memory interface handed to [`crate::kernel::WarpKernel::exec`].
+///
+/// Every method performs the access *functionally* at issue time and records
+/// it for the timing/coalescing model. A single `exec` may perform at most
+/// one memory access — one instruction, one operation.
+pub struct LaneMem<'a> {
+    pub(crate) dev: &'a mut DeviceMemory,
+    pub(crate) shared: &'a mut [f64],
+    pub(crate) accesses: &'a mut Vec<RawAccess>,
+    pub(crate) shared_ops: &'a mut u32,
+    pub(crate) failed_polls: &'a mut u32,
+    #[cfg(debug_assertions)]
+    pub(crate) ops_this_exec: u32,
+}
+
+impl<'a> LaneMem<'a> {
+    #[inline]
+    fn record(&mut self, buf: u32, byte_off: usize, kind: AccessKind) {
+        #[cfg(debug_assertions)]
+        {
+            self.ops_this_exec += 1;
+            debug_assert!(
+                self.ops_this_exec <= 1,
+                "a kernel instruction may perform at most one memory access"
+            );
+        }
+        self.accesses.push(RawAccess {
+            buf,
+            sector: (byte_off as u32) / SECTOR_BYTES,
+            kind,
+        });
+    }
+
+    /// Global load of an `f64`.
+    #[inline]
+    pub fn load_f64(&mut self, h: BufF64, idx: usize) -> f64 {
+        self.record(h.0, idx * 8, AccessKind::Load);
+        self.dev.f64s(h)[idx]
+    }
+
+    /// Global store of an `f64`.
+    #[inline]
+    pub fn store_f64(&mut self, h: BufF64, idx: usize, v: f64) {
+        self.record(h.0, idx * 8, AccessKind::Store);
+        match &mut self.dev.bufs[h.0 as usize].data {
+            BufData::F64(vec) => vec[idx] = v,
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    /// Global load of a `u32`.
+    #[inline]
+    pub fn load_u32(&mut self, h: BufU32, idx: usize) -> u32 {
+        self.record(h.0, idx * 4, AccessKind::Load);
+        match &self.dev.bufs[h.0 as usize].data {
+            BufData::U32(v) => v[idx],
+            _ => panic!("buffer {} is not u32", h.0),
+        }
+    }
+
+    /// Volatile load of a completion flag (the spin-loop poll).
+    #[inline]
+    pub fn load_flag(&mut self, h: BufFlag, idx: usize) -> bool {
+        self.record(h.0, idx, AccessKind::Load);
+        match &self.dev.bufs[h.0 as usize].data {
+            BufData::Flag(v) => v[idx] != 0,
+            _ => panic!("buffer {} is not flags", h.0),
+        }
+    }
+
+    /// Volatile poll of a completion flag that also classifies the outcome:
+    /// a `false` result is counted as a *dependency-stall* retry — the
+    /// quantity behind the paper's Figure 8b. Use this (not `load_flag`)
+    /// for `get_value` spin loops.
+    #[inline]
+    pub fn poll_flag(&mut self, h: BufFlag, idx: usize) -> bool {
+        let v = self.load_flag(h, idx);
+        if !v {
+            *self.failed_polls += 1;
+        }
+        v
+    }
+
+    /// Store of a completion flag.
+    #[inline]
+    pub fn store_flag(&mut self, h: BufFlag, idx: usize, v: bool) {
+        self.record(h.0, idx, AccessKind::Store);
+        match &mut self.dev.bufs[h.0 as usize].data {
+            BufData::Flag(vec) => vec[idx] = v as u8,
+            _ => panic!("buffer {} is not flags", h.0),
+        }
+    }
+
+    /// Volatile poll of a `u32` counter against zero, counting non-zero
+    /// results as dependency-stall retries (the in-degree countdown of
+    /// CSC-based SyncFree).
+    #[inline]
+    pub fn poll_zero_u32(&mut self, h: BufU32, idx: usize) -> bool {
+        let v = self.load_u32(h, idx);
+        if v != 0 {
+            *self.failed_polls += 1;
+        }
+        v == 0
+    }
+
+    /// Atomic `fetch_add` on an `f64` (the scatter update of CSC-based
+    /// SyncFree [20]); returns the previous value.
+    #[inline]
+    pub fn atomic_add_f64(&mut self, h: BufF64, idx: usize, v: f64) -> f64 {
+        self.record(h.0, idx * 8, AccessKind::Atomic);
+        match &mut self.dev.bufs[h.0 as usize].data {
+            BufData::F64(vec) => {
+                let old = vec[idx];
+                vec[idx] = old + v;
+                old
+            }
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    /// Atomic `fetch_sub` on a `u32` (the in-degree countdown of CSC-based
+    /// SyncFree); returns the previous value.
+    #[inline]
+    pub fn atomic_sub_u32(&mut self, h: BufU32, idx: usize, v: u32) -> u32 {
+        self.record(h.0, idx * 4, AccessKind::Atomic);
+        match &mut self.dev.bufs[h.0 as usize].data {
+            BufData::U32(vec) => {
+                let old = vec[idx];
+                vec[idx] = old.wrapping_sub(v);
+                old
+            }
+            _ => panic!("buffer {} is not u32", h.0),
+        }
+    }
+
+    /// Per-warp shared-memory load.
+    #[inline]
+    pub fn shared_load(&mut self, idx: usize) -> f64 {
+        *self.shared_ops += 1;
+        self.shared[idx]
+    }
+
+    /// Per-warp shared-memory store.
+    #[inline]
+    pub fn shared_store(&mut self, idx: usize, v: f64) {
+        *self.shared_ops += 1;
+        self.shared[idx] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane_mem<'a>(
+        dev: &'a mut DeviceMemory,
+        shared: &'a mut [f64],
+        acc: &'a mut Vec<RawAccess>,
+        sops: &'a mut u32,
+        polls: &'a mut u32,
+    ) -> LaneMem<'a> {
+        LaneMem {
+            dev,
+            shared,
+            accesses: acc,
+            shared_ops: sops,
+            failed_polls: polls,
+            #[cfg(debug_assertions)]
+            ops_this_exec: 0,
+        }
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[1.0, 2.0, 3.0]);
+        let u = dev.alloc_u32(&[7, 8]);
+        let g = dev.alloc_flags(4);
+        assert_eq!(dev.read_f64(f), &[1.0, 2.0, 3.0]);
+        assert_eq!(dev.read_u32(u), &[7, 8]);
+        assert_eq!(dev.read_flags(g), &[0, 0, 0, 0]);
+        assert_eq!(dev.footprint_bytes(), 24 + 8 + 4);
+    }
+
+    #[test]
+    fn loads_and_stores_record_sectors() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 16]);
+        let mut acc = Vec::new();
+        let mut sops = 0;
+        let mut polls = 0u32;
+        let mut shared = [0.0f64; 1];
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            m.store_f64(f, 5, 9.0); // byte 40 → sector 1
+        }
+        assert_eq!(acc, vec![RawAccess { buf: 0, sector: 1, kind: AccessKind::Store }]);
+        assert_eq!(dev.read_f64(f)[5], 9.0);
+    }
+
+    #[test]
+    fn first_touch_is_dram_then_l2() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 8]);
+        let a = RawAccess { buf: f.0, sector: 0, kind: AccessKind::Load };
+        assert!(dev.touch(a), "first read touch goes to DRAM");
+        assert!(!dev.touch(a), "second read touch is an L2 hit");
+        let w = RawAccess { buf: f.0, sector: 0, kind: AccessKind::Store };
+        assert!(dev.touch(w), "write touches tracked separately");
+        assert!(!dev.touch(w));
+    }
+
+    #[test]
+    fn flags_clear_between_launches() {
+        let mut dev = DeviceMemory::new();
+        let g = dev.alloc_flags(3);
+        let mut acc = Vec::new();
+        let mut sops = 0;
+        let mut polls = 0u32;
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            m.store_flag(g, 1, true);
+        }
+        assert_eq!(dev.read_flags(g), &[0, 1, 0]);
+        dev.clear_flags(g);
+        assert_eq!(dev.read_flags(g), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn shared_memory_is_per_warp_scratch() {
+        let mut dev = DeviceMemory::new();
+        let mut acc = Vec::new();
+        let mut sops = 0;
+        let mut polls = 0u32;
+        let mut shared = [0.0f64; 4];
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            m.shared_store(2, 5.0);
+            // shared ops don't count against the one-global-access rule
+        }
+        let mut acc2 = Vec::new();
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc2, &mut sops, &mut polls);
+            assert_eq!(m.shared_load(2), 5.0);
+        }
+        assert_eq!(sops, 2);
+        assert!(acc.is_empty() && acc2.is_empty());
+    }
+
+    #[test]
+    fn atomics_read_modify_write() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[1.0, 2.0]);
+        let u = dev.alloc_u32(&[5]);
+        let mut acc = Vec::new();
+        let mut sops = 0;
+        let mut polls = 0u32;
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            assert_eq!(m.atomic_add_f64(f, 1, 0.5), 2.0);
+        }
+        acc.clear();
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            assert_eq!(m.atomic_sub_u32(u, 0, 2), 5);
+        }
+        assert_eq!(dev.read_f64(f)[1], 2.5);
+        assert_eq!(dev.read_u32(u)[0], 3);
+        assert_eq!(acc[0].kind, AccessKind::Atomic);
+    }
+
+    #[test]
+    fn poll_flag_counts_failures() {
+        let mut dev = DeviceMemory::new();
+        let g = dev.alloc_flags(2);
+        let mut acc = Vec::new();
+        let mut sops = 0;
+        let mut polls = 0u32;
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            assert!(!m.poll_flag(g, 0));
+        }
+        acc.clear();
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            m.store_flag(g, 0, true);
+        }
+        acc.clear();
+        {
+            let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+            assert!(m.poll_flag(g, 0));
+        }
+        assert_eq!(polls, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "at most one memory access")]
+    fn two_global_accesses_in_one_exec_panic() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 4]);
+        let mut acc = Vec::new();
+        let mut sops = 0;
+        let mut polls = 0u32;
+        let mut shared = [0.0f64; 0];
+        let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
+        let _ = m.load_f64(f, 0);
+        let _ = m.load_f64(f, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Launch statistics: the simulator's equivalent of the `nvprof` counters
+//! the paper reports (instructions executed, dependency-stall percentage,
+//! DRAM read+write bandwidth) plus wall-clock-equivalent cycle counts.
+
+use crate::config::DeviceConfig;
+
+/// Counters collected over one kernel launch (or accumulated over several,
+/// e.g. the per-level launches of Level-Set SpTRSV).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Total simulated cycles from launch to last warp retirement,
+    /// including per-launch overhead.
+    pub cycles: u64,
+    /// Warp-level instructions issued (one per lock-step group step) — the
+    /// `inst_executed` counter of Figure 8a.
+    pub warp_instructions: u64,
+    /// Thread-level instructions (warp instructions × active lanes).
+    pub thread_instructions: u64,
+    /// Floating-point operations performed by kernel code.
+    pub flops: u64,
+    /// DRAM bytes read (first-touch sectors × 32).
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written.
+    pub dram_write_bytes: u64,
+    /// DRAM transactions (sector misses).
+    pub dram_transactions: u64,
+    /// Memory transactions served by L2 (previously-touched sectors).
+    pub l2_hits: u64,
+    /// Per-warp shared-memory operations.
+    pub shared_ops: u64,
+    /// Atomic read-modify-write operations (coalesced, per sector).
+    pub atomic_ops: u64,
+    /// `__threadfence()` instructions executed.
+    pub fences: u64,
+    /// Issue slots used (one per warp instruction).
+    pub issue_ticks: u64,
+    /// Issue slots in which an SM had live warps but none ready.
+    pub stall_ticks: u64,
+    /// Completion-flag polls that returned "not ready" (spin retries) —
+    /// the dependency-stall events behind Figure 8b.
+    pub failed_polls: u64,
+    /// Warps launched.
+    pub warps_launched: u64,
+    /// Lanes retired.
+    pub lanes_retired: u64,
+    /// Number of kernel launches accumulated into this value.
+    pub launches: u64,
+}
+
+impl LaunchStats {
+    /// Accumulates another launch (used by multi-launch algorithms).
+    pub fn accumulate(&mut self, other: &LaunchStats) {
+        self.cycles += other.cycles;
+        self.warp_instructions += other.warp_instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.flops += other.flops;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.dram_transactions += other.dram_transactions;
+        self.l2_hits += other.l2_hits;
+        self.shared_ops += other.shared_ops;
+        self.atomic_ops += other.atomic_ops;
+        self.fences += other.fences;
+        self.issue_ticks += other.issue_ticks;
+        self.stall_ticks += other.stall_ticks;
+        self.failed_polls += other.failed_polls;
+        self.warps_launched += other.warps_launched;
+        self.lanes_retired += other.lanes_retired;
+        self.launches += other.launches;
+    }
+
+    /// Execution time in seconds at the given device's clock.
+    pub fn time_seconds(&self, config: &DeviceConfig) -> f64 {
+        config.cycles_to_seconds(self.cycles)
+    }
+
+    /// Execution time in milliseconds.
+    pub fn time_ms(&self, config: &DeviceConfig) -> f64 {
+        self.time_seconds(config) * 1e3
+    }
+
+    /// GFLOPS/s for a solve of `useful_flops` (the paper's 2·nnz convention).
+    pub fn gflops(&self, config: &DeviceConfig, useful_flops: u64) -> f64 {
+        useful_flops as f64 / self.time_seconds(config) / 1e9
+    }
+
+    /// DRAM read+write bandwidth in GB/s (Figure 7's metric).
+    pub fn bandwidth_gbs(&self, config: &DeviceConfig) -> f64 {
+        (self.dram_read_bytes + self.dram_write_bytes) as f64 / self.time_seconds(config) / 1e9
+    }
+
+    /// Issue-slot stall percentage: the share of issue opportunities lost
+    /// while resident warps wait on memory (supplementary metric).
+    pub fn issue_stall_pct(&self) -> f64 {
+        let total = self.issue_ticks + self.stall_ticks;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.stall_ticks as f64 / total as f64
+        }
+    }
+
+    /// Instruction-dependency stall percentage (Figure 8b's metric): the
+    /// share of thread instructions that are spin retries — polls of a
+    /// `get_value` flag that found the dependency unsolved.
+    pub fn stall_pct(&self) -> f64 {
+        if self.thread_instructions == 0 {
+            0.0
+        } else {
+            100.0 * self.failed_polls as f64 / self.thread_instructions as f64
+        }
+    }
+
+    /// L2 hit rate over all memory transactions.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.dram_transactions + self.l2_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let cfg = DeviceConfig::pascal_like(); // 1.6 GHz
+        let s = LaunchStats {
+            cycles: 1_600_000, // 1 ms
+            dram_read_bytes: 3_000_000,
+            dram_write_bytes: 1_000_000,
+            issue_ticks: 75,
+            stall_ticks: 25,
+            thread_instructions: 200,
+            failed_polls: 50,
+            ..Default::default()
+        };
+        assert!((s.time_ms(&cfg) - 1.0).abs() < 1e-9);
+        assert!((s.gflops(&cfg, 2_000_000) - 2.0).abs() < 1e-9);
+        assert!((s.bandwidth_gbs(&cfg) - 4.0).abs() < 1e-9);
+        assert!((s.issue_stall_pct() - 25.0).abs() < 1e-9);
+        assert!((s.stall_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_sums_everything() {
+        let mut a = LaunchStats { cycles: 10, warp_instructions: 5, launches: 1, ..Default::default() };
+        let b = LaunchStats { cycles: 7, warp_instructions: 3, launches: 1, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.warp_instructions, 8);
+        assert_eq!(a.launches, 2);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = LaunchStats::default();
+        assert_eq!(s.stall_pct(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+    }
+}

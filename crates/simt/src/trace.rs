@@ -1,0 +1,88 @@
+//! Execution traces: a per-instruction record of which warp executed what,
+//! when — used to regenerate the paper's Figure 2 schedule comparison on the
+//! toy device.
+
+/// One issued warp instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Cycle of issue.
+    pub cycle: u64,
+    /// SM index.
+    pub sm: usize,
+    /// Global warp id.
+    pub warp: u32,
+    /// Program counter executed.
+    pub pc: u32,
+    /// Kernel-supplied instruction label.
+    pub label: &'static str,
+    /// Active-lane mask.
+    pub mask: u64,
+}
+
+/// A recorded launch trace.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Events in issue order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders a compact per-cycle schedule: one line per issued instruction,
+    /// grouped by cycle. Intended for small (toy-device) runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_cycle = u64::MAX;
+        for e in &self.events {
+            if e.cycle != last_cycle {
+                out.push_str(&format!("cycle {:>5} |", e.cycle));
+                last_cycle = e.cycle;
+            } else {
+                out.push_str("            |");
+            }
+            out.push_str(&format!(
+                " warp{} lanes{} : {}\n",
+                e.warp,
+                mask_str(e.mask),
+                e.label
+            ));
+        }
+        out
+    }
+
+    /// Events issued by one warp, in order.
+    pub fn for_warp(&self, warp: u32) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.warp == warp).collect()
+    }
+}
+
+fn mask_str(mask: u64) -> String {
+    let lanes: Vec<String> =
+        (0..64).filter(|b| mask & (1 << b) != 0).map(|b| b.to_string()).collect();
+    format!("[{}]", lanes.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_groups_by_cycle() {
+        let t = Trace {
+            events: vec![
+                TraceEvent { cycle: 0, sm: 0, warp: 0, pc: 0, label: "load", mask: 0b111 },
+                TraceEvent { cycle: 0, sm: 0, warp: 1, pc: 0, label: "load", mask: 0b011 },
+                TraceEvent { cycle: 1, sm: 0, warp: 0, pc: 1, label: "fma", mask: 0b101 },
+            ],
+        };
+        let r = t.render();
+        assert!(r.contains("cycle     0 | warp0 lanes[0,1,2] : load"));
+        assert!(r.contains("warp1 lanes[0,1] : load"));
+        assert!(r.contains("cycle     1 | warp0 lanes[0,2] : fma"));
+        assert_eq!(t.for_warp(0).len(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Coordinate (triplet) format, the universal construction/interchange format.
+
+use crate::error::SparseError;
+
+/// A sparse matrix in coordinate (COO / triplet) form.
+///
+/// Entries are unordered and may contain duplicates until
+/// [`CooMatrix::compress`] is called; duplicates are summed, matching the
+/// usual finite-element assembly convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty matrix with the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        assert!(n_rows <= u32::MAX as usize && n_cols <= u32::MAX as usize);
+        CooMatrix { n_rows, n_cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty matrix and reserves room for `cap` entries.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        let mut m = Self::new(n_rows, n_cols);
+        m.entries.reserve(cap);
+        m
+    }
+
+    /// Builds a COO matrix from raw triplets.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Result<Self, SparseError> {
+        let mut m = Self::new(n_rows, n_cols);
+        for (r, c, v) in triplets {
+            if r as usize >= n_rows || c as usize >= n_cols {
+                return Err(SparseError::InvalidStructure(format!(
+                    "entry ({r}, {c}) out of bounds for {n_rows}x{n_cols} matrix"
+                )));
+            }
+            m.entries.push((r, c, v));
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries, *including* any not-yet-compressed duplicates.
+    pub fn raw_nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored triplets, in insertion order.
+    pub fn entries(&self) -> &[(u32, u32, f64)] {
+        &self.entries
+    }
+
+    /// Appends one entry. Panics if out of bounds (use
+    /// [`CooMatrix::from_triplets`] for fallible construction).
+    pub fn push(&mut self, row: u32, col: u32, value: f64) {
+        assert!(
+            (row as usize) < self.n_rows && (col as usize) < self.n_cols,
+            "entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.n_rows,
+            self.n_cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Sorts entries row-major and sums duplicates. Entries that sum to an
+    /// exact zero are kept (explicit zeros are meaningful for structure).
+    pub fn compress(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        self.entries = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_sums_duplicates_and_sorts() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(2, 1, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(2, 1, 0.5);
+        m.push(1, 0, -1.0);
+        m.compress();
+        assert_eq!(m.entries(), &[(0, 0, 2.0), (1, 0, -1.0), (2, 1, 1.5)]);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        let r = CooMatrix::from_triplets(2, 2, [(0, 0, 1.0), (2, 0, 1.0)]);
+        assert!(matches!(r, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_panics_out_of_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 5, 1.0);
+    }
+
+    #[test]
+    fn explicit_zero_survives_compress() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 0, 1.0);
+        m.push(1, 0, -1.0);
+        m.compress();
+        assert_eq!(m.raw_nnz(), 1);
+        assert_eq!(m.entries()[0], (1, 0, 0.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type shared by the sparse-matrix substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting, or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing positions/messages
+pub enum SparseError {
+    /// A structural invariant was violated (mismatched array lengths,
+    /// unsorted or duplicate column indices, out-of-range index, ...).
+    InvalidStructure(String),
+    /// The matrix is not (unit-)lower-triangular where one was required.
+    NotLowerTriangular { row: usize, col: usize },
+    /// A diagonal entry required by a triangular solve is missing or zero.
+    BadDiagonal { row: usize },
+    /// A Matrix Market stream could not be parsed.
+    Parse { line: usize, message: String },
+    /// An I/O error while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::NotLowerTriangular { row, col } => {
+                write!(f, "entry ({row}, {col}) lies above the diagonal")
+            }
+            SparseError::BadDiagonal { row } => {
+                write!(f, "row {row} has a missing or zero diagonal entry")
+            }
+            SparseError::Parse { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,179 @@
+//! Graph-, circuit-, and LP-shaped generators: the application domains the
+//! paper reports for its high-granularity matrices (§5.2: 42% graph
+//! applications, 13.9% circuit simulations, 9.4% linear programming, ...).
+
+use rand::Rng;
+
+use super::{from_dep_lists, rng_for, sample_distinct};
+use crate::triangular::LowerTriangularCsr;
+
+/// A preferential-attachment (power-law) digraph lower triangle, standing in
+/// for web/social matrices such as *wiki-Talk*: most rows have very few
+/// dependencies, a few early hub columns are referenced by huge numbers of
+/// rows, and the dependency DAG is shallow — high parallel granularity.
+pub fn powerlaw(n: usize, avg_deg: f64, seed: u64) -> LowerTriangularCsr {
+    assert!(n > 1, "powerlaw needs at least two rows");
+    assert!(avg_deg >= 0.0);
+    let mut rng = rng_for(seed ^ 0x5eed_0101);
+    // Repeated-endpoint preferential attachment: keep a pool of endpoint
+    // ids where each appearance is proportional to (in-)degree + 1.
+    let mut pool: Vec<u32> = vec![0];
+    let mut deps: Vec<Vec<u32>> = Vec::with_capacity(n);
+    deps.push(Vec::new());
+    for i in 1..n {
+        // Degree draws around avg_deg, skewed low (many leaves).
+        let k_mean = avg_deg.max(0.1);
+        let k = if rng.gen_bool(0.6) {
+            rng.gen_range(0..=1usize)
+        } else {
+            rng.gen_range(1..=(2.0 * k_mean).ceil() as usize + 1)
+        };
+        let k = k.min(i);
+        let mut d = Vec::with_capacity(k);
+        let mut guard = 0;
+        while d.len() < k && guard < 16 * k + 16 {
+            guard += 1;
+            let cand = pool[rng.gen_range(0..pool.len())];
+            if (cand as usize) < i && !d.contains(&cand) {
+                d.push(cand);
+            }
+        }
+        for &c in &d {
+            pool.push(c);
+        }
+        pool.push(i as u32);
+        deps.push(d);
+    }
+    from_dep_lists(deps, &mut rng)
+}
+
+/// A circuit-simulation-shaped matrix (rajat29 / bayer01 / circuit5M_dc
+/// stand-ins): α ≈ 3 nonzeros per row, a handful of "rail" columns (supply
+/// nets) referenced from everywhere, local couplings, and an occasional
+/// denser row every `dense_every` rows. Levels are shallow and very wide
+/// (β in the thousands) — exactly Table 6's regime.
+pub fn circuit_like(n: usize, rails: usize, dense_every: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(n > rails + 2, "matrix too small for the requested rail count");
+    let mut rng = rng_for(seed ^ 0x5eed_0102);
+    let rails = rails.max(1);
+    let dense_every = dense_every.max(2);
+    let mut deps: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i <= rails {
+            deps.push(Vec::new());
+            continue;
+        }
+        let mut d: Vec<u32> = Vec::new();
+        // One or two rail references (columns 0..rails): keeps the DAG
+        // shallow because rails are level 0.
+        d.push(rng.gen_range(0..rails as u32));
+        if rng.gen_bool(0.5) {
+            d.push(rng.gen_range(0..rails as u32));
+        }
+        // A local coupling to a recent node with mild probability; this adds
+        // a little depth without serializing the whole matrix.
+        if rng.gen_bool(0.25) {
+            let lo = i.saturating_sub(400).max(rails + 1);
+            if lo < i {
+                d.push(rng.gen_range(lo as u32..i as u32));
+            }
+        }
+        // Sparse long-range coupling.
+        if rng.gen_bool(0.15) {
+            d.push(rng.gen_range(0..i as u32));
+        }
+        // Occasional dense row (e.g. op-amp macro models).
+        if i % dense_every == 0 {
+            let extra = sample_distinct(&mut rng, 0, i as u32, 24.min(i));
+            d.extend(extra);
+        }
+        deps.push(d);
+    }
+    from_dep_lists(deps, &mut rng)
+}
+
+/// A linear-programming-factor-shaped matrix (*lp1* stand-in): `heads`
+/// leading rows have no dependencies, and every remaining row depends on
+/// `deps` of those head columns only. The DAG has exactly two levels, so
+/// `n_level ≈ n/2` while `nnz_row ≈ deps + 1` — the most extreme granularity
+/// in the evaluation (δ ≈ 1.18 for lp1, where the paper reports its maximum
+/// 34.8× speedup).
+pub fn ultra_sparse_wide(n: usize, heads: usize, deps: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(n > heads + 1, "matrix too small for the requested head count");
+    assert!(heads >= 1);
+    let mut rng = rng_for(seed ^ 0x5eed_0103);
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i < heads {
+            lists.push(Vec::new());
+        } else {
+            lists.push(sample_distinct(&mut rng, 0, heads as u32, deps.min(heads)));
+        }
+    }
+    from_dep_lists(lists, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn powerlaw_is_shallow_and_sparse() {
+        let l = powerlaw(5000, 3.0, 17);
+        let s = MatrixStats::compute(&l);
+        assert!(s.nnz_row < 5.0, "nnz_row = {}", s.nnz_row);
+        assert!(s.n_levels < 60, "n_levels = {}", s.n_levels);
+        assert!(s.granularity > 0.6, "granularity = {}", s.granularity);
+    }
+
+    #[test]
+    fn powerlaw_has_hubs() {
+        let l = powerlaw(5000, 3.0, 17);
+        // Count references per column; the most-referenced column should be
+        // referenced far more than the average.
+        let mut refs = vec![0usize; l.n()];
+        for i in 0..l.n() {
+            for &c in l.row_deps(i) {
+                refs[c as usize] += 1;
+            }
+        }
+        let max = *refs.iter().max().unwrap();
+        let avg = refs.iter().sum::<usize>() as f64 / l.n() as f64;
+        assert!(max as f64 > 20.0 * avg.max(0.1), "max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn circuit_matches_table6_regime() {
+        let l = circuit_like(20_000, 4, 512, 23);
+        let s = MatrixStats::compute(&l);
+        assert!(s.nnz_row > 2.0 && s.nnz_row < 6.5, "nnz_row = {}", s.nnz_row);
+        assert!(s.n_level > 1000.0, "n_level = {}", s.n_level);
+        assert!(s.granularity > 0.7, "granularity = {}", s.granularity);
+    }
+
+    #[test]
+    fn ultra_sparse_wide_has_two_levels() {
+        let l = ultra_sparse_wide(10_000, 16, 2, 5);
+        let s = MatrixStats::compute(&l);
+        assert_eq!(s.n_levels, 2);
+        assert!(s.granularity > 0.85, "granularity = {}", s.granularity);
+        // With single dependencies the granularity climbs past 1 (lp1 regime).
+        let l1 = ultra_sparse_wide(50_000, 8, 1, 5);
+        let s1 = MatrixStats::compute(&l1);
+        assert!(s1.granularity > 1.0, "granularity = {}", s1.granularity);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(powerlaw(500, 2.5, 7).csr(), powerlaw(500, 2.5, 7).csr());
+        assert_eq!(
+            circuit_like(500, 3, 64, 7).csr(),
+            circuit_like(500, 3, 64, 7).csr()
+        );
+        assert_eq!(
+            ultra_sparse_wide(500, 8, 2, 7).csr(),
+            ultra_sparse_wide(500, 8, 2, 7).csr()
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Random, banded, chain, dense-band, and diagonal generators — the
+//! workhorses that sweep the (nnz_row, n_level) plane.
+
+use rand::Rng;
+
+use super::{from_dep_lists, rng_for, sample_distinct};
+use crate::triangular::LowerTriangularCsr;
+
+/// Each row `i` has `min(k, i)` strictly-lower nonzeros with columns sampled
+/// uniformly from the window `[i − window, i)`.
+///
+/// * Large `window` (≥ n) with small `k` → shallow dependency DAGs with very
+///   wide levels: the high-granularity regime CapelliniSpTRSV targets.
+/// * Small `window` → chain-like locality, deep DAGs, low granularity.
+pub fn random_k(n: usize, k: usize, window: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(n > 0, "matrix must be non-empty");
+    let mut rng = rng_for(seed ^ 0x5eed_0001);
+    let deps = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(window.max(1)) as u32;
+            let hi = i as u32;
+            let want = k.min(i);
+            sample_distinct(&mut rng, lo, hi, want)
+        })
+        .collect();
+    from_dep_lists(deps, &mut rng)
+}
+
+/// Each row depends on every column in `[i − bandwidth, i)` independently
+/// with probability `fill`.
+pub fn banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> LowerTriangularCsr {
+    assert!(n > 0, "matrix must be non-empty");
+    assert!((0.0..=1.0).contains(&fill), "fill must be a probability");
+    let mut rng = rng_for(seed ^ 0x5eed_0002);
+    let deps = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(bandwidth.max(1));
+            (lo..i)
+                .filter(|_| rng.gen_bool(fill))
+                .map(|c| c as u32)
+                .collect()
+        })
+        .collect();
+    from_dep_lists(deps, &mut rng)
+}
+
+/// Every row depends on its `k` immediate predecessors: the fully sequential
+/// worst case (`n` levels, one component per level, zero parallelism).
+pub fn chain(n: usize, k: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(k >= 1, "chain requires at least one predecessor");
+    let mut rng = rng_for(seed ^ 0x5eed_0003);
+    let deps = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            (lo..i).map(|c| c as u32).collect()
+        })
+        .collect();
+    from_dep_lists(deps, &mut rng)
+}
+
+/// A fully dense band of width `band` below the diagonal: high `nnz_row`,
+/// one component per level. Stands in for FEM matrices like *cant*
+/// (α ≈ 30–60, deep DAG, low granularity) where warp-level SpTRSV shines.
+pub fn dense_band(n: usize, band: usize, seed: u64) -> LowerTriangularCsr {
+    chain(n, band, seed ^ 0x5eed_0004)
+}
+
+/// The identity pattern: every component is level 0. The extreme
+/// high-granularity corner (`n_level = n`, `nnz_row = 1`).
+pub fn diagonal(n: usize) -> LowerTriangularCsr {
+    assert!(n > 0, "matrix must be non-empty");
+    let mut rng = rng_for(0);
+    from_dep_lists(vec![Vec::new(); n], &mut rng)
+}
+
+/// Rows are partitioned into `layers` equal contiguous blocks and each row
+/// draws its `k` dependencies uniformly from *strictly earlier layers*, so
+/// the DAG depth is at most `layers` regardless of `k`.
+///
+/// This gives independent control of the two axes of the paper's Figure 6:
+/// `nnz_row ≈ k + 1` and `n_level ≥ n / layers`.
+pub fn layered(n: usize, k: usize, layers: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(n > 0, "matrix must be non-empty");
+    let layers = layers.clamp(1, n);
+    let layer_size = n.div_ceil(layers);
+    let mut rng = rng_for(seed ^ 0x5eed_0005);
+    let deps = (0..n)
+        .map(|i| {
+            let layer_start = (i / layer_size) * layer_size;
+            let want = k.min(layer_start);
+            sample_distinct(&mut rng, 0, layer_start as u32, want)
+        })
+        .collect();
+    from_dep_lists(deps, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::LevelSets;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn random_k_hits_target_nnz_row() {
+        let l = random_k(4000, 3, 4000, 9);
+        let s = MatrixStats::compute(&l);
+        // nnz_row = k + 1 (diagonal), minus edge effects in the first rows.
+        assert!((s.nnz_row - 4.0).abs() < 0.05, "nnz_row = {}", s.nnz_row);
+    }
+
+    #[test]
+    fn random_k_wide_window_is_shallow() {
+        let l = random_k(4000, 3, 4000, 9);
+        let s = MatrixStats::compute(&l);
+        // Uniform dependencies make depth O(log n); levels should be far
+        // fewer than rows.
+        assert!(s.n_levels < 100, "n_levels = {}", s.n_levels);
+        assert!(s.granularity > 0.5, "granularity = {}", s.granularity);
+    }
+
+    #[test]
+    fn random_k_narrow_window_is_deep() {
+        let l = random_k(2000, 3, 4, 9);
+        let s = MatrixStats::compute(&l);
+        assert!(s.n_levels > 400, "n_levels = {}", s.n_levels);
+    }
+
+    #[test]
+    fn chain_is_fully_sequential() {
+        let l = chain(100, 1, 1);
+        let ls = LevelSets::analyze(&l);
+        assert_eq!(ls.n_levels(), 100);
+        assert_eq!(ls.avg_components_per_level(), 1.0);
+    }
+
+    #[test]
+    fn dense_band_has_high_nnz_row_and_one_per_level() {
+        let l = dense_band(500, 32, 2);
+        let s = MatrixStats::compute(&l);
+        assert!(s.nnz_row > 25.0, "nnz_row = {}", s.nnz_row);
+        assert_eq!(s.n_levels, 500);
+        assert!(s.granularity < 0.0, "granularity = {}", s.granularity);
+    }
+
+    #[test]
+    fn diagonal_is_one_level() {
+        let l = diagonal(64);
+        let s = MatrixStats::compute(&l);
+        assert_eq!(s.n_levels, 1);
+        assert_eq!(s.nnz, 64);
+        assert!(s.granularity > 1.0, "granularity = {}", s.granularity);
+    }
+
+    #[test]
+    fn banded_fill_controls_density() {
+        let sparse = MatrixStats::compute(&banded(2000, 20, 0.1, 3));
+        let dense = MatrixStats::compute(&banded(2000, 20, 0.9, 3));
+        assert!(dense.nnz_row > sparse.nnz_row + 10.0);
+    }
+
+    #[test]
+    fn layered_controls_depth_and_density() {
+        let l = layered(4000, 3, 5, 8);
+        let s = MatrixStats::compute(&l);
+        assert!(s.n_levels <= 5, "n_levels = {}", s.n_levels);
+        assert!(s.n_levels >= 4, "n_levels = {}", s.n_levels);
+        // nnz_row ≈ k + 1 except for the dependency-free first layer.
+        assert!(s.nnz_row > 3.0 && s.nnz_row <= 4.0, "nnz_row = {}", s.nnz_row);
+    }
+
+    #[test]
+    fn layered_deps_stay_in_earlier_layers() {
+        let n = 1000usize;
+        let layers = 4usize;
+        let layer_size = n.div_ceil(layers);
+        let l = layered(n, 2, layers, 3);
+        for i in 0..n {
+            let start = (i / layer_size) * layer_size;
+            for &d in l.row_deps(i) {
+                assert!((d as usize) < start, "row {i} depends on {d} in its own layer");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_single_layer_is_diagonal() {
+        let l = layered(100, 5, 1, 0);
+        let s = MatrixStats::compute(&l);
+        assert_eq!(s.nnz, 100);
+        assert_eq!(s.n_levels, 1);
+    }
+
+    #[test]
+    fn first_rows_are_well_formed() {
+        // Row 0 can have no dependencies; rows near 0 have truncated windows.
+        let l = random_k(10, 5, 10, 4);
+        assert_eq!(l.row_deps(0), &[] as &[u32]);
+        assert!(l.row_deps(1).len() <= 1);
+        assert!(l.is_unit_diagonal());
+    }
+}

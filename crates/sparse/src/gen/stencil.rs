@@ -1,0 +1,100 @@
+//! Regular-grid stencil matrices: the PDE / optimization regime
+//! (*nlpkkt160*-like). A d-dimensional first-order upwind stencil produces a
+//! dependency DAG whose levels are the grid's anti-diagonal hyperplanes, so
+//! depth grows with the grid side while levels stay wide — moderate
+//! granularity between the graph and FEM extremes.
+
+use super::{from_dep_lists, rng_for};
+use crate::triangular::LowerTriangularCsr;
+
+/// 2-D grid, lexicographic numbering, each node depending on its west and
+/// south neighbours (the lower triangle of the 5-point stencil).
+/// `n = nx·ny`, `nnz_row ≈ 3`, `n_levels = nx + ny − 1`.
+pub fn stencil2d(nx: usize, ny: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(nx >= 1 && ny >= 1, "grid must be non-empty");
+    let mut rng = rng_for(seed ^ 0x5eed_0201);
+    let id = |x: usize, y: usize| (y * nx + x) as u32;
+    let mut deps = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut d = Vec::with_capacity(2);
+            if x > 0 {
+                d.push(id(x - 1, y));
+            }
+            if y > 0 {
+                d.push(id(x, y - 1));
+            }
+            deps.push(d);
+        }
+    }
+    from_dep_lists(deps, &mut rng)
+}
+
+/// 3-D grid, lexicographic numbering, each node depending on its west,
+/// south, and below neighbours (lower triangle of the 7-point stencil).
+/// `n = nx·ny·nz`, `nnz_row ≈ 4`, `n_levels = nx + ny + nz − 2`.
+pub fn stencil3d(nx: usize, ny: usize, nz: usize, seed: u64) -> LowerTriangularCsr {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid must be non-empty");
+    let mut rng = rng_for(seed ^ 0x5eed_0202);
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as u32;
+    let mut deps = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut d = Vec::with_capacity(3);
+                if x > 0 {
+                    d.push(id(x - 1, y, z));
+                }
+                if y > 0 {
+                    d.push(id(x, y - 1, z));
+                }
+                if z > 0 {
+                    d.push(id(x, y, z - 1));
+                }
+                deps.push(d);
+            }
+        }
+    }
+    from_dep_lists(deps, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::LevelSets;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn stencil2d_levels_are_antidiagonals() {
+        let l = stencil2d(10, 7, 1);
+        let ls = LevelSets::analyze(&l);
+        assert_eq!(ls.n_levels(), 10 + 7 - 1);
+        // Node (x, y) has level x + y.
+        for y in 0..7 {
+            for x in 0..10 {
+                assert_eq!(ls.level_of(y * 10 + x), (x + y) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil3d_levels_are_hyperplanes() {
+        let l = stencil3d(5, 4, 3, 1);
+        let ls = LevelSets::analyze(&l);
+        assert_eq!(ls.n_levels(), 5 + 4 + 3 - 2);
+    }
+
+    #[test]
+    fn stencil3d_nnz_row_near_four() {
+        let l = stencil3d(20, 20, 20, 1);
+        let s = MatrixStats::compute(&l);
+        assert!(s.nnz_row > 3.5 && s.nnz_row < 4.0, "nnz_row = {}", s.nnz_row);
+    }
+
+    #[test]
+    fn degenerate_one_dimension_is_a_chain() {
+        let l = stencil2d(50, 1, 1);
+        let ls = LevelSets::analyze(&l);
+        assert_eq!(ls.n_levels(), 50);
+    }
+}

@@ -1,0 +1,239 @@
+//! Matrix Market (`.mtx`) coordinate-format reader and writer — the exchange
+//! format of the SuiteSparse / University of Florida collection the paper
+//! draws its dataset from. Supports `real`/`integer`/`pattern` fields and
+//! `general`/`symmetric` symmetry.
+
+use std::io::{BufRead, Write};
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// Parses a Matrix Market coordinate stream into a COO matrix.
+///
+/// Symmetric matrices are expanded (the mirrored entry is materialized);
+/// `pattern` matrices get value 1.0 for every entry.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, SparseError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (mut line_no, header) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (no + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: 0, message: "empty stream".into() })
+            }
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: format!("bad header: {header}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: "only coordinate format is supported".into(),
+        });
+    }
+    let field = tokens[3];
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: format!("unsupported field type: {field}"),
+        });
+    }
+    let symmetry = tokens[4];
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: format!("unsupported symmetry: {symmetry}"),
+        });
+    }
+
+    // Size line (skipping comments).
+    let (n_rows, n_cols, nnz) = loop {
+        let (no, line) = lines.next().ok_or(SparseError::Parse {
+            line: line_no,
+            message: "missing size line".into(),
+        })?;
+        line_no = no + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(SparseError::Parse {
+                line: line_no,
+                message: "size line must have three fields".into(),
+            });
+        }
+        let parse = |s: &str| -> Result<usize, SparseError> {
+            s.parse().map_err(|_| SparseError::Parse {
+                line: line_no,
+                message: format!("bad integer: {s}"),
+            })
+        };
+        break (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+    };
+
+    let mut coo = CooMatrix::with_capacity(
+        n_rows,
+        n_cols,
+        if symmetry == "symmetric" { nnz * 2 } else { nnz },
+    );
+    let mut seen = 0usize;
+    for (no, line) in lines {
+        let line_no = no + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let (min_fields, has_value) = if field == "pattern" { (2, false) } else { (3, true) };
+        if parts.len() < min_fields {
+            return Err(SparseError::Parse {
+                line: line_no,
+                message: "entry line has too few fields".into(),
+            });
+        }
+        let r: usize = parts[0].parse().map_err(|_| SparseError::Parse {
+            line: line_no,
+            message: format!("bad row index: {}", parts[0]),
+        })?;
+        let c: usize = parts[1].parse().map_err(|_| SparseError::Parse {
+            line: line_no,
+            message: format!("bad column index: {}", parts[1]),
+        })?;
+        if r == 0 || c == 0 || r > n_rows || c > n_cols {
+            return Err(SparseError::Parse {
+                line: line_no,
+                message: format!("entry ({r}, {c}) out of range (1-based)"),
+            });
+        }
+        let v = if has_value {
+            parts[2].parse::<f64>().map_err(|_| SparseError::Parse {
+                line: line_no,
+                message: format!("bad value: {}", parts[2]),
+            })?
+        } else {
+            1.0
+        };
+        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        coo.push(r0, c0, v);
+        if symmetry == "symmetric" && r0 != c0 {
+            coo.push(c0, r0, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: format!("expected {nnz} entries, found {seen}"),
+        });
+    }
+    Ok(coo)
+}
+
+/// Parses a Matrix Market string.
+pub fn parse_matrix_market(text: &str) -> Result<CooMatrix, SparseError> {
+    read_matrix_market(text.as_bytes())
+}
+
+/// Writes a CSR matrix as a `general real coordinate` Matrix Market stream.
+pub fn write_matrix_market<W: Write>(writer: &mut W, m: &CsrMatrix) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by capellini-sparse")?;
+    writeln!(writer, "{} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Serializes a CSR matrix to a Matrix Market string.
+pub fn to_matrix_market_string(m: &CsrMatrix) -> String {
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, m).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("matrix market output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 1 -1.5\n\
+                    2 2 1.0\n\
+                    3 3 4.0\n";
+        let coo = parse_matrix_market(text).unwrap();
+        assert_eq!(coo.n_rows(), 3);
+        assert_eq!(coo.raw_nnz(), 4);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.get(1, 0), Some(-1.5));
+    }
+
+    #[test]
+    fn parse_symmetric_expands_mirror() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 3.0\n";
+        let coo = parse_matrix_market(text).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.get(0, 1), Some(3.0));
+        assert_eq!(csr.get(1, 0), Some(3.0));
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn parse_pattern_gets_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 1\n\
+                    2 1\n";
+        let csr = CsrMatrix::from_coo(&parse_matrix_market(text).unwrap());
+        assert_eq!(csr.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_counts() {
+        assert!(parse_matrix_market("nonsense\n1 1 0\n").is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(matches!(
+            parse_matrix_market(short),
+            Err(SparseError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let coo = CooMatrix::from_triplets(
+            3,
+            3,
+            [(0u32, 0u32, 1.25), (1, 0, -2.5), (2, 2, 1e-3)],
+        )
+        .unwrap();
+        let m = CsrMatrix::from_coo(&coo);
+        let text = to_matrix_market_string(&m);
+        let back = CsrMatrix::from_coo(&parse_matrix_market(&text).unwrap());
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,113 @@
+//! Dense-vector helpers and verification primitives: SpMV, residuals, and
+//! right-hand-side construction with a known exact solution.
+
+use crate::csr::CsrMatrix;
+use crate::triangular::LowerTriangularCsr;
+
+/// Computes `y = A·x` for a CSR matrix.
+pub fn spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.n_cols(), "x length must equal matrix column count");
+    let mut y = vec![0.0f64; a.n_rows()];
+    for (i, yi) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(i);
+        let mut acc = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c as usize];
+        }
+        *yi = acc;
+    }
+    y
+}
+
+/// Builds the right-hand side `b = L·x_true`, so a solver's output can be
+/// compared against the exact solution `x_true`.
+pub fn rhs_for_solution(l: &LowerTriangularCsr, x_true: &[f64]) -> Vec<f64> {
+    spmv(l.csr(), x_true)
+}
+
+/// The infinity norm of a vector.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// The infinity-norm residual `‖L·x − b‖∞`.
+pub fn residual_inf(l: &LowerTriangularCsr, x: &[f64], b: &[f64]) -> f64 {
+    let lx = spmv(l.csr(), x);
+    lx.iter().zip(b).fold(0.0f64, |m, (&a, &bb)| m.max((a - bb).abs()))
+}
+
+/// Relative infinity-norm error `‖x − y‖∞ / max(1, ‖y‖∞)`.
+pub fn rel_error_inf(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let diff = x
+        .iter()
+        .zip(y)
+        .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()));
+    diff / norm_inf(y).max(1.0)
+}
+
+/// Asserts two solution vectors agree to `tol` in relative infinity norm,
+/// with a diagnostic pointing at the worst component.
+#[track_caller]
+pub fn assert_solutions_close(x: &[f64], y: &[f64], tol: f64) {
+    assert_eq!(x.len(), y.len(), "solution lengths differ");
+    let scale = norm_inf(y).max(1.0);
+    let mut worst = (0usize, 0.0f64);
+    for (i, (&a, &b)) in x.iter().zip(y).enumerate() {
+        let e = (a - b).abs();
+        if e > worst.1 {
+            worst = (i, e);
+        }
+    }
+    assert!(
+        worst.1 / scale <= tol,
+        "solutions differ at component {}: {} vs {} (rel err {:.3e} > tol {:.1e})",
+        worst.0,
+        x[worst.0],
+        y[worst.0],
+        worst.1 / scale,
+        tol
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::csr::CsrMatrix;
+
+    fn lower(trips: &[(u32, u32, f64)], n: usize) -> LowerTriangularCsr {
+        let coo = CooMatrix::from_triplets(n, n, trips.iter().copied()).unwrap();
+        LowerTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).unwrap()
+    }
+
+    #[test]
+    fn spmv_small() {
+        let m = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(2, 3, [(0u32, 0u32, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap(),
+        );
+        let y = spmv(&m, &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn rhs_round_trip_has_zero_residual() {
+        let l = lower(&[(0, 0, 1.0), (1, 0, 0.5), (1, 1, 1.0), (2, 1, -0.25), (2, 2, 1.0)], 3);
+        let x_true = vec![1.0, -2.0, 4.0];
+        let b = rhs_for_solution(&l, &x_true);
+        assert_eq!(residual_inf(&l, &x_true, &b), 0.0);
+    }
+
+    #[test]
+    fn rel_error_detects_mismatch() {
+        let a = vec![1.0, 2.0];
+        let b = vec![1.0, 2.5];
+        assert!((rel_error_inf(&a, &b) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "solutions differ at component 1")]
+    fn assert_close_panics_with_location() {
+        assert_solutions_close(&[1.0, 2.0], &[1.0, 3.0], 1e-10);
+    }
+}

@@ -1,0 +1,189 @@
+//! Row/column permutations of triangular systems.
+//!
+//! The key tool is [`random_topological_relabel`]: a symmetric permutation
+//! drawn uniformly-ish over *topological orders* of the dependency DAG. It
+//! preserves lower-triangularity and every level statistic (levels are
+//! graph-intrinsic), but interleaves the levels in index space — the layout
+//! real SuiteSparse matrices have, and the one that makes sync-free solvers
+//! actually poll unsolved dependencies (producers and consumers become
+//! co-resident on the device).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrMatrix;
+use crate::triangular::LowerTriangularCsr;
+
+/// Applies the symmetric permutation `perm` (new index of each old row) to
+/// a lower-triangular system. `perm` must be a bijection on `0..n` that
+/// maps every dependency before its dependent row (i.e. a topological
+/// relabeling); the result is again lower triangular.
+pub fn symmetric_permute(l: &LowerTriangularCsr, perm: &[u32]) -> LowerTriangularCsr {
+    let n = l.n();
+    assert_eq!(perm.len(), n, "permutation length must equal matrix dimension");
+    // inverse[new] = old
+    let mut inverse = vec![u32::MAX; n];
+    for (old, &new) in perm.iter().enumerate() {
+        assert!(
+            (new as usize) < n && inverse[new as usize] == u32::MAX,
+            "perm must be a bijection"
+        );
+        inverse[new as usize] = old as u32;
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(l.nnz());
+    let mut values = Vec::with_capacity(l.nnz());
+    row_ptr.push(0u32);
+    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    for &old_row in inverse.iter() {
+        let old_row = old_row as usize;
+        let (cols, vals) = l.csr().row(old_row);
+        scratch.clear();
+        for (&c, &v) in cols.iter().zip(vals) {
+            scratch.push((perm[c as usize], v));
+        }
+        scratch.sort_unstable_by_key(|&(c, _)| c);
+        for &(c, v) in &scratch {
+            col_idx.push(c);
+            values.push(v);
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    let csr = CsrMatrix::new(n, n, row_ptr, col_idx, values)
+        .expect("permuted arrays satisfy CSR invariants");
+    LowerTriangularCsr::try_new(csr)
+        .expect("a topological relabeling preserves lower-triangularity")
+}
+
+/// Draws a random topological relabeling of the dependency DAG: Kahn's
+/// algorithm with a randomly prioritised ready set. Row `i`'s new index is
+/// always after all of its dependencies', but rows of different levels
+/// interleave freely.
+pub fn random_topological_order(l: &LowerTriangularCsr, seed: u64) -> Vec<u32> {
+    let n = l.n();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x70b0_1061);
+    // Remaining in-degree per row and reverse adjacency (dependents).
+    let mut indegree = vec![0u32; n];
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, deg) in indegree.iter_mut().enumerate() {
+        let deps = l.row_deps(i);
+        *deg = deps.len() as u32;
+        for &d in deps {
+            dependents[d as usize].push(i as u32);
+        }
+    }
+    // Ready pool; pick a uniformly random element each step.
+    let mut ready: Vec<u32> = (0..n).filter(|&i| indegree[i] == 0).map(|i| i as u32).collect();
+    let mut perm = vec![0u32; n];
+    let mut next_index = 0u32;
+    while let Some(pick) = ready.len().checked_sub(1).map(|hi| rng.gen_range(0..=hi)) {
+        let row = ready.swap_remove(pick);
+        perm[row as usize] = next_index;
+        next_index += 1;
+        for &dep in &dependents[row as usize] {
+            indegree[dep as usize] -= 1;
+            if indegree[dep as usize] == 0 {
+                ready.push(dep);
+            }
+        }
+    }
+    assert_eq!(next_index as usize, n, "DAG must be acyclic (lower triangular)");
+    perm
+}
+
+/// Relabels a system by a random topological order (see module docs).
+pub fn random_topological_relabel(l: &LowerTriangularCsr, seed: u64) -> LowerTriangularCsr {
+    let perm = random_topological_order(l, seed);
+    symmetric_permute(l, &perm)
+}
+
+/// Permutes a dense vector into the new labeling: `out[perm[i]] = v[i]`.
+pub fn permute_vector(v: &[f64], perm: &[u32]) -> Vec<f64> {
+    let mut out = vec![0.0; v.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        out[new as usize] = v[old];
+    }
+    out
+}
+
+/// Inverts a permutation.
+pub fn invert_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::levels::LevelSets;
+    use crate::linalg;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn relabel_preserves_level_statistics() {
+        let l = gen::powerlaw(2_000, 3.0, 51);
+        let before = MatrixStats::compute(&l);
+        let shuffled = random_topological_relabel(&l, 7);
+        let after = MatrixStats::compute(&shuffled);
+        assert_eq!(before.n, after.n);
+        assert_eq!(before.nnz, after.nnz);
+        assert_eq!(before.n_levels, after.n_levels);
+        assert_eq!(before.max_level_width, after.max_level_width);
+        assert!((before.granularity - after.granularity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabel_interleaves_levels_in_index_space() {
+        // Layered matrices have levels as contiguous index blocks; after
+        // relabeling, consecutive indices should frequently change level.
+        let l = gen::layered(4_000, 2, 4, 52);
+        let shuffled = random_topological_relabel(&l, 8);
+        let levels = LevelSets::analyze(&shuffled);
+        let changes = (1..shuffled.n())
+            .filter(|&i| levels.level_of(i) != levels.level_of(i - 1))
+            .count();
+        // The blocked layout has 3 changes; interleaving gives thousands.
+        assert!(changes > 1_000, "only {changes} level changes after shuffle");
+    }
+
+    #[test]
+    fn relabeled_solve_is_the_permuted_solution() {
+        let l = gen::random_k(800, 3, 800, 53);
+        let x_true: Vec<f64> = (0..800).map(|i| (i % 13) as f64 - 6.0).collect();
+        let b = linalg::rhs_for_solution(&l, &x_true);
+        let perm = random_topological_order(&l, 9);
+        let pl = symmetric_permute(&l, &perm);
+        let pb = permute_vector(&b, &perm);
+        let px_true = permute_vector(&x_true, &perm);
+        assert!(linalg::residual_inf(&pl, &px_true, &pb) < 1e-10);
+    }
+
+    #[test]
+    fn permutation_round_trips() {
+        let l = gen::circuit_like(500, 4, 64, 54);
+        let perm = random_topological_order(&l, 10);
+        let inv = invert_permutation(&perm);
+        let back = symmetric_permute(&symmetric_permute(&l, &perm), &inv);
+        assert_eq!(back.csr(), l.csr());
+    }
+
+    #[test]
+    fn identity_permutation_is_identity() {
+        let l = gen::chain(100, 1, 55);
+        let perm: Vec<u32> = (0..100).collect();
+        assert_eq!(symmetric_permute(&l, &perm).csr(), l.csr());
+        // A chain admits exactly one topological order: the identity.
+        assert_eq!(random_topological_order(&l, 11), perm);
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn non_bijection_is_rejected() {
+        let l = gen::diagonal(4);
+        symmetric_permute(&l, &[0, 0, 1, 2]);
+    }
+}

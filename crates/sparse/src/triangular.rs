@@ -1,0 +1,354 @@
+//! Lower-triangular systems: the validated matrix type every solver in this
+//! project consumes, and the paper's dataset preparation rule (§5.1: "we keep
+//! only the lower-left elements and assign values to the diagonal elements",
+//! producing unit-lower-triangular systems).
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// A lower-triangular CSR matrix whose every row ends in a nonzero diagonal
+/// entry — the structural contract shared by Algorithms 1–5 of the paper
+/// (they all read the diagonal as `csrVal[csrRowPtr[i+1]-1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerTriangularCsr {
+    inner: CsrMatrix,
+}
+
+impl LowerTriangularCsr {
+    /// Validates that `m` is lower triangular with a trailing nonzero
+    /// diagonal in every row.
+    pub fn try_new(m: CsrMatrix) -> Result<Self, SparseError> {
+        if m.n_rows() != m.n_cols() {
+            return Err(SparseError::InvalidStructure(format!(
+                "triangular matrix must be square, got {}x{}",
+                m.n_rows(),
+                m.n_cols()
+            )));
+        }
+        for (r, c, _) in m.iter() {
+            if c > r {
+                return Err(SparseError::NotLowerTriangular { row: r as usize, col: c as usize });
+            }
+        }
+        if !m.has_trailing_diagonal() {
+            // Find the offending row for a useful message.
+            let row = (0..m.n_rows())
+                .find(|&i| {
+                    let (cols, vals) = m.row(i);
+                    !matches!(cols.last(), Some(&c) if c as usize == i)
+                        || vals.last().map(|&v| v == 0.0).unwrap_or(true)
+                })
+                .unwrap_or(0);
+            return Err(SparseError::BadDiagonal { row });
+        }
+        Ok(LowerTriangularCsr { inner: m })
+    }
+
+    /// Extracts the unit-lower-triangular factor of an arbitrary square
+    /// matrix, exactly as the paper prepares its dataset: strictly-lower
+    /// entries are kept, everything above the diagonal is dropped, and the
+    /// diagonal is set to 1.
+    pub fn unit_lower_from(m: &CsrMatrix) -> Result<Self, SparseError> {
+        if m.n_rows() != m.n_cols() {
+            return Err(SparseError::InvalidStructure(
+                "unit_lower_from requires a square matrix".into(),
+            ));
+        }
+        let n = m.n_rows();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(m.nnz() + n);
+        let mut values = Vec::with_capacity(m.nnz() + n);
+        row_ptr.push(0u32);
+        for i in 0..n {
+            let (cols, vals) = m.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (c as usize) < i {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            col_idx.push(i as u32);
+            values.push(1.0);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        let csr = CsrMatrix::new(n, n, row_ptr, col_idx, values)
+            .expect("construction preserves CSR invariants");
+        Ok(LowerTriangularCsr { inner: csr })
+    }
+
+    /// The underlying CSR matrix.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the CSR matrix.
+    pub fn into_csr(self) -> CsrMatrix {
+        self.inner
+    }
+
+    /// Matrix dimension `n` (square).
+    pub fn n(&self) -> usize {
+        self.inner.n_rows()
+    }
+
+    /// Number of stored nonzeros, including the diagonal.
+    pub fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    /// The strictly-lower (off-diagonal) nonzero count of row `i`.
+    pub fn row_deps(&self, i: usize) -> &[u32] {
+        let (cols, _) = self.inner.row(i);
+        &cols[..cols.len() - 1]
+    }
+
+    /// The diagonal value of row `i` (last stored entry of the row).
+    pub fn diag(&self, i: usize) -> f64 {
+        let (_, vals) = self.inner.row(i);
+        *vals.last().expect("every row has a diagonal")
+    }
+
+    /// True if every diagonal entry equals exactly 1.
+    pub fn is_unit_diagonal(&self) -> bool {
+        (0..self.n()).all(|i| self.diag(i) == 1.0)
+    }
+}
+
+impl std::ops::Deref for LowerTriangularCsr {
+    type Target = CsrMatrix;
+    fn deref(&self) -> &CsrMatrix {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn square(trips: &[(u32, u32, f64)], n: usize) -> CsrMatrix {
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(n, n, trips.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn rejects_upper_entries() {
+        let m = square(&[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 1.0)], 2);
+        let r = LowerTriangularCsr::try_new(m);
+        assert!(matches!(r, Err(SparseError::NotLowerTriangular { row: 0, col: 1 })));
+    }
+
+    #[test]
+    fn rejects_missing_diagonal() {
+        let m = square(&[(0, 0, 1.0), (1, 0, 2.0)], 2);
+        let r = LowerTriangularCsr::try_new(m);
+        assert!(matches!(r, Err(SparseError::BadDiagonal { row: 1 })));
+    }
+
+    #[test]
+    fn rejects_zero_diagonal() {
+        let m = square(&[(0, 0, 0.0), (1, 1, 1.0)], 2);
+        let r = LowerTriangularCsr::try_new(m);
+        assert!(matches!(r, Err(SparseError::BadDiagonal { row: 0 })));
+    }
+
+    #[test]
+    fn unit_lower_extraction_drops_upper_and_sets_diag() {
+        let m = square(
+            &[(0, 0, 5.0), (0, 2, 9.0), (1, 0, 2.0), (1, 1, 3.0), (2, 1, 4.0), (2, 2, 7.0)],
+            3,
+        );
+        let l = LowerTriangularCsr::unit_lower_from(&m).unwrap();
+        assert_eq!(l.nnz(), 5); // 2 strictly-lower + 3 diagonal
+        assert!(l.is_unit_diagonal());
+        assert_eq!(l.csr().get(1, 0), Some(2.0));
+        assert_eq!(l.csr().get(0, 2), None);
+        assert_eq!(l.row_deps(2), &[1]);
+        assert_eq!(l.diag(2), 1.0);
+    }
+
+    #[test]
+    fn deref_exposes_csr_api() {
+        let m = square(&[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0)], 2);
+        let l = LowerTriangularCsr::try_new(m).unwrap();
+        assert_eq!(l.nnz(), 3);
+        assert_eq!(l.row(1).0, &[0, 1]);
+    }
+}
+
+/// An upper-triangular CSR matrix whose every row *starts* with a nonzero
+/// diagonal entry — the backward-substitution counterpart of
+/// [`LowerTriangularCsr`]. Iterative solvers need both sweeps (e.g. SSOR,
+/// or the two solves of a Cholesky factorization); the GPU kernels handle
+/// the upper case by *index reversal*: `U x = b` over indices `0..n` is the
+/// lower-triangular system obtained by relabeling `i → n−1−i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpperTriangularCsr {
+    inner: CsrMatrix,
+}
+
+impl UpperTriangularCsr {
+    /// Validates that `m` is upper triangular with a leading nonzero
+    /// diagonal in every row.
+    pub fn try_new(m: CsrMatrix) -> Result<Self, SparseError> {
+        if m.n_rows() != m.n_cols() {
+            return Err(SparseError::InvalidStructure(format!(
+                "triangular matrix must be square, got {}x{}",
+                m.n_rows(),
+                m.n_cols()
+            )));
+        }
+        for (r, c, _) in m.iter() {
+            if c < r {
+                return Err(SparseError::NotLowerTriangular { row: r as usize, col: c as usize });
+            }
+        }
+        for i in 0..m.n_rows() {
+            let (cols, vals) = m.row(i);
+            let ok = matches!(cols.first(), Some(&c) if c as usize == i)
+                && vals.first().map(|&v| v != 0.0).unwrap_or(false);
+            if !ok {
+                return Err(SparseError::BadDiagonal { row: i });
+            }
+        }
+        Ok(UpperTriangularCsr { inner: m })
+    }
+
+    /// The transpose of a lower-triangular system: the standard way to get
+    /// the second solve of an `L·Lᵀ` factorization.
+    pub fn transpose_of(l: &LowerTriangularCsr) -> Self {
+        let csc = l.csr().to_csc();
+        // Lᵀ in CSR = L in CSC with rows/columns swapped: reuse the arrays.
+        let csr = CsrMatrix::new(
+            csc.n_cols(),
+            csc.n_rows(),
+            csc.col_ptr().to_vec(),
+            csc.row_idx().to_vec(),
+            csc.values().to_vec(),
+        )
+        .expect("CSC arrays of a valid matrix form a valid transposed CSR");
+        UpperTriangularCsr::try_new(csr).expect("transpose of unit-lower is upper with diagonal")
+    }
+
+    /// The underlying CSR matrix.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.inner
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.inner.n_rows()
+    }
+
+    /// Reverses the index order (`i → n−1−i`), producing the equivalent
+    /// lower-triangular system: `U x = b ⇔ L x' = b'` with
+    /// `L = R U R`, `x' = R x`, `b' = R b` for the reversal matrix `R`.
+    pub fn to_reversed_lower(&self) -> LowerTriangularCsr {
+        let n = self.n();
+        let rev = |i: u32| (n as u32 - 1) - i;
+        let mut coo = crate::coo::CooMatrix::with_capacity(n, n, self.inner.nnz());
+        for (r, c, v) in self.inner.iter() {
+            coo.push(rev(r), rev(c), v);
+        }
+        LowerTriangularCsr::try_new(CsrMatrix::from_coo(&coo))
+            .expect("reversal of upper-triangular is lower-triangular")
+    }
+}
+
+/// Serial backward substitution for `U x = b`.
+pub fn solve_serial_upper(u: &UpperTriangularCsr, b: &[f64]) -> Vec<f64> {
+    let n = u.n();
+    assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let (cols, vals) = u.csr().row(i);
+        let mut sum = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals).skip(1) {
+            sum += v * x[c as usize];
+        }
+        x[i] = (b[i] - sum) / vals[0];
+    }
+    x
+}
+
+/// Reverses a dense vector in place-order (`out[i] = v[n−1−i]`).
+pub fn reverse_vector(v: &[f64]) -> Vec<f64> {
+    v.iter().rev().copied().collect()
+}
+
+#[cfg(test)]
+mod upper_tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::linalg;
+
+    fn upper_example() -> UpperTriangularCsr {
+        let trips = [
+            (0u32, 0u32, 2.0),
+            (0, 2, 0.5),
+            (1, 1, 1.0),
+            (1, 3, -0.25),
+            (2, 2, 4.0),
+            (3, 3, 1.0),
+        ];
+        let coo = CooMatrix::from_triplets(4, 4, trips).unwrap();
+        UpperTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_lower_entries_and_missing_diag() {
+        let coo = CooMatrix::from_triplets(2, 2, [(0u32, 0u32, 1.0), (1, 0, 1.0), (1, 1, 1.0)])
+            .unwrap();
+        assert!(UpperTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).is_err());
+        let coo = CooMatrix::from_triplets(2, 2, [(0u32, 1u32, 1.0), (1, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            UpperTriangularCsr::try_new(CsrMatrix::from_coo(&coo)),
+            Err(SparseError::BadDiagonal { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn serial_backward_substitution_solves() {
+        let u = upper_example();
+        let x_true = vec![1.0, -2.0, 3.0, 4.0];
+        // b = U x_true
+        let b = linalg::spmv(u.csr(), &x_true);
+        let x = solve_serial_upper(&u, &b);
+        for (a, e) in x.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reversal_reduces_upper_to_lower() {
+        let u = upper_example();
+        let l = u.to_reversed_lower();
+        assert!(l.csr().is_lower_triangular());
+        let x_true = vec![1.0, -2.0, 3.0, 4.0];
+        let b = linalg::spmv(u.csr(), &x_true);
+        // Solve the reversed lower system with the forward reference.
+        let b_rev = reverse_vector(&b);
+        let x_rev = crate::linalg::spmv(l.csr(), &reverse_vector(&x_true));
+        for (a, e) in x_rev.iter().zip(&b_rev) {
+            assert!((a - e).abs() < 1e-12, "reversed system must reproduce reversed rhs");
+        }
+    }
+
+    #[test]
+    fn transpose_of_lower_is_valid_upper() {
+        let l = crate::gen::random_k(300, 3, 300, 77);
+        let u = UpperTriangularCsr::transpose_of(&l);
+        assert_eq!(u.n(), 300);
+        assert_eq!(u.csr().nnz(), l.nnz());
+        // (Lᵀ)ᵀ = L.
+        let back = u.csr().to_csc();
+        let back = CsrMatrix::new(
+            back.n_cols(),
+            back.n_rows(),
+            back.col_ptr().to_vec(),
+            back.row_idx().to_vec(),
+            back.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(&back, l.csr());
+    }
+}

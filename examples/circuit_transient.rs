@@ -1,0 +1,52 @@
+//! Transient circuit simulation: one factorization, thousands of triangular
+//! solves. This is where preprocessing cost matters (the paper's Table 1
+//! argument): Level-Set amortizes poorly at small step counts, while
+//! CapelliniSpTRSV starts paying off from the very first solve.
+//!
+//! ```text
+//! cargo run --release --example circuit_transient
+//! ```
+
+use capellini_sptrsv::core::Algorithm;
+use capellini_sptrsv::prelude::*;
+
+fn main() {
+    // A circuit-shaped factor: rails, local couplings, shallow levels.
+    let l = gen::circuit_like(20_000, 5, 600, 7);
+    let stats = MatrixStats::compute(&l);
+    println!(
+        "circuit factor: n = {}, nnz = {}, nnz/row = {:.2}, granularity = {:.3}\n",
+        stats.n, stats.nnz, stats.nnz_row, stats.granularity
+    );
+
+    let device = DeviceConfig::pascal_like().scaled_down(4);
+    let b: Vec<f64> = (0..l.n()).map(|i| ((i % 13) as f64 - 6.0) * 1e-3).collect();
+
+    println!(
+        "{:<22} {:>14} {:>12} {:>16} {:>16}",
+        "algorithm", "preprocess ms", "solve ms", "10 steps (ms)", "1000 steps (ms)"
+    );
+    for algo in [
+        Algorithm::LevelSet,
+        Algorithm::SyncFree,
+        Algorithm::CusparseLike,
+        Algorithm::CapelliniWritingFirst,
+    ] {
+        let rep = capellini_sptrsv::core::solve_simulated(&device, &l, &b, algo)
+            .expect("all algorithms solve a circuit factor");
+        // Preprocessing runs once; every transient step repeats the solve.
+        let total = |steps: f64| rep.preprocessing_ms + steps * rep.exec_ms;
+        println!(
+            "{:<22} {:>14.3} {:>12.3} {:>16.2} {:>16.2}",
+            algo.label(),
+            rep.preprocessing_ms,
+            rep.exec_ms,
+            total(10.0),
+            total(1000.0)
+        );
+    }
+
+    println!(
+        "\nCapelliniSpTRSV needs no analysis phase, so it leads at every step count;\nLevel-Set's analysis only amortizes if the factor is reused many times *and*\nits per-solve time is competitive (it is not on shallow circuit DAGs)."
+    );
+}

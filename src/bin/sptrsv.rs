@@ -1,0 +1,223 @@
+//! `sptrsv` — command-line sparse triangular solver.
+//!
+//! ```text
+//! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|auto]
+//!                [--device pascal|volta|turing] [--cpu [THREADS]] [--out x.txt]
+//! sptrsv stats   --matrix L.mtx
+//! sptrsv gen     --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]
+//! ```
+//!
+//! `solve` reads a Matrix Market file, extracts the unit-lower factor the
+//! way the paper prepares its dataset (keep lower-left entries, unit
+//! diagonal) unless the matrix already is lower-triangular, then solves on
+//! the simulated GPU (or natively on CPU threads with `--cpu`) and reports
+//! the paper's metrics.
+
+use std::fs;
+use std::io::BufReader;
+use std::process::exit;
+
+use capellini_sptrsv::core::{solve_simulated, Algorithm, Solver};
+use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::sparse::{io as mmio, CsrMatrix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    match cmd.as_str() {
+        "solve" => cmd_solve(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        _ => {
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_matrix(args: &[String]) -> LowerTriangularCsr {
+    let Some(path) = flag_value(args, "--matrix") else {
+        eprintln!("--matrix is required");
+        exit(2);
+    };
+    let file = fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    let coo = mmio::read_matrix_market(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    });
+    let csr = CsrMatrix::from_coo(&coo);
+    match LowerTriangularCsr::try_new(csr.clone()) {
+        Ok(l) => l,
+        Err(_) => {
+            eprintln!("note: matrix is not lower-triangular; extracting the unit-lower factor (paper 5.1 rule)");
+            LowerTriangularCsr::unit_lower_from(&csr).unwrap_or_else(|e| {
+                eprintln!("cannot build a triangular factor: {e}");
+                exit(1);
+            })
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) {
+    let l = load_matrix(args);
+    print!("{}", capellini_sptrsv::sparse::diagnostics::report(&l));
+    let s = MatrixStats::compute(&l);
+    let rec = capellini_sptrsv::core::recommend(&s);
+    println!("\nrecommended algorithm = {}", rec.label());
+}
+
+fn parse_algo(name: &str) -> Option<Algorithm> {
+    Some(match name {
+        "capellini" | "writing-first" => Algorithm::CapelliniWritingFirst,
+        "two-phase" => Algorithm::CapelliniTwoPhase,
+        "syncfree" => Algorithm::SyncFree,
+        "syncfree-csc" => Algorithm::SyncFreeCsc,
+        "cusparse" => Algorithm::CusparseLike,
+        "levelset" => Algorithm::LevelSet,
+        "hybrid" => Algorithm::Hybrid,
+        _ => return None,
+    })
+}
+
+fn cmd_solve(args: &[String]) {
+    let l = load_matrix(args);
+    let n = l.n();
+    let b: Vec<f64> = match flag_value(args, "--rhs") {
+        Some(path) => {
+            let text = fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            let vals: Result<Vec<f64>, _> =
+                text.split_whitespace().map(|t| t.parse::<f64>()).collect();
+            let vals = vals.unwrap_or_else(|e| {
+                eprintln!("bad rhs value: {e}");
+                exit(1);
+            });
+            if vals.len() != n {
+                eprintln!("rhs has {} values, matrix needs {n}", vals.len());
+                exit(1);
+            }
+            vals
+        }
+        None => {
+            eprintln!("note: no --rhs given, using b = L*ones (exact solution = ones)");
+            linalg::rhs_for_solution(&l, &vec![1.0; n])
+        }
+    };
+
+    let solver = Solver::new(l);
+    let x = if has_flag(args, "--cpu") {
+        let threads = flag_value(args, "--cpu").and_then(|v| v.parse().ok()).unwrap_or(4);
+        let t0 = std::time::Instant::now();
+        let x = solver.solve_cpu(&b, threads);
+        eprintln!("cpu self-scheduled solve ({threads} threads): {:.2?}", t0.elapsed());
+        x
+    } else {
+        let algo = match flag_value(args, "--algo") {
+            None | Some("auto") => solver.recommend(),
+            Some(name) => parse_algo(name).unwrap_or_else(|| {
+                eprintln!("unknown algorithm {name}");
+                exit(2);
+            }),
+        };
+        let device = match flag_value(args, "--device").unwrap_or("pascal") {
+            "pascal" => DeviceConfig::pascal_like(),
+            "volta" => DeviceConfig::volta_like(),
+            "turing" => DeviceConfig::turing_like(),
+            other => {
+                eprintln!("unknown device {other}");
+                exit(2);
+            }
+        }
+        .scaled_down(4);
+        let rep = solve_simulated(&device, solver.matrix(), &b, algo).unwrap_or_else(|e| {
+            eprintln!("solve failed: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "{} on simulated {}: {:.3} ms exec (+{:.3} ms preprocessing), {:.2} GFLOPS, {:.1} GB/s",
+            algo.label(),
+            device.name,
+            rep.exec_ms,
+            rep.preprocessing_ms,
+            rep.gflops,
+            rep.bandwidth_gbs
+        );
+        rep.x
+    };
+
+    let res = linalg::residual_inf(solver.matrix(), &x, &b);
+    eprintln!("residual |Lx-b|_inf = {res:.3e}");
+    match flag_value(args, "--out") {
+        Some(path) => {
+            let text: String = x.iter().map(|v| format!("{v:.17e}\n")).collect();
+            fs::write(path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!("solution written to {path}");
+        }
+        None => {
+            let preview: Vec<String> = x.iter().take(8).map(|v| format!("{v:.6}")).collect();
+            println!("x[0..8] = [{}]", preview.join(", "));
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) {
+    let n: usize = flag_value(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let kind = flag_value(args, "--kind").unwrap_or("powerlaw");
+    let l = match kind {
+        "powerlaw" => gen::powerlaw(n, 3.0, seed),
+        "circuit" => gen::circuit_like(n, 4, 800, seed),
+        "stencil" => {
+            let side = (n as f64).cbrt().ceil() as usize;
+            gen::stencil3d(side, side, side, seed)
+        }
+        "lp" => gen::ultra_sparse_wide(n, 16, 1, seed),
+        "band" => gen::dense_band(n, 32, seed),
+        other => {
+            eprintln!("unknown kind {other}");
+            exit(2);
+        }
+    };
+    let Some(path) = flag_value(args, "--out") else {
+        eprintln!("--out is required");
+        exit(2);
+    };
+    let mut file = fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        exit(1);
+    });
+    mmio::write_matrix_market(&mut file, l.csr()).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    let s = MatrixStats::compute(&l);
+    eprintln!(
+        "wrote {kind} matrix to {path}: n = {}, nnz = {}, granularity = {:.3}",
+        s.n, s.nnz, s.granularity
+    );
+}

@@ -1,0 +1,22 @@
+//! # capellini-sptrsv
+//!
+//! Facade crate for the CapelliniSpTRSV reproduction (ICPP 2020): re-exports
+//! the sparse-matrix substrate, the SIMT GPU simulator, and the SpTRSV
+//! algorithm library under one roof so examples and downstream users need a
+//! single dependency.
+//!
+//! See the README for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub use capellini_core as core;
+pub use capellini_simt as simt;
+pub use capellini_sparse as sparse;
+
+/// One-stop prelude: matrix types, generators, devices, and solvers.
+pub mod prelude {
+    pub use capellini_core::prelude::*;
+    pub use capellini_simt::prelude::*;
+    pub use capellini_sparse::prelude::*;
+}

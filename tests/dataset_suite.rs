@@ -1,0 +1,96 @@
+//! Dataset health: the evaluation suite and named stand-ins must keep the
+//! statistical shape the experiments rely on (these tests guard the
+//! generators against regressions that would silently invalidate
+//! EXPERIMENTS.md).
+
+use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::sparse::dataset;
+
+#[test]
+fn suite_counts_and_families() {
+    let s = dataset::suite(Scale::Small);
+    assert_eq!(s.len(), 245, "the paper evaluates 245 matrices");
+    let family = |prefix: &str| s.iter().filter(|e| e.name.starts_with(prefix)).count();
+    // §5.2 domain shares: 42% graphs, 13.9% circuits, 11% combinatorial,
+    // 9.4% LP, 8.6% optimization.
+    assert_eq!(family("graph"), 103);
+    assert_eq!(family("circuit"), 34);
+    assert_eq!(family("combinatorial"), 27);
+    assert_eq!(family("lp"), 23);
+    assert_eq!(family("optimization"), 21);
+    assert_eq!(family("other"), 37);
+}
+
+#[test]
+fn table6_standins_match_published_statistics() {
+    // Published: rajat29 (α 4.89, β 14636), bayer01 (α 3.39, β 9622),
+    // circuit5M_dc (α 3.02, β 12812). Ours match α within ~0.5 and β within
+    // ~35% at full scale.
+    let checks = [
+        (dataset::rajat29_like(Scale::Full), 4.89, 14636.0),
+        (dataset::bayer01_like(Scale::Full), 3.39, 9622.0),
+        (dataset::circuit5m_dc_like(Scale::Full), 3.02, 12812.0),
+    ];
+    for (entry, alpha, beta) in checks {
+        let (_, s) = entry.build_with_stats();
+        assert!(
+            (s.nnz_row - alpha).abs() < 0.6,
+            "{}: nnz_row {} vs published {alpha}",
+            entry.name,
+            s.nnz_row
+        );
+        assert!(
+            (s.n_level / beta - 1.0).abs() < 0.35,
+            "{}: n_level {} vs published {beta}",
+            entry.name,
+            s.n_level
+        );
+        assert!(s.granularity > 0.7, "{}: granularity {}", entry.name, s.granularity);
+    }
+}
+
+#[test]
+fn lp1_standin_sits_at_the_granularity_extreme() {
+    let (_, s) = dataset::lp1_like(Scale::Full).build_with_stats();
+    assert!(s.granularity > 1.1, "lp1 published δ = 1.18, got {}", s.granularity);
+    assert_eq!(s.n_levels, 2);
+}
+
+#[test]
+fn cant_standin_is_the_warp_level_regime() {
+    let (_, s) = dataset::cant_like(Scale::Full).build_with_stats();
+    assert!(s.nnz_row > 25.0);
+    assert!(s.granularity < 0.0);
+}
+
+#[test]
+fn full_suite_matrices_have_healthy_structure() {
+    for e in dataset::suite(Scale::Small) {
+        let (m, s) = e.build_with_stats();
+        assert!(m.is_unit_diagonal(), "{}", e.name);
+        assert!(s.nnz >= s.n, "{}", e.name);
+        assert!(s.n >= 64, "{}", e.name);
+    }
+}
+
+#[test]
+fn full_scale_suite_meets_the_granularity_gate() {
+    // The paper's gate: granularity > 0.7. Statistics (not simulation), so
+    // full scale is affordable; a small minority of borderline graph
+    // instances may fall just under.
+    let s = dataset::suite(Scale::Full);
+    let high = s.iter().filter(|e| e.build_with_stats().1.granularity > 0.7).count();
+    assert!(
+        high * 100 >= s.len() * 90,
+        "only {high}/{} full-scale entries exceed granularity 0.7",
+        s.len()
+    );
+}
+
+#[test]
+fn scales_shrink_sizes_monotonically() {
+    let f = dataset::wiki_talk_like(Scale::Full).build().n();
+    let m = dataset::wiki_talk_like(Scale::Medium).build().n();
+    let s = dataset::wiki_talk_like(Scale::Small).build().n();
+    assert!(f > m && m > s);
+}

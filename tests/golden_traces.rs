@@ -1,0 +1,109 @@
+//! Golden regression tests: exact cycle/instruction counts of each kernel
+//! on the paper's 8×8 example over the deterministic toy device. These pin
+//! the simulator's semantics — any change to the divergence stack, the
+//! scheduler, or a kernel's control-flow graph shows up as a diff here and
+//! must be reviewed against Figure 2's schedule.
+
+use capellini_sptrsv::core::kernels::{
+    levelset, syncfree, syncfree_csc, two_phase, writing_first,
+};
+use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::simt::GpuDevice;
+use capellini_sptrsv::sparse::paper_example;
+
+fn toy() -> DeviceConfig {
+    DeviceConfig::toy()
+}
+
+fn problem() -> (LowerTriangularCsr, Vec<f64>, Vec<f64>) {
+    let l = paper_example();
+    let x_true: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+    let b = linalg::rhs_for_solution(&l, &x_true);
+    (l, b, x_true)
+}
+
+#[test]
+fn writing_first_golden() {
+    let (l, b, x_true) = problem();
+    let mut dev = GpuDevice::new(toy());
+    let out = writing_first::solve(&mut dev, &l, &b).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-12);
+    // 8 rows over 3-lane warps = 3 warps; the Figure-2c schedule.
+    assert_eq!(out.stats.warps_launched, 3);
+    assert_eq!(out.stats.cycles, 92, "writing-first cycle count changed");
+    assert_eq!(out.stats.warp_instructions, 129, "writing-first instruction count changed");
+}
+
+#[test]
+fn syncfree_golden() {
+    let (l, b, x_true) = problem();
+    let mut dev = GpuDevice::new(toy());
+    let out = syncfree::solve(&mut dev, &l, &b).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-12);
+    // One warp per component: Figure 2b.
+    assert_eq!(out.stats.warps_launched, 8);
+    assert_eq!(out.stats.cycles, 109, "syncfree cycle count changed");
+    assert_eq!(out.stats.warp_instructions, 186, "syncfree instruction count changed");
+}
+
+#[test]
+fn two_phase_golden() {
+    let (l, b, x_true) = problem();
+    let mut dev = GpuDevice::new(toy());
+    let out = two_phase::solve(&mut dev, &l, &b).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-12);
+    let wf_cycles = 92;
+    assert!(
+        out.stats.cycles >= wf_cycles,
+        "two-phase ({}) should not beat writing-first ({wf_cycles}) on the example",
+        out.stats.cycles
+    );
+}
+
+#[test]
+fn levelset_golden() {
+    let (l, b, x_true) = problem();
+    let mut dev = GpuDevice::new(toy());
+    let out = levelset::solve(&mut dev, &l, &b).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-12);
+    // Four launches (one per level, Figure 2a) with per-launch overhead.
+    assert_eq!(out.stats.launches, 4);
+    assert_eq!(out.stats.cycles, 116, "level-set cycle count changed");
+}
+
+#[test]
+fn figure2_ordering_holds() {
+    // The paper's Figure 2: (a) Level-Set slowest, (b) warp-level SyncFree
+    // middle, (c) thread-level Capellini fastest.
+    let (l, b, _) = problem();
+    let cycles = |f: &dyn Fn(&mut GpuDevice) -> u64| {
+        let mut dev = GpuDevice::new(toy());
+        f(&mut dev)
+    };
+    let a = cycles(&|d| levelset::solve(d, &l, &b).unwrap().stats.cycles);
+    let bb = cycles(&|d| syncfree::solve(d, &l, &b).unwrap().stats.cycles);
+    let c = cycles(&|d| writing_first::solve(d, &l, &b).unwrap().stats.cycles);
+    assert!(a > bb, "level-set {a} must exceed syncfree {bb}");
+    assert!(bb > c, "syncfree {bb} must exceed capellini {c}");
+}
+
+#[test]
+fn csc_formulation_solves_the_example() {
+    let (l, b, x_true) = problem();
+    let mut dev = GpuDevice::new(toy());
+    let out = syncfree_csc::solve(&mut dev, &l, &b).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-12);
+    assert!(out.stats.atomic_ops > 0, "the scatter form must use atomics");
+}
+
+#[test]
+fn traces_are_bitwise_reproducible() {
+    let (l, b, _) = problem();
+    let run = || {
+        let mut dev = GpuDevice::new(toy());
+        let mut tr = capellini_sptrsv::simt::Trace::new();
+        writing_first::solve_traced(&mut dev, &l, &b, &mut tr).unwrap();
+        tr.render()
+    };
+    assert_eq!(run(), run());
+}
