@@ -1,0 +1,87 @@
+//! Engine overhead bench: simulated warp-instructions per second of host
+//! time, the figure of merit for the SIMT engine's hot path (warp pooling,
+//! the converged fast path, and coalescing scratch reuse).
+//!
+//! Three workloads stress different engine paths:
+//!
+//! * `writing_first/random_k` — spin-heavy thread-level kernel, long
+//!   divergent stretches (stack churn, poll-dominated instructions);
+//! * `syncfree/random_k` — the warp-level baseline on the same matrix;
+//! * `levelset/layered` — thousands of tiny launches per solve, which is
+//!   what the cross-launch warp-allocation pool exists for.
+//!
+//! Throughput is reported as Criterion elements/sec where one element is
+//! one simulated warp instruction, so higher is a faster engine — the
+//! simulated results themselves are identical by construction (the
+//! `golden_traces` test pins every `LaunchStats` bit).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Counting allocator: heap allocations per solve are a deterministic
+/// figure (unlike wall-clock on a shared machine), so the bench prints them
+/// alongside throughput to pin the engine's allocation behaviour.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::gen;
+use capellini_sparse::LowerTriangularCsr;
+
+fn cases() -> Vec<(&'static str, Algorithm, LowerTriangularCsr)> {
+    vec![
+        ("writing_first/random_k", Algorithm::CapelliniWritingFirst, gen::random_k(6000, 4, 6000, 7)),
+        ("syncfree/random_k", Algorithm::SyncFree, gen::random_k(6000, 4, 6000, 7)),
+        ("levelset/layered", Algorithm::LevelSet, gen::layered(4000, 40, 3, 11)),
+    ]
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    for (name, algo, l) in cases() {
+        let b = vec![1.0; l.n()];
+        // One calibration solve measures the simulated instruction count so
+        // throughput reads as simulated warp-instructions per host second.
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        let rep = solve_simulated(&cfg, &l, &b, algo).expect("solve succeeds");
+        let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+        println!(
+            "[engine_overhead] {name}: {} warp instrs, {allocs} heap allocs \
+             ({bytes} bytes) per solve",
+            rep.stats.warp_instructions
+        );
+        let mut g = c.benchmark_group("engine_overhead");
+        g.warm_up_time(Duration::from_millis(500));
+        g.measurement_time(Duration::from_secs(2));
+        g.throughput(Throughput::Elements(rep.stats.warp_instructions));
+        g.bench_with_input(BenchmarkId::new(name, l.nnz()), &l, |bch, l| {
+            bch.iter(|| solve_simulated(&cfg, l, &b, algo).unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine_overhead);
+criterion_main!(benches);

@@ -1,20 +1,25 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale small|medium|full] [--limit N]
+//! repro <experiment> [--scale small|medium|full] [--limit N] [--threads N]
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!              ablation hybrid deadlock all
+//!              ablation hybrid deadlock sweep-timing all
 //! ```
 //!
 //! Sweep results are cached as CSV under `results/` (override with
 //! `CAPELLINI_RESULTS_DIR`), so re-running a table reuses the expensive run.
+//!
+//! `--threads N` (or `CAPELLINI_THREADS=N`) runs sweeps on N worker
+//! threads; the cached CSVs are byte-identical to a serial sweep, only the
+//! wall-clock changes. `sweep-timing` measures that speedup and writes
+//! `results/sweep_timing.json`.
 
 use std::fs;
 use std::time::Instant;
 
 use capellini_bench::experiments as exp;
-use capellini_bench::runner::results_dir;
+use capellini_bench::runner::{self, results_dir};
 use capellini_sparse::dataset::Scale;
 
 fn main() {
@@ -44,13 +49,24 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                i += 1;
+                let threads: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).filter(|&t| t >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--threads needs a number >= 1");
+                            std::process::exit(2);
+                        },
+                    );
+                runner::set_default_threads(threads);
+            }
             other => which.push(other.to_string()),
         }
         i += 1;
     }
     if which.is_empty() {
         eprintln!(
-            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|all> [--scale small|medium|full] [--limit N]"
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -112,6 +128,7 @@ fn main() {
             "ablation" => exp::ablation(scale),
             "csc" => exp::csc(scale),
             "hybrid" => exp::hybrid(scale),
+            "sweep-timing" => exp::sweep_timing(scale, limit),
             "deadlock" => exp::deadlock(),
             other => {
                 eprintln!("unknown experiment: {other}");

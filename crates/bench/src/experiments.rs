@@ -901,6 +901,64 @@ of {} cycles):
     )
 }
 
+// ------------------------------------------------- Parallel sweep timing
+
+/// Supplementary: wall-clock of the evaluation sweep run serially vs on the
+/// worker-pool runner, verifying the two produce identical cells. Writes
+/// `results/sweep_timing.json` with `{serial_s, parallel_s, threads,
+/// speedup}`. `limit` truncates the suite (0 = all of it).
+pub fn sweep_timing(scale: Scale, limit: usize) -> String {
+    use crate::runner::{results_dir, threads_from_env, Runner};
+    use std::time::Instant;
+
+    let all = dataset::suite(scale);
+    let take = if limit == 0 { all.len() } else { limit };
+    let entries: Vec<&DatasetEntry> = all.iter().take(take).collect();
+    let algos = Algorithm::evaluation_trio();
+    let plats = platforms();
+    // Use the configured thread count; if none was configured, pick
+    // something sensible for the demonstration.
+    let mut threads = threads_from_env();
+    if threads < 2 {
+        threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8);
+    }
+
+    eprintln!("[sweep-timing] serial pass over {} matrices...", entries.len());
+    let t0 = Instant::now();
+    let serial = Runner { threads: 1, results_dir: results_dir() }
+        .sweep("sweep-timing(serial)", &entries, &algos, &plats);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    eprintln!("[sweep-timing] parallel pass with {threads} threads...");
+    let t1 = Instant::now();
+    let parallel = Runner::with_threads(threads)
+        .sweep("sweep-timing(parallel)", &entries, &algos, &plats);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(serial, parallel, "parallel sweep must reproduce the serial cells exactly");
+    let speedup = serial_s / parallel_s;
+
+    let json = format!(
+        "{{\n  \"serial_s\": {serial_s:.3},\n  \"parallel_s\": {parallel_s:.3},\n  \"threads\": {threads},\n  \"speedup\": {speedup:.3},\n  \"matrices\": {},\n  \"cells\": {},\n  \"identical\": true\n}}\n",
+        entries.len(),
+        serial.len(),
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("sweep_timing.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("[sweep-timing] could not write {}: {e}", path.display());
+    }
+
+    format!(
+        "Parallel evaluation sweep: wall-clock comparison ({} matrices x {} algorithms x {} platforms)\n\n  serial:   {serial_s:>8.2} s\n  {threads} threads: {parallel_s:>7.2} s\n  speedup:  {speedup:>8.2}x\n  results:  identical ({} cells, bitwise)\n",
+        entries.len(),
+        algos.len(),
+        plats.len(),
+        serial.len(),
+    )
+}
+
 // ---------------------------------------------------------------- Deadlock
 
 /// §3.3 Challenge 1: the naive thread-level busy-wait deadlocks under

@@ -2,8 +2,15 @@
 //! simulator, verifies every solve against the serial reference, and caches
 //! results as CSV under `results/` so each table/figure command can reuse
 //! one expensive sweep.
+//!
+//! Sweeps run on a scoped-thread worker pool ([`Runner`]): one job per
+//! dataset entry (a matrix build plus all its platform × algorithm cells),
+//! pulled from a shared queue. Each job writes into its own result slot, so
+//! the flattened output — and therefore the cached CSV — is byte-identical
+//! to a serial sweep regardless of thread count or scheduling.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use capellini_core::{solve_simulated, Algorithm};
@@ -160,9 +167,217 @@ fn scale_tag(scale: Scale) -> &'static str {
     }
 }
 
-/// Runs `entries × algorithms × platforms`, verifying each solve, with CSV
-/// caching keyed by `cache_name` and scale. `limit` truncates the entry
-/// list (0 = all).
+/// Default worker count for sweeps that don't pick one explicitly; set once
+/// at startup (e.g. from `repro --threads`). 0 means "not set".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default sweep thread count (used by
+/// [`Runner::from_env`] when `CAPELLINI_THREADS` is absent).
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Resolves the sweep thread count: `CAPELLINI_THREADS` env var, then
+/// [`set_default_threads`], then 1 (serial).
+pub fn threads_from_env() -> usize {
+    std::env::var("CAPELLINI_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| DEFAULT_THREADS.load(Ordering::Relaxed).max(1))
+}
+
+/// The sweep executor: a worker pool of `threads` scoped threads pulling
+/// dataset entries from a shared queue.
+///
+/// Results are deterministic and ordering-stable by construction: every
+/// entry owns a pre-allocated output slot, each (platform × algorithm) cell
+/// inside a slot is produced in the same nested-loop order as a serial
+/// sweep, and the simulator itself is cycle-deterministic. Only wall-clock
+/// — never output — depends on the thread count.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Worker threads for sweeps (1 = run on the calling thread).
+    pub threads: usize,
+    /// Directory for cached sweep CSVs.
+    pub results_dir: PathBuf,
+}
+
+impl Runner {
+    /// A runner honoring `CAPELLINI_THREADS` / `CAPELLINI_RESULTS_DIR`.
+    pub fn from_env() -> Self {
+        Runner { threads: threads_from_env(), results_dir: results_dir() }
+    }
+
+    /// A runner with an explicit thread count and the env results dir.
+    pub fn with_threads(threads: usize) -> Self {
+        Runner { threads: threads.max(1), results_dir: results_dir() }
+    }
+
+    /// Runs `entries × algorithms × platforms`, verifying each solve, with
+    /// CSV caching keyed by `cache_name` and scale. `limit` truncates the
+    /// entry list (0 = all).
+    ///
+    /// Caches are versioned: a `<cache>.csv.meta` sidecar records the
+    /// schema version and a fingerprint of the exact sweep inputs (dataset
+    /// recipes, seeds, algorithms, device configs). A cache whose sidecar
+    /// disagrees is stale — the sweep re-runs. A cache with no sidecar
+    /// (from before versioning existed) is accepted once and stamped.
+    pub fn run_grid(
+        &self,
+        cache_name: &str,
+        scale: Scale,
+        entries: &[DatasetEntry],
+        algorithms: &[Algorithm],
+        platforms: &[DeviceConfig],
+        limit: usize,
+    ) -> Vec<CellResult> {
+        let path = self.results_dir.join(format!("{cache_name}_{}.csv", scale_tag(scale)));
+        let entries: Vec<&DatasetEntry> =
+            entries.iter().take(if limit == 0 { entries.len() } else { limit }).collect();
+        let expected = entries.len() * algorithms.len() * platforms.len();
+        let meta = cache_meta(scale, &entries, algorithms, platforms);
+        if let Some(cached) = load_cache(&path, expected) {
+            match read_sidecar(&path) {
+                Some(found) if found == meta => {
+                    eprintln!(
+                        "[runner] reusing {} cached cells from {}",
+                        cached.len(),
+                        path.display()
+                    );
+                    return cached;
+                }
+                Some(_) => {
+                    eprintln!(
+                        "[runner] cache {} is stale (input fingerprint changed); re-sweeping",
+                        path.display()
+                    );
+                }
+                None => {
+                    eprintln!(
+                        "[runner] stamping unversioned cache {} (reusing {} cells)",
+                        path.display(),
+                        cached.len()
+                    );
+                    write_sidecar(&path, &meta);
+                    return cached;
+                }
+            }
+        }
+
+        let out = self.sweep(cache_name, &entries, algorithms, platforms);
+        save_cache(&path, &out);
+        write_sidecar(&path, &meta);
+        out
+    }
+
+    /// Executes the sweep (no cache involvement) and returns the flattened,
+    /// entry-ordered cell list.
+    pub fn sweep(
+        &self,
+        cache_name: &str,
+        entries: &[&DatasetEntry],
+        algorithms: &[Algorithm],
+        platforms: &[DeviceConfig],
+    ) -> Vec<CellResult> {
+        let t0 = Instant::now();
+        let n_entries = entries.len();
+        let workers = self.threads.min(n_entries.max(1));
+
+        // One slot per entry keeps the output independent of scheduling.
+        let mut slots: Vec<Option<Vec<CellResult>>> = vec![None; n_entries];
+
+        if workers <= 1 {
+            for (mi, (entry, slot)) in entries.iter().zip(slots.iter_mut()).enumerate() {
+                *slot = Some(run_entry(entry, algorithms, platforms));
+                progress(cache_name, mi + 1, n_entries, &t0);
+            }
+        } else {
+            // Shared work queue: workers claim the next unclaimed entry
+            // index, keep (index, cells) locally, and the results are
+            // merged into the slots after the scope joins. A worker panic
+            // (e.g. a failed verification) propagates through `join`.
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            let results: Vec<(usize, Vec<CellResult>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n_entries {
+                                    break;
+                                }
+                                local.push((i, run_entry(entries[i], algorithms, platforms)));
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                progress(cache_name, finished, n_entries, &t0);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+            for (i, cells) in results {
+                slots[i] = Some(cells);
+            }
+        }
+
+        slots.into_iter().flatten().flatten().collect()
+    }
+}
+
+/// Builds one entry's matrix and runs all its platform × algorithm cells,
+/// in the same nested order as the historical serial sweep.
+fn run_entry(
+    entry: &DatasetEntry,
+    algorithms: &[Algorithm],
+    platforms: &[DeviceConfig],
+) -> Vec<CellResult> {
+    let (l, stats) = entry.build_with_stats();
+    let (b, x_ref) = make_problem(&l);
+    let mut cells = Vec::with_capacity(algorithms.len() * platforms.len());
+    for cfg in platforms {
+        for &algo in algorithms {
+            match run_cell(cfg, &entry.name, &l, &stats, &b, &x_ref, algo) {
+                Ok(cell) => {
+                    assert!(
+                        cell.rel_err < 1e-9,
+                        "{} / {} / {}: relative error {:.3e}",
+                        entry.name,
+                        cfg.name,
+                        algo.label(),
+                        cell.rel_err
+                    );
+                    cells.push(cell);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[runner] {} / {} / {}: SKIPPED ({e})",
+                        entry.name,
+                        cfg.name,
+                        algo.label()
+                    );
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn progress(cache_name: &str, finished: usize, total: usize, t0: &Instant) {
+    if finished % 10 == 0 || finished == total {
+        eprintln!(
+            "[runner] {cache_name}: {finished}/{total} matrices done in {:.1?}",
+            t0.elapsed()
+        );
+    }
+}
+
+/// Runs `entries × algorithms × platforms` with the env-configured runner
+/// ([`Runner::from_env`]): the historical entry point used by the
+/// experiment drivers.
 pub fn run_grid(
     cache_name: &str,
     scale: Scale,
@@ -171,58 +386,63 @@ pub fn run_grid(
     platforms: &[DeviceConfig],
     limit: usize,
 ) -> Vec<CellResult> {
-    let path = results_dir().join(format!("{cache_name}_{}.csv", scale_tag(scale)));
-    let entries: Vec<&DatasetEntry> =
-        entries.iter().take(if limit == 0 { entries.len() } else { limit }).collect();
-    let expected = entries.len() * algorithms.len() * platforms.len();
-    if let Some(cached) = load_cache(&path, expected) {
-        eprintln!("[runner] reusing {} cached cells from {}", cached.len(), path.display());
-        return cached;
-    }
+    Runner::from_env().run_grid(cache_name, scale, entries, algorithms, platforms, limit)
+}
 
-    let mut out: Vec<CellResult> = Vec::with_capacity(expected);
-    let t0 = Instant::now();
-    for (mi, entry) in entries.iter().enumerate() {
-        let (l, stats) = entry.build_with_stats();
-        let (b, x_ref) = make_problem(&l);
-        for cfg in platforms {
-            for &algo in algorithms {
-                let t = Instant::now();
-                match run_cell(cfg, &entry.name, &l, &stats, &b, &x_ref, algo) {
-                    Ok(cell) => {
-                        assert!(
-                            cell.rel_err < 1e-9,
-                            "{} / {} / {}: relative error {:.3e}",
-                            entry.name,
-                            cfg.name,
-                            algo.label(),
-                            cell.rel_err
-                        );
-                        out.push(cell);
-                    }
-                    Err(e) => {
-                        eprintln!(
-                            "[runner] {} / {} / {}: SKIPPED ({e})",
-                            entry.name,
-                            cfg.name,
-                            algo.label()
-                        );
-                    }
-                }
-                let _ = t;
-            }
-        }
-        if (mi + 1) % 10 == 0 || mi + 1 == entries.len() {
-            eprintln!(
-                "[runner] {cache_name}: {}/{} matrices done in {:.1?}",
-                mi + 1,
-                entries.len(),
-                t0.elapsed()
-            );
-        }
+/// Version of the cached-CSV schema (bump when `CellResult::HEADER` or any
+/// column's formatting changes).
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Canonical sidecar contents for a sweep: schema version plus an FNV-1a
+/// fingerprint of every input that determines the cells — dataset recipes
+/// and seeds, algorithm labels, and full device configurations.
+fn cache_meta(
+    scale: Scale,
+    entries: &[&DatasetEntry],
+    algorithms: &[Algorithm],
+    platforms: &[DeviceConfig],
+) -> String {
+    let mut canon = String::new();
+    canon.push_str(&format!("schema={CACHE_SCHEMA_VERSION};scale={};", scale_tag(scale)));
+    canon.push_str(&format!("header={};", CellResult::HEADER.join("|")));
+    for e in entries {
+        canon.push_str(&format!("entry={}:{}:{:?};", e.name, e.seed, e.spec));
     }
-    save_cache(&path, &out);
-    out
+    for a in algorithms {
+        canon.push_str(&format!("algo={};", a.label()));
+    }
+    for p in platforms {
+        canon.push_str(&format!("platform={p:?};"));
+    }
+    // FNV-1a, 64-bit.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canon.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!(
+        "schema_version={CACHE_SCHEMA_VERSION}\nfingerprint={h:016x}\nmatrices={}\nalgorithms={}\nplatforms={}\n",
+        entries.len(),
+        algorithms.len(),
+        platforms.len()
+    )
+}
+
+fn sidecar_path(csv_path: &Path) -> PathBuf {
+    let mut os = csv_path.as_os_str().to_os_string();
+    os.push(".meta");
+    PathBuf::from(os)
+}
+
+fn read_sidecar(csv_path: &Path) -> Option<String> {
+    std::fs::read_to_string(sidecar_path(csv_path)).ok()
+}
+
+fn write_sidecar(csv_path: &Path, meta: &str) {
+    let p = sidecar_path(csv_path);
+    if let Err(e) = std::fs::write(&p, meta) {
+        eprintln!("[runner] failed to write cache sidecar {}: {e}", p.display());
+    }
 }
 
 fn load_cache(path: &Path, expected: usize) -> Option<Vec<CellResult>> {
@@ -320,5 +540,86 @@ mod tests {
     fn mean_of_empty_is_nan() {
         assert!(mean(std::iter::empty()).is_nan());
         assert_eq!(mean([2.0, 4.0].into_iter()), 3.0);
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("capellini-runner-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small_entries() -> Vec<DatasetEntry> {
+        vec![
+            DatasetEntry { name: "rk".into(), spec: GenSpec::RandomK { n: 300, k: 2, window: 300 }, seed: 5 },
+            DatasetEntry { name: "band".into(), spec: GenSpec::Banded { n: 300, bandwidth: 64, fill: 0.04 }, seed: 6 },
+            DatasetEntry { name: "lay".into(), spec: GenSpec::Layered { n: 300, k: 3, layers: 3 }, seed: 7 },
+            DatasetEntry { name: "pl".into(), spec: GenSpec::PowerLaw { n: 300, avg_deg: 2.0 }, seed: 8 },
+        ]
+    }
+
+    /// The tentpole determinism guarantee: a worker-pool sweep produces the
+    /// same cells — and therefore the same CSV bytes — as a serial sweep.
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let dir = tmp_dir("det");
+        let entries = small_entries();
+        let refs: Vec<&DatasetEntry> = entries.iter().collect();
+        let algos = [Algorithm::CapelliniWritingFirst, Algorithm::SyncFree];
+        let plats = [DeviceConfig::pascal_like().scaled_down(4)];
+
+        let serial =
+            Runner { threads: 1, results_dir: dir.clone() }.sweep("det(1)", &refs, &algos, &plats);
+        let parallel =
+            Runner { threads: 4, results_dir: dir.clone() }.sweep("det(4)", &refs, &algos, &plats);
+        assert_eq!(serial, parallel);
+
+        let (pa, pb) = (dir.join("serial.csv"), dir.join("parallel.csv"));
+        save_cache(&pa, &serial);
+        save_cache(&pb, &parallel);
+        let (ba, bb) = (std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        assert!(!ba.is_empty());
+        assert_eq!(ba, bb, "CSV bytes must not depend on the thread count");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Cache versioning: matching sidecar reuses, changed inputs re-sweep,
+    /// missing sidecar (legacy cache) is stamped in place.
+    #[test]
+    fn cache_versioning_detects_stale_inputs() {
+        let dir = tmp_dir("meta");
+        let runner = Runner { threads: 1, results_dir: dir.clone() };
+        let plats = vec![DeviceConfig::pascal_like().scaled_down(4)];
+        let algos = [Algorithm::CapelliniWritingFirst];
+        let mk = |seed| {
+            vec![DatasetEntry {
+                name: "tiny".into(),
+                spec: GenSpec::RandomK { n: 200, k: 2, window: 200 },
+                seed,
+            }]
+        };
+
+        let first = runner.run_grid("vgrid", Scale::Small, &mk(5), &algos, &plats, 0);
+        let csv = dir.join("vgrid_small.csv");
+        let meta = sidecar_path(&csv);
+        assert!(meta.exists(), "sweep must write a sidecar");
+
+        // Same inputs: cache hit, identical cells.
+        let again = runner.run_grid("vgrid", Scale::Small, &mk(5), &algos, &plats, 0);
+        assert_eq!(first.len(), again.len());
+        assert_eq!(first[0].warp_instr, again[0].warp_instr);
+
+        // Legacy cache (no sidecar): reused once and stamped.
+        std::fs::remove_file(&meta).unwrap();
+        let stamped = runner.run_grid("vgrid", Scale::Small, &mk(5), &algos, &plats, 0);
+        assert_eq!(first[0].warp_instr, stamped[0].warp_instr);
+        assert!(meta.exists(), "legacy cache must be stamped");
+
+        // Changed dataset seed: fingerprint mismatch forces a re-sweep.
+        let resweep = runner.run_grid("vgrid", Scale::Small, &mk(77), &algos, &plats, 0);
+        assert_ne!(
+            first[0].warp_instr, resweep[0].warp_instr,
+            "stale cache must not be reused after the dataset changed"
+        );
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -34,11 +34,11 @@ pub fn solve_levelset_parallel(
     let values = l.csr().values();
     let barrier = Barrier::new(n_threads);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..n_threads {
             let x_bits = &x_bits;
             let barrier = &barrier;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for lvl in 0..levels.n_levels() {
                     let rows = levels.rows_in_level(lvl);
                     // Stripe the level's rows over the team.
@@ -62,8 +62,7 @@ pub fn solve_levelset_parallel(
                 }
             });
         }
-    })
-    .expect("solver threads do not panic");
+    });
 
     x_bits.iter().map(|v| f64::from_bits(v.load(Ordering::Relaxed))).collect()
 }

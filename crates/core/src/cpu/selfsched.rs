@@ -68,10 +68,10 @@ pub fn solve_selfsched(
         flags[i].store(1, Ordering::Release);
     };
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..n_threads {
             let solve_row = &solve_row;
-            s.spawn(move |_| match dist {
+            s.spawn(move || match dist {
                 Distribution::Cyclic => {
                     let mut i = t;
                     while i < n {
@@ -89,8 +89,7 @@ pub fn solve_selfsched(
                 }
             });
         }
-    })
-    .expect("solver threads do not panic");
+    });
 
     x_bits.iter().map(|v| f64::from_bits(v.load(Ordering::Relaxed))).collect()
 }

@@ -1,0 +1,331 @@
+//! Vendored, dependency-free stand-in for the `criterion` benchmark
+//! harness, so `cargo bench` works in fully offline builds.
+//!
+//! It accepts the same authoring API the workspace benches use
+//! (`benchmark_group`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`/`criterion_main!`) and measures with a plain
+//! calibrate-then-batch wall-clock loop: warm up for `warm_up_time` while
+//! growing the batch size, then run batches until `measurement_time`
+//! elapses and report mean time per iteration (plus throughput when
+//! configured). No statistics, plots, or saved baselines — compare runs by
+//! reading the printed means.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level harness handle; one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None }
+    }
+}
+
+impl Criterion {
+    /// Accepts a benchmark-name substring filter as the first free CLI
+    /// argument (flags such as `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (warm, meas) = (Duration::from_secs(1), Duration::from_secs(3));
+        run_one(self, id, warm, meas, None, &mut f);
+        self
+    }
+
+    /// Upstream prints a summary here; the stand-in has nothing to add.
+    pub fn final_summary(&self) {}
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the calibration time before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares work per iteration so results also print as throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            self.criterion,
+            &full,
+            self.warm_up,
+            self.measurement,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks a closure with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            self.criterion,
+            &full,
+            self.warm_up,
+            self.measurement,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; dropping also works).
+    pub fn finish(self) {}
+}
+
+/// Names one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` naming.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Parameter-only naming.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (the closure's result is black-boxed so
+    /// the computation is not optimized away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if !criterion.matches(id) {
+        return;
+    }
+    // Calibration: run growing batches until the warm-up budget is spent,
+    // targeting batches of ~10ms so measurement overhead stays negligible.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        if b.elapsed < Duration::from_millis(10) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    while total < measurement {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+
+    let per_iter_ns = total.as_secs_f64() * 1e9 / total_iters as f64;
+    let time = format_ns(per_iter_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * 1e9 / per_iter_ns;
+            println!("{id:<60} time: {time:>12}   thrpt: {} elem/s", format_rate(rate));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * 1e9 / per_iter_ns;
+            println!("{id:<60} time: {time:>12}   thrpt: {}B/s", format_rate(rate));
+        }
+        None => println!("{id:<60} time: {time:>12}   ({total_iters} iters)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Bundles benchmark functions into a runner, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_batches() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim");
+        g.warm_up_time(Duration::from_millis(5));
+        g.measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion { filter: Some("spmv".into()) };
+        assert!(c.matches("sparse/spmv/100"));
+        assert!(!c.matches("sparse/gen/100"));
+    }
+}

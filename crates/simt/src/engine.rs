@@ -33,13 +33,47 @@ use crate::trace::{Trace, TraceEvent};
 pub struct GpuDevice {
     config: DeviceConfig,
     mem: DeviceMemory,
+    /// Pooled per-warp allocations reused across launches. Level-set-style
+    /// algorithms issue thousands of small launches per solve; recycling the
+    /// stack/shared vectors keeps those launches allocation-free.
+    warp_scratch: Vec<WarpScratch>,
+    /// Pooled per-launch scratch (scheduler queues, SM bookkeeping,
+    /// per-instruction coalescing buffers) — every kernel-independent
+    /// allocation of `launch_inner`, reused across launches.
+    launch_scratch: LaunchScratch,
 }
 
+/// Kernel-independent per-launch allocations, pooled on the device.
+#[derive(Default)]
+struct LaunchScratch {
+    resident: Vec<usize>,
+    heap: Vec<Reverse<(u64, u32)>>,
+    sm_next_free: Vec<u64>,
+    sm_last_issue: Vec<u64>,
+    accesses: Vec<RawAccess>,
+    targets: Vec<(u32, Pc)>,
+    groups: Vec<(Pc, u64)>,
+}
+
+/// The kernel-independent allocations of a retired warp, kept for reuse by
+/// later launches (the lane vector is typed per kernel and is recycled
+/// within a launch instead).
+#[derive(Default)]
+struct WarpScratch {
+    stack: Vec<StackEntry>,
+    shared: Vec<f64>,
+}
+
+/// One reconvergence-stack entry. Deliberately 16 bytes: warp stacks are the
+/// hottest per-warp state, and divergent solves push/pop them constantly.
+#[derive(Clone, Copy)]
 struct StackEntry {
     pc: Pc,
     reconv: Pc,
     mask: u64,
 }
+
+const _: () = assert!(std::mem::size_of::<StackEntry>() == 16);
 
 struct WarpRt<L> {
     sm: usize,
@@ -91,7 +125,12 @@ struct StepOutcome {
 impl GpuDevice {
     /// Creates a device with empty memory.
     pub fn new(config: DeviceConfig) -> Self {
-        GpuDevice { config, mem: DeviceMemory::new() }
+        GpuDevice {
+            config,
+            mem: DeviceMemory::new(),
+            warp_scratch: Vec::new(),
+            launch_scratch: LaunchScratch::default(),
+        }
     }
 
     /// The device configuration.
@@ -157,32 +196,43 @@ impl GpuDevice {
         let sm_count = cfg.sm_count;
         let max_resident = cfg.max_warps_per_sm;
 
+        let shared_len = kernel.shared_per_warp();
         let mut warps: Vec<Option<WarpRt<K::Lane>>> = Vec::with_capacity(n_warps);
         warps.resize_with(n_warps, || None);
 
-        let make_warp = |kernel: &K, wid: usize, sm: usize| -> WarpRt<K::Lane> {
-            let lanes = (0..warp_size)
-                .map(|l| kernel.make_lane((wid * warp_size + l) as u32))
-                .collect();
-            WarpRt {
-                sm,
-                lanes,
-                alive: full_mask,
-                stack: vec![StackEntry { pc: 0, reconv: PC_EXIT, mask: full_mask }],
-                shared: vec![0.0; kernel.shared_per_warp()],
-            }
+        // Warp-allocation pool: new warps draw their stack/shared vectors
+        // from allocations retired by earlier launches, and within a launch
+        // a finished warp's `WarpRt` (lane vector included) is recycled
+        // wholesale for the next pending warp. Resetting reproduces a fresh
+        // warp's state exactly, so simulated results are unchanged.
+        let mut pool = std::mem::take(&mut self.warp_scratch);
+        let pool_cap = sm_count * max_resident;
+        let make_warp = |pool: &mut Vec<WarpScratch>, kernel: &K, wid: usize, sm: usize| {
+            let WarpScratch { mut stack, mut shared } = pool.pop().unwrap_or_default();
+            stack.clear();
+            stack.push(StackEntry { pc: 0, reconv: PC_EXIT, mask: full_mask });
+            shared.clear();
+            shared.resize(shared_len, 0.0);
+            let mut lanes = Vec::with_capacity(warp_size);
+            lanes.extend((0..warp_size).map(|l| kernel.make_lane((wid * warp_size + l) as u32)));
+            WarpRt { sm, lanes, alive: full_mask, stack, shared }
         };
 
-        // Initial residency: fill SMs round-robin.
-        let mut resident = vec![0usize; sm_count];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        // Initial residency: fill SMs round-robin. All kernel-independent
+        // launch state draws on the pooled `LaunchScratch` allocations.
+        let mut scratch = std::mem::take(&mut self.launch_scratch);
+        scratch.resident.clear();
+        scratch.resident.resize(sm_count, 0);
+        let mut resident = scratch.resident;
+        scratch.heap.clear();
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::from(scratch.heap);
         let mut next_pending = 0usize;
         'fill: for sm in (0..sm_count).cycle() {
             if next_pending >= n_warps {
                 break 'fill;
             }
             if resident[sm] < max_resident {
-                warps[next_pending] = Some(make_warp(kernel, next_pending, sm));
+                warps[next_pending] = Some(make_warp(&mut pool, kernel, next_pending, sm));
                 resident[sm] += 1;
                 heap.push(Reverse((0, next_pending as u32)));
                 next_pending += 1;
@@ -191,16 +241,21 @@ impl GpuDevice {
             }
         }
 
-        let mut sm_next_free = vec![0u64; sm_count];
-        let mut sm_last_issue = vec![0u64; sm_count];
+        scratch.sm_next_free.clear();
+        scratch.sm_next_free.resize(sm_count, 0);
+        let mut sm_next_free = scratch.sm_next_free;
+        scratch.sm_last_issue.clear();
+        scratch.sm_last_issue.resize(sm_count, 0);
+        let mut sm_last_issue = scratch.sm_last_issue;
         let mut stats = LaunchStats { warps_launched: n_warps as u64, launches: 1, ..Default::default() };
         let mut dram_busy: f64 = 0.0;
         let mut last_progress: u64 = 0;
         let mut end_tick: u64 = 0;
 
         // Reused scratch to avoid per-instruction allocation.
-        let mut accesses: Vec<RawAccess> = Vec::with_capacity(warp_size);
-        let mut targets: Vec<(u32, Pc)> = Vec::with_capacity(warp_size);
+        let mut accesses = scratch.accesses;
+        let mut targets = scratch.targets;
+        let mut groups = scratch.groups;
 
         while let Some(Reverse((t, wid))) = heap.pop() {
             let w = warps[wid as usize].as_mut().expect("scheduled warp exists");
@@ -234,6 +289,7 @@ impl GpuDevice {
                 &mut stats,
                 &mut accesses,
                 &mut targets,
+                &mut groups,
                 &mut trace,
                 t,
                 tpc,
@@ -254,18 +310,44 @@ impl GpuDevice {
             end_tick = end_tick.max(t_done);
 
             if warps[wid as usize].as_ref().is_some_and(|w| w.done()) {
-                warps[wid as usize] = None;
+                let done = warps[wid as usize].take().expect("done warp exists");
                 resident[sm] -= 1;
                 if next_pending < n_warps {
-                    warps[next_pending] = Some(make_warp(kernel, next_pending, sm));
+                    // Recycle the retired warp in place: same reset as
+                    // `make_warp`, but the lane vector is reused too.
+                    let mut w = done;
+                    w.sm = sm;
+                    w.alive = full_mask;
+                    w.stack.clear();
+                    w.stack.push(StackEntry { pc: 0, reconv: PC_EXIT, mask: full_mask });
+                    w.shared.clear();
+                    w.shared.resize(shared_len, 0.0);
+                    w.lanes.clear();
+                    w.lanes.extend(
+                        (0..warp_size)
+                            .map(|l| kernel.make_lane((next_pending * warp_size + l) as u32)),
+                    );
+                    warps[next_pending] = Some(w);
                     resident[sm] += 1;
                     heap.push(Reverse((t + 1, next_pending as u32)));
                     next_pending += 1;
+                } else if pool.len() < pool_cap {
+                    pool.push(WarpScratch { stack: done.stack, shared: done.shared });
                 }
             } else {
                 heap.push(Reverse((t_done, wid)));
             }
         }
+        self.warp_scratch = pool;
+        self.launch_scratch = LaunchScratch {
+            resident,
+            heap: heap.into_vec(),
+            sm_next_free,
+            sm_last_issue,
+            accesses,
+            targets,
+            groups,
+        };
 
         // Kernel completion includes draining the DRAM write queue
         // (fire-and-forget stores still occupy bandwidth).
@@ -284,6 +366,7 @@ impl GpuDevice {
         stats: &mut LaunchStats,
         accesses: &mut Vec<RawAccess>,
         targets: &mut Vec<(u32, Pc)>,
+        groups: &mut Vec<(Pc, u64)>,
         trace: &mut Option<&mut Trace>,
         t: u64,
         tpc: u64,
@@ -308,6 +391,10 @@ impl GpuDevice {
         let mut failed_polls: u32 = 0;
         let mut flops: u64 = 0;
         let mut fence = false;
+        // Uniformity is tracked inline so the common fully-converged case
+        // never rescans `targets`.
+        let mut first_target = PC_EXIT;
+        let mut uniform = true;
 
         for lane in 0..warp_size {
             if mask & (1 << lane) == 0 {
@@ -326,6 +413,11 @@ impl GpuDevice {
             let eff = kernel.exec(pc, &mut w.lanes[lane], tid, &mut lm);
             flops += eff.flops as u64;
             fence |= eff.fence;
+            if targets.is_empty() {
+                first_target = eff.next;
+            } else if eff.next != first_target {
+                uniform = false;
+            }
             targets.push((lane as u32, eff.next));
         }
 
@@ -357,8 +449,12 @@ impl GpuDevice {
             );
             stored = matches!(kind, AccessKind::Store | AccessKind::Atomic);
             let is_store = kind == AccessKind::Store;
-            // Coalesce: unique sectors across the warp.
-            accesses.sort_unstable_by_key(|a| (a.buf, a.sector));
+            // Coalesce: unique sectors across the warp. Streaming kernels
+            // emit the lanes' accesses already sorted; skip the sort then.
+            let sort_key = |a: &RawAccess| ((a.buf as u64) << 32) | a.sector as u64;
+            if !accesses.is_sorted_by_key(sort_key) {
+                accesses.sort_unstable_by_key(sort_key);
+            }
             accesses.dedup();
             let mut worst = l2_lat;
             for &a in accesses.iter() {
@@ -394,23 +490,26 @@ impl GpuDevice {
 
         // --- Control resolution ------------------------------------------
         let mut retired_ct: u64 = 0;
-        let first_target = targets[0].1;
-        let uniform = targets.iter().all(|&(_, tg)| tg == first_target);
         if uniform {
             let top = w.stack.last_mut().expect("stack non-empty");
             if first_target == PC_EXIT {
                 let m = top.mask;
                 retired_ct += retire(&mut w.stack, &mut w.alive, m) as u64;
+                normalize(&mut w.stack, &mut w.alive, &mut retired_ct);
             } else if first_target == top.reconv {
                 w.stack.pop();
+                normalize(&mut w.stack, &mut w.alive, &mut retired_ct);
             } else {
+                // Fast path: a uniform straight-line step only moves the
+                // top-of-stack pc and cannot break a stack invariant, so
+                // `normalize` would return immediately — skip it.
                 top.pc = first_target;
             }
         } else {
             let rpc = kernel.reconv(pc);
             w.stack.last_mut().expect("stack non-empty").pc = rpc;
-            // Group lanes by target.
-            let mut groups: Vec<(Pc, u64)> = Vec::with_capacity(4);
+            // Group lanes by target (scratch hoisted by the caller).
+            groups.clear();
             for &(lane, tg) in targets.iter() {
                 match groups.iter_mut().find(|g| g.0 == tg) {
                     Some(g) => g.1 |= 1 << lane,
@@ -418,8 +517,10 @@ impl GpuDevice {
                 }
             }
             // Execution order: kernel's branch order, then pc. Push in
-            // reverse so the first-executing group ends on top.
-            groups.sort_by_key(|&(tg, _)| (kernel.branch_order(pc, tg), tg));
+            // reverse so the first-executing group ends on top. Targets are
+            // unique within `groups`, so the unstable sort (which does not
+            // allocate) is deterministic.
+            groups.sort_unstable_by_key(|&(tg, _)| (kernel.branch_order(pc, tg), tg));
             for &(tg, gmask) in groups.iter().rev() {
                 if tg == rpc {
                     continue; // parked in the parent entry
@@ -429,8 +530,8 @@ impl GpuDevice {
                     w.stack.push(StackEntry { pc: tg, reconv: rpc, mask: gmask });
                 }
             }
+            normalize(&mut w.stack, &mut w.alive, &mut retired_ct);
         }
-        normalize(&mut w.stack, &mut w.alive, &mut retired_ct);
 
         StepOutcome { cost_ticks: cost_ticks.max(1), stored, retired: retired_ct }
     }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Measures the parallel-sweep speedup and records it as BENCH_1.json at the
+# repo root so future PRs can track the perf trajectory.
+#
+# Runs `repro sweep-timing`, which times one serial pass and one N-thread
+# pass over the same sweep (verifying the cell results are identical), and
+# copies the resulting results/sweep_timing.json into BENCH_1.json.
+#
+# Usage: scripts/bench_sweep.sh [threads] [scale] [limit]
+#   threads  worker threads for the parallel pass (default: nproc, min 2)
+#   scale    small|medium|full (default: small)
+#   limit    cap on suite matrices, 0 = no cap (default: 24)
+#
+# Note: the measured speedup is only meaningful on a machine with >= threads
+# physical cores; on a single-core container the parallel pass cannot win.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-$(nproc 2>/dev/null || echo 4)}"
+if [ "$THREADS" -lt 2 ]; then THREADS=2; fi
+SCALE="${2:-small}"
+LIMIT="${3:-24}"
+
+# sweep-timing must actually sweep, not read the CSV cache: point the
+# results dir at a scratch location so cached cells never short-circuit
+# the timing runs.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" CAPELLINI_THREADS="$THREADS" \
+    ./target/release/repro sweep-timing --scale "$SCALE" --limit "$LIMIT"
+
+cp "$TMPDIR/sweep_timing.json" BENCH_1.json
+echo "wrote BENCH_1.json:"
+cat BENCH_1.json
