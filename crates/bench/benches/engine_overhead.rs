@@ -50,9 +50,21 @@ use capellini_sparse::LowerTriangularCsr;
 
 fn cases() -> Vec<(&'static str, Algorithm, LowerTriangularCsr)> {
     vec![
-        ("writing_first/random_k", Algorithm::CapelliniWritingFirst, gen::random_k(6000, 4, 6000, 7)),
-        ("syncfree/random_k", Algorithm::SyncFree, gen::random_k(6000, 4, 6000, 7)),
-        ("levelset/layered", Algorithm::LevelSet, gen::layered(4000, 40, 3, 11)),
+        (
+            "writing_first/random_k",
+            Algorithm::CapelliniWritingFirst,
+            gen::random_k(6000, 4, 6000, 7),
+        ),
+        (
+            "syncfree/random_k",
+            Algorithm::SyncFree,
+            gen::random_k(6000, 4, 6000, 7),
+        ),
+        (
+            "levelset/layered",
+            Algorithm::LevelSet,
+            gen::layered(4000, 40, 3, 11),
+        ),
     ]
 }
 

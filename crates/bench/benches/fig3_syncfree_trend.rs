@@ -20,13 +20,19 @@ fn bench_fig3_points(c: &mut Criterion) {
         ("low-granularity-band", gen::dense_band(1_200, 16, 95)),
         ("mid-granularity-stencil", gen::stencil3d(14, 14, 14, 96)),
         ("peak-granularity-layered", gen::layered(8_000, 8, 16, 97)),
-        ("high-granularity-lp", gen::ultra_sparse_wide(8_000, 16, 1, 98)),
+        (
+            "high-granularity-lp",
+            gen::ultra_sparse_wide(8_000, 16, 1, 98),
+        ),
     ];
     for (name, l) in points {
         let b = vec![1.0; l.n()];
         let s = MatrixStats::compute(&l);
         let rep = solve_simulated(&cfg, &l, &b, Algorithm::SyncFree).expect("solves");
-        println!("[fig3] {name}: granularity {:.2} -> {:.2} simulated GFLOPS", s.granularity, rep.gflops);
+        println!(
+            "[fig3] {name}: granularity {:.2} -> {:.2} simulated GFLOPS",
+            s.granularity, rep.gflops
+        );
         g.bench_with_input(BenchmarkId::from_parameter(name), &l, |bch, l| {
             bch.iter(|| solve_simulated(&cfg, l, &b, Algorithm::SyncFree).unwrap())
         });

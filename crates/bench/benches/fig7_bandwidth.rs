@@ -27,9 +27,11 @@ fn bench_fig7_fig8(c: &mut Criterion) {
             rep.stats.warp_instructions,
             rep.stats.stall_pct()
         );
-        g.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |bch, &algo| {
-            bch.iter(|| solve_simulated(&cfg, &l, &b, algo).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |bch, &algo| bch.iter(|| solve_simulated(&cfg, &l, &b, algo).unwrap()),
+        );
     }
     g.finish();
 }

@@ -19,7 +19,11 @@ fn striped(n: usize) -> LowerTriangularCsr {
         if stripe_start > 0 {
             let k = if (i / stripe) % 2 == 1 { 32 } else { 2 };
             for _ in 0..k {
-                coo.push(i as u32, rng.gen_range(0..stripe_start as u32), 0.4 / k as f64);
+                coo.push(
+                    i as u32,
+                    rng.gen_range(0..stripe_start as u32),
+                    0.4 / k as f64,
+                );
             }
         }
         coo.push(i as u32, i as u32, 1.0);
@@ -48,7 +52,10 @@ fn bench_hybrid(c: &mut Criterion) {
         };
         let mut dev = GpuDevice::new(cfg.clone());
         let sol = hybrid::solve_with_threshold(&mut dev, &l, &b, thr).unwrap();
-        println!("[hybrid] {label}: {:.2} simulated GFLOPS", sol.stats.gflops(&cfg, 2 * l.nnz() as u64));
+        println!(
+            "[hybrid] {label}: {:.2} simulated GFLOPS",
+            sol.stats.gflops(&cfg, 2 * l.nnz() as u64)
+        );
         g.bench_with_input(BenchmarkId::from_parameter(label), &thr, |bch, &thr| {
             bch.iter(|| {
                 let mut dev = GpuDevice::new(cfg.clone());

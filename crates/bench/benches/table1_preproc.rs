@@ -36,13 +36,17 @@ fn bench_preprocessing(c: &mut Criterion) {
             })
         });
         // cuSPARSE-like analysis: per-row metadata extraction.
-        g.bench_with_input(BenchmarkId::new("cusparse-analysis", &e.name), &l, |b, l| {
-            b.iter(|| {
-                let rp = l.csr().row_ptr();
-                let info: Vec<u32> = rp.windows(2).map(|w| w[1] - w[0]).collect();
-                info
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cusparse-analysis", &e.name),
+            &l,
+            |b, l| {
+                b.iter(|| {
+                    let rp = l.csr().row_ptr();
+                    let info: Vec<u32> = rp.windows(2).map(|w| w[1] - w[0]).collect();
+                    info
+                })
+            },
+        );
         // Capellini preprocessing: the flag array alone.
         g.bench_with_input(BenchmarkId::new("capellini", &e.name), &l, |b, l| {
             b.iter(|| vec![0u8; l.n()])

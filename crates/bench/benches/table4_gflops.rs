@@ -21,7 +21,12 @@ fn bench_table4_cells(c: &mut Criterion) {
     for cfg in DeviceConfig::evaluation_platforms_scaled() {
         for algo in Algorithm::evaluation_trio() {
             let rep = solve_simulated(&cfg, &l, &b, algo).expect("solve succeeds");
-            println!("[table4] {} / {}: {:.2} simulated GFLOPS", cfg.name, algo.label(), rep.gflops);
+            println!(
+                "[table4] {} / {}: {:.2} simulated GFLOPS",
+                cfg.name,
+                algo.label(),
+                rep.gflops
+            );
             g.bench_with_input(
                 BenchmarkId::new(algo.label(), cfg.name),
                 &cfg,

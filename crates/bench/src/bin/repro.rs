@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale small|medium|full] [--limit N] [--threads N]
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!              ablation hybrid deadlock sweep-timing all
+//!              ablation hybrid deadlock racecheck sweep-timing all
 //! ```
 //!
 //! Sweep results are cached as CSV under `results/` (override with
@@ -51,13 +51,14 @@ fn main() {
             }
             "--threads" => {
                 i += 1;
-                let threads: usize =
-                    args.get(i).and_then(|s| s.parse().ok()).filter(|&t| t >= 1).unwrap_or_else(
-                        || {
-                            eprintln!("--threads needs a number >= 1");
-                            std::process::exit(2);
-                        },
-                    );
+                let threads: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a number >= 1");
+                        std::process::exit(2);
+                    });
                 runner::set_default_threads(threads);
             }
             other => which.push(other.to_string()),
@@ -66,14 +67,31 @@ fn main() {
     }
     if which.is_empty() {
         eprintln!(
-            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|racecheck|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
         );
         std::process::exit(2);
     }
     if which.iter().any(|w| w == "all") {
         which = [
-            "table2", "table3", "fig1", "fig2", "deadlock", "table1", "fig3", "fig6", "table6",
-            "ablation", "hybrid", "csc", "table4", "table5", "fig4", "fig5", "fig7", "fig8",
+            "table2",
+            "table3",
+            "fig1",
+            "fig2",
+            "deadlock",
+            "racecheck",
+            "table1",
+            "fig3",
+            "fig6",
+            "table6",
+            "ablation",
+            "hybrid",
+            "csc",
+            "table4",
+            "table5",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -130,6 +148,7 @@ fn main() {
             "hybrid" => exp::hybrid(scale),
             "sweep-timing" => exp::sweep_timing(scale, limit),
             "deadlock" => exp::deadlock(),
+            "racecheck" => exp::racecheck(),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;

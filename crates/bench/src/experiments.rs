@@ -42,12 +42,18 @@ pub fn fig1() -> String {
                 None => " .",
             });
         }
-        out.push_str(&format!("  row {i}: {line}   level {}\n", levels.level_of(i)));
+        out.push_str(&format!(
+            "  row {i}: {line}   level {}\n",
+            levels.level_of(i)
+        ));
     }
     out.push_str("\n(b) level sets\n");
     for lvl in 0..levels.n_levels() {
-        let rows: Vec<String> =
-            levels.rows_in_level(lvl).iter().map(|r| format!("x{r}")).collect();
+        let rows: Vec<String> = levels
+            .rows_in_level(lvl)
+            .iter()
+            .map(|r| format!("x{r}"))
+            .collect();
         out.push_str(&format!("  level {lvl}: {{{}}}\n", rows.join(", ")));
     }
     out.push_str("\n(c) CSR arrays\n");
@@ -55,7 +61,11 @@ pub fn fig1() -> String {
     out.push_str(&format!("  csrColIdx = {:?}\n", l.csr().col_idx()));
     out.push_str(&format!(
         "  csrVal    = {:?}\n",
-        l.csr().values().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        l.csr()
+            .values()
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     ));
     out
 }
@@ -70,7 +80,9 @@ pub fn fig2() -> String {
     let (b, _) = make_problem(&l);
     let cfg = DeviceConfig::toy();
     let mut out = String::new();
-    out.push_str("Figure 2: SpTRSV workflow case study (toy device: 2 resident warps x 3 threads)\n\n");
+    out.push_str(
+        "Figure 2: SpTRSV workflow case study (toy device: 2 resident warps x 3 threads)\n\n",
+    );
 
     // (a) Level-Set.
     {
@@ -117,7 +129,10 @@ fn clip_trace(tr: &Trace, max_lines: usize) -> String {
         rendered
     } else {
         let mut s = lines[..max_lines].join("\n");
-        s.push_str(&format!("\n... ({} more instructions)\n", lines.len() - max_lines));
+        s.push_str(&format!(
+            "\n... ({} more instructions)\n",
+            lines.len() - max_lines
+        ));
         s
     }
 }
@@ -132,13 +147,26 @@ pub fn table1(scale: Scale) -> String {
         dataset::wiki_talk_like(scale),
         dataset::cant_like(scale),
     ];
-    let algos = [Algorithm::LevelSet, Algorithm::CusparseLike, Algorithm::SyncFree];
+    let algos = [
+        Algorithm::LevelSet,
+        Algorithm::CusparseLike,
+        Algorithm::SyncFree,
+    ];
     let cells = run_grid("table1", scale, &entries, &algos, &[volta()], 0);
 
-    let mut t = TextTable::new(&["Algorithm", "Time (ms)", "nlpkkt160-like", "wiki-Talk-like", "cant-like"]);
+    let mut t = TextTable::new(&[
+        "Algorithm",
+        "Time (ms)",
+        "nlpkkt160-like",
+        "wiki-Talk-like",
+        "cant-like",
+    ]);
     for algo in algos {
         for (kind, f) in [
-            ("Preprocessing", Box::new(|c: &CellResult| c.pre_ms) as Box<dyn Fn(&CellResult) -> f64>),
+            (
+                "Preprocessing",
+                Box::new(|c: &CellResult| c.pre_ms) as Box<dyn Fn(&CellResult) -> f64>,
+            ),
             ("Execution", Box::new(|c: &CellResult| c.exec_ms)),
         ] {
             let mut row = vec![algo.label().to_string(), kind.to_string()];
@@ -179,7 +207,10 @@ pub fn table2() -> String {
             r.granularity.to_string(),
         ]);
     }
-    format!("Table 2: summary for different SpTRSV algorithms\n\n{}", t.render())
+    format!(
+        "Table 2: summary for different SpTRSV algorithms\n\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -190,8 +221,15 @@ pub fn table3() -> String {
     let real = DeviceConfig::evaluation_platforms();
     let scaled = DeviceConfig::evaluation_platforms_scaled();
     let mut t = TextTable::new(&[
-        "Platform", "GPU model", "Memory", "SMs", "warps/SM", "clock GHz", "BW GB/s",
-        "SMs (sim)", "BW GB/s (sim)",
+        "Platform",
+        "GPU model",
+        "Memory",
+        "SMs",
+        "warps/SM",
+        "clock GHz",
+        "BW GB/s",
+        "SMs (sim)",
+        "BW GB/s (sim)",
     ]);
     for (r, s) in real.iter().zip(&scaled) {
         t.row(vec![
@@ -230,8 +268,11 @@ pub fn suite_cells(scale: Scale, limit: usize) -> Vec<CellResult> {
 
 /// Named extreme matrices (lp1-like etc.) used by Figure 5 / Table 5.
 pub fn named_cells(scale: Scale) -> Vec<CellResult> {
-    let entries =
-        vec![dataset::lp1_like(scale), dataset::neos_like(scale), dataset::wiki_talk_like(scale)];
+    let entries = vec![
+        dataset::lp1_like(scale),
+        dataset::neos_like(scale),
+        dataset::wiki_talk_like(scale),
+    ];
     run_grid(
         "named",
         scale,
@@ -248,10 +289,7 @@ struct MatrixOnPlatform<'a> {
     cap: Option<&'a CellResult>,
 }
 
-fn group<'a>(
-    cells: &'a [CellResult],
-    platform: &str,
-) -> Vec<(String, MatrixOnPlatform<'a>)> {
+fn group<'a>(cells: &'a [CellResult], platform: &str) -> Vec<(String, MatrixOnPlatform<'a>)> {
     let mut names: Vec<&str> = cells
         .iter()
         .filter(|c| c.platform == platform)
@@ -389,7 +427,14 @@ pub fn table5(cells: &[CellResult], named: &[CellResult]) -> String {
 /// the full sweep (rise then fall; the paper's peak sits near 0.7).
 pub fn fig3(scale: Scale) -> String {
     let entries = dataset::full_sweep(scale);
-    let cells = run_grid("fig3", scale, &entries, &[Algorithm::SyncFree], &[pascal()], 0);
+    let cells = run_grid(
+        "fig3",
+        scale,
+        &entries,
+        &[Algorithm::SyncFree],
+        &[pascal()],
+        0,
+    );
     let mut bins: Vec<(f64, Vec<f64>)> = Vec::new();
     let lo = -0.6f64;
     let width = 0.1f64;
@@ -404,7 +449,12 @@ pub fn fig3(scale: Scale) -> String {
     bins.sort_by(|a, b| a.0.total_cmp(&b.0));
     let series: Vec<(String, f64)> = bins
         .iter()
-        .map(|(c, v)| (format!("g={c:+.2} (n={})", v.len()), mean(v.iter().copied())))
+        .map(|(c, v)| {
+            (
+                format!("g={c:+.2} (n={})", v.len()),
+                mean(v.iter().copied()),
+            )
+        })
         .collect();
     let peak = series
         .iter()
@@ -427,7 +477,13 @@ pub fn fig4(cells: &[CellResult]) -> String {
     let mut out =
         String::from("Figure 4: performance vs parallel granularity (0.7-1.2), per platform\n");
     for p in ["Pascal", "Volta", "Turing"] {
-        let mut t = TextTable::new(&["granularity bin", "matrices", "SyncFree", "cuSPARSE", "Capellini"]);
+        let mut t = TextTable::new(&[
+            "granularity bin",
+            "matrices",
+            "SyncFree",
+            "cuSPARSE",
+            "Capellini",
+        ]);
         for bi in 0..10 {
             let lo = 0.7 + bi as f64 * 0.05;
             let hi = lo + 0.05;
@@ -470,7 +526,11 @@ pub fn fig5(cells: &[CellResult], named: &[CellResult]) -> String {
     let mut pts: Vec<(f64, f64, String)> = g
         .iter()
         .filter_map(|(name, m)| {
-            Some((m.cap?.granularity, m.cap?.gflops / m.sync?.gflops, name.clone()))
+            Some((
+                m.cap?.granularity,
+                m.cap?.gflops / m.sync?.gflops,
+                name.clone(),
+            ))
         })
         .collect();
     pts.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -480,8 +540,11 @@ pub fn fig5(cells: &[CellResult], named: &[CellResult]) -> String {
     for bi in 0..12 {
         let lo = 0.6 + bi as f64 * 0.05;
         let hi = lo + 0.05;
-        let sel: Vec<f64> =
-            pts.iter().filter(|(g, _, _)| *g >= lo && *g < hi).map(|(_, s, _)| *s).collect();
+        let sel: Vec<f64> = pts
+            .iter()
+            .filter(|(g, _, _)| *g >= lo && *g < hi)
+            .map(|(_, s, _)| *s)
+            .collect();
         if sel.is_empty() {
             continue;
         }
@@ -606,7 +669,12 @@ pub fn fig8(cells: &[CellResult]) -> String {
     };
     let instr: Vec<(String, f64)> = ["SyncFree", "cuSPARSE", "Capellini"]
         .iter()
-        .map(|a| (a.to_string(), mean(sel(a, |c| c.warp_instr as f64).into_iter()) / 1e7))
+        .map(|a| {
+            (
+                a.to_string(),
+                mean(sel(a, |c| c.warp_instr as f64).into_iter()) / 1e7,
+            )
+        })
         .collect();
     let stall: Vec<(String, f64)> = ["SyncFree", "cuSPARSE", "Capellini"]
         .iter()
@@ -634,7 +702,11 @@ pub fn table6(scale: Scale) -> String {
         "table6",
         scale,
         &entries,
-        &[Algorithm::CusparseLike, Algorithm::SyncFree, Algorithm::CapelliniWritingFirst],
+        &[
+            Algorithm::CusparseLike,
+            Algorithm::SyncFree,
+            Algorithm::CapelliniWritingFirst,
+        ],
         &[pascal()],
         0,
     );
@@ -650,7 +722,10 @@ pub fn table6(scale: Scale) -> String {
             ));
         }
         let mut t = TextTable::new(&[
-            "Algorithm", "Performance (GFLOPS/s)", "Bandwidth (GB/s)", "Instructions (10^7)",
+            "Algorithm",
+            "Performance (GFLOPS/s)",
+            "Bandwidth (GB/s)",
+            "Instructions (10^7)",
             "Stall (%)",
         ]);
         for algo in ["cuSPARSE", "SyncFree", "Capellini"] {
@@ -691,19 +766,29 @@ pub fn ablation(scale: Scale) -> String {
         "ablation",
         scale,
         &picks,
-        &[Algorithm::CapelliniTwoPhase, Algorithm::CapelliniWritingFirst],
+        &[
+            Algorithm::CapelliniTwoPhase,
+            Algorithm::CapelliniWritingFirst,
+        ],
         &[pascal()],
         0,
     );
     let mut t = TextTable::new(&[
-        "matrix", "granularity", "Two-Phase GFLOPS", "Writing-First GFLOPS", "speedup",
-        "bandwidth ratio", "instr reduction",
+        "matrix",
+        "granularity",
+        "Two-Phase GFLOPS",
+        "Writing-First GFLOPS",
+        "speedup",
+        "bandwidth ratio",
+        "instr reduction",
     ]);
     let mut speedups = Vec::new();
     let mut bw_ratios = Vec::new();
     let mut instr_reds = Vec::new();
     for e in &picks {
-        let tp = cells.iter().find(|c| c.matrix == e.name && c.algo.contains("Two-Phase"));
+        let tp = cells
+            .iter()
+            .find(|c| c.matrix == e.name && c.algo.contains("Two-Phase"));
         let wf = cells
             .iter()
             .find(|c| c.matrix == e.name && c.algo == "Capellini");
@@ -765,13 +850,22 @@ pub fn hybrid(scale: Scale) -> String {
     let l = striped_matrix(n);
     let (b, x_ref) = make_problem(&l);
     let cfg = pascal();
-    let mut t = TextTable::new(&["threshold (nnz/row)", "GFLOPS", "vs pure thread", "vs pure warp"]);
+    let mut t = TextTable::new(&[
+        "threshold (nnz/row)",
+        "GFLOPS",
+        "vs pure thread",
+        "vs pure warp",
+    ]);
     let dev_run = |threshold: f64| -> f64 {
         let mut dev = GpuDevice::new(cfg.clone());
-        let sol = capellini_core::kernels::hybrid::solve_with_threshold(&mut dev, &l, &b, threshold)
-            .expect("hybrid solves");
+        let sol =
+            capellini_core::kernels::hybrid::solve_with_threshold(&mut dev, &l, &b, threshold)
+                .expect("hybrid solves");
         let err = capellini_sparse::linalg::rel_error_inf(&sol.x, &x_ref);
-        assert!(err < 1e-9, "hybrid threshold {threshold}: rel err {err:.3e}");
+        assert!(
+            err < 1e-9,
+            "hybrid threshold {threshold}: rel err {err:.3e}"
+        );
         sol.stats.gflops(&cfg, 2 * l.nnz() as u64)
     };
     let pure_thread = dev_run(f64::INFINITY);
@@ -818,7 +912,11 @@ fn striped_matrix(n: usize) -> capellini_sparse::LowerTriangularCsr {
         if stripe_start > 0 {
             let k = if (i / stripe) % 2 == 1 { 48 } else { 2 };
             for _ in 0..k {
-                coo.push(i as u32, rng.gen_range(0..stripe_start as u32), 0.4 / k as f64);
+                coo.push(
+                    i as u32,
+                    rng.gen_range(0..stripe_start as u32),
+                    0.4 / k as f64,
+                );
             }
         }
         coo.push(i as u32, i as u32, 1.0);
@@ -851,11 +949,18 @@ pub fn csc(scale: Scale) -> String {
         0,
     );
     let mut t = TextTable::new(&[
-        "matrix", "SyncFree (CSR form) GFLOPS", "SyncFree-CSC GFLOPS", "CSC atomics/nnz",
+        "matrix",
+        "SyncFree (CSR form) GFLOPS",
+        "SyncFree-CSC GFLOPS",
+        "CSC atomics/nnz",
     ]);
     for e in &entries {
-        let csr = cells.iter().find(|c| c.matrix == e.name && c.algo == "SyncFree");
-        let cscv = cells.iter().find(|c| c.matrix == e.name && c.algo == "SyncFree-CSC");
+        let csr = cells
+            .iter()
+            .find(|c| c.matrix == e.name && c.algo == "SyncFree");
+        let cscv = cells
+            .iter()
+            .find(|c| c.matrix == e.name && c.algo == "SyncFree-CSC");
         if let (Some(a), Some(b)) = (csr, cscv) {
             t.row(vec![
                 e.name.clone(),
@@ -920,22 +1025,34 @@ pub fn sweep_timing(scale: Scale, limit: usize) -> String {
     // something sensible for the demonstration.
     let mut threads = threads_from_env();
     if threads < 2 {
-        threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8);
+        threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
     }
 
-    eprintln!("[sweep-timing] serial pass over {} matrices...", entries.len());
+    eprintln!(
+        "[sweep-timing] serial pass over {} matrices...",
+        entries.len()
+    );
     let t0 = Instant::now();
-    let serial = Runner { threads: 1, results_dir: results_dir() }
-        .sweep("sweep-timing(serial)", &entries, &algos, &plats);
+    let serial = Runner {
+        threads: 1,
+        results_dir: results_dir(),
+    }
+    .sweep("sweep-timing(serial)", &entries, &algos, &plats);
     let serial_s = t0.elapsed().as_secs_f64();
 
     eprintln!("[sweep-timing] parallel pass with {threads} threads...");
     let t1 = Instant::now();
-    let parallel = Runner::with_threads(threads)
-        .sweep("sweep-timing(parallel)", &entries, &algos, &plats);
+    let parallel =
+        Runner::with_threads(threads).sweep("sweep-timing(parallel)", &entries, &algos, &plats);
     let parallel_s = t1.elapsed().as_secs_f64();
 
-    assert_eq!(serial, parallel, "parallel sweep must reproduce the serial cells exactly");
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must reproduce the serial cells exactly"
+    );
     let speedup = serial_s / parallel_s;
 
     let json = format!(
@@ -968,12 +1085,13 @@ pub fn deadlock() -> String {
     let (b, x_ref) = make_problem(&l);
     let mut cfg = DeviceConfig::toy();
     cfg.deadlock_window = 50_000;
-    let mut out = String::from("Challenge 1 (3.3): intra-warp busy-wait deadlock demonstration\n\n");
+    let mut out =
+        String::from("Challenge 1 (3.3): intra-warp busy-wait deadlock demonstration\n\n");
     let mut dev = GpuDevice::new(cfg.clone());
     match naive::solve(&mut dev, &l, &b) {
-        Err(SimtError::Deadlock { cycle, live_warps }) => {
+        Err(err @ SimtError::Deadlock { .. }) => {
             out.push_str(&format!(
-                "naive thread-level busy-wait: DEADLOCK detected at cycle {cycle} ({live_warps} warps spinning)\n"
+                "naive thread-level busy-wait: DEADLOCK detected\n{err}\n"
             ));
         }
         other => out.push_str(&format!("unexpected outcome: {other:?}\n")),
@@ -992,13 +1110,72 @@ pub fn deadlock() -> String {
     out
 }
 
+// --------------------------------------------------------------- Racecheck
+
+/// Demonstrates the relaxed-visibility memory model and the race checker:
+/// the shipped fenced kernel passes racecheck, the fence-stripped variant is
+/// silently certified by the default sequentially-consistent model but
+/// rejected under racecheck, and the flag-before-store variant silently
+/// computes a wrong answer under plain relaxed visibility.
+pub fn racecheck() -> String {
+    use capellini_core::kernels::writing_first::FenceMode;
+    use capellini_simt::MemoryModel;
+    use capellini_sparse::{CooMatrix, CsrMatrix, LowerTriangularCsr};
+
+    // Strictly cross-warp dependencies: every hand-off must go through DRAM.
+    let n = 128;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        if i >= 64 {
+            coo.push(i as u32, (i - 64) as u32, 0.5);
+        }
+        coo.push(i as u32, i as u32, 1.0);
+    }
+    let l = LowerTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).unwrap();
+    let (b, x_ref) = make_problem(&l);
+
+    let sc = DeviceConfig::pascal_like().scaled_down(4);
+    let relaxed = sc.clone().with_memory_model(MemoryModel::relaxed(2_000));
+    let rc = sc.clone().with_memory_model(MemoryModel::racecheck(2_000));
+
+    let mut out = String::from(
+        "Relaxed memory visibility + racecheck (why __threadfence is load-bearing)\n\n",
+    );
+    let mut run = |label: &str, cfg: &DeviceConfig, mode: FenceMode| {
+        let mut dev = GpuDevice::new(cfg.clone());
+        match writing_first::solve_with_fence_mode(&mut dev, &l, &b, mode) {
+            Ok(sol) => {
+                let err = capellini_sparse::linalg::rel_error_inf(&sol.x, &x_ref);
+                out.push_str(&format!(
+                    "{label}: completes, rel err {err:.2e} ({} stale reads, {} drained stores)\n",
+                    sol.stats.stale_reads, sol.stats.drained_stores
+                ));
+            }
+            Err(e) => out.push_str(&format!("{label}: REJECTED\n  {e}\n")),
+        }
+    };
+    run("fenced        / racecheck      ", &rc, FenceMode::Fenced);
+    run("fence stripped/ seq. consistent", &sc, FenceMode::NoFence);
+    run("fence stripped/ racecheck      ", &rc, FenceMode::NoFence);
+    run(
+        "flag first    / relaxed        ",
+        &relaxed,
+        FenceMode::FlagFirst,
+    );
+    run("flag first    / racecheck      ", &rc, FenceMode::FlagFirst);
+    out.push_str(
+        "\nSequential consistency certifies the fence-stripped kernel; only the\n\
+         relaxed model makes the missing fence observable.\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn isolated_results_dir(tag: &str) {
-        let dir =
-            std::env::temp_dir().join(format!("capellini-exp-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("capellini-exp-{tag}-{}", std::process::id()));
         std::env::set_var("CAPELLINI_RESULTS_DIR", dir);
     }
 

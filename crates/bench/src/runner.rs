@@ -60,8 +60,21 @@ pub struct CellResult {
 
 impl CellResult {
     const HEADER: [&'static str; 16] = [
-        "matrix", "platform", "algo", "n", "nnz", "nnz_row", "n_level", "granularity", "pre_ms",
-        "exec_ms", "gflops", "bandwidth", "warp_instr", "dep_stall_pct", "issue_stall_pct",
+        "matrix",
+        "platform",
+        "algo",
+        "n",
+        "nnz",
+        "nnz_row",
+        "n_level",
+        "granularity",
+        "pre_ms",
+        "exec_ms",
+        "gflops",
+        "bandwidth",
+        "warp_instr",
+        "dep_stall_pct",
+        "issue_stall_pct",
         "rel_err",
     ];
 
@@ -206,12 +219,18 @@ pub struct Runner {
 impl Runner {
     /// A runner honoring `CAPELLINI_THREADS` / `CAPELLINI_RESULTS_DIR`.
     pub fn from_env() -> Self {
-        Runner { threads: threads_from_env(), results_dir: results_dir() }
+        Runner {
+            threads: threads_from_env(),
+            results_dir: results_dir(),
+        }
     }
 
     /// A runner with an explicit thread count and the env results dir.
     pub fn with_threads(threads: usize) -> Self {
-        Runner { threads: threads.max(1), results_dir: results_dir() }
+        Runner {
+            threads: threads.max(1),
+            results_dir: results_dir(),
+        }
     }
 
     /// Runs `entries × algorithms × platforms`, verifying each solve, with
@@ -232,9 +251,13 @@ impl Runner {
         platforms: &[DeviceConfig],
         limit: usize,
     ) -> Vec<CellResult> {
-        let path = self.results_dir.join(format!("{cache_name}_{}.csv", scale_tag(scale)));
-        let entries: Vec<&DatasetEntry> =
-            entries.iter().take(if limit == 0 { entries.len() } else { limit }).collect();
+        let path = self
+            .results_dir
+            .join(format!("{cache_name}_{}.csv", scale_tag(scale)));
+        let entries: Vec<&DatasetEntry> = entries
+            .iter()
+            .take(if limit == 0 { entries.len() } else { limit })
+            .collect();
         let expected = entries.len() * algorithms.len() * platforms.len();
         let meta = cache_meta(scale, &entries, algorithms, platforms);
         if let Some(cached) = load_cache(&path, expected) {
@@ -317,7 +340,10 @@ impl Runner {
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
             });
             for (i, cells) in results {
                 slots[i] = Some(cells);
@@ -367,7 +393,7 @@ fn run_entry(
 }
 
 fn progress(cache_name: &str, finished: usize, total: usize, t0: &Instant) {
-    if finished % 10 == 0 || finished == total {
+    if finished.is_multiple_of(10) || finished == total {
         eprintln!(
             "[runner] {cache_name}: {finished}/{total} matrices done in {:.1?}",
             t0.elapsed()
@@ -403,7 +429,10 @@ fn cache_meta(
     platforms: &[DeviceConfig],
 ) -> String {
     let mut canon = String::new();
-    canon.push_str(&format!("schema={CACHE_SCHEMA_VERSION};scale={};", scale_tag(scale)));
+    canon.push_str(&format!(
+        "schema={CACHE_SCHEMA_VERSION};scale={};",
+        scale_tag(scale)
+    ));
     canon.push_str(&format!("header={};", CellResult::HEADER.join("|")));
     for e in entries {
         canon.push_str(&format!("entry={}:{}:{:?};", e.name, e.seed, e.spec));
@@ -441,7 +470,10 @@ fn read_sidecar(csv_path: &Path) -> Option<String> {
 fn write_sidecar(csv_path: &Path, meta: &str) {
     let p = sidecar_path(csv_path);
     if let Err(e) = std::fs::write(&p, meta) {
-        eprintln!("[runner] failed to write cache sidecar {}: {e}", p.display());
+        eprintln!(
+            "[runner] failed to write cache sidecar {}: {e}",
+            p.display()
+        );
     }
 }
 
@@ -516,7 +548,11 @@ mod tests {
         std::env::set_var("CAPELLINI_RESULTS_DIR", &dir);
         let entries = vec![DatasetEntry {
             name: "tiny".into(),
-            spec: GenSpec::RandomK { n: 200, k: 2, window: 200 },
+            spec: GenSpec::RandomK {
+                n: 200,
+                k: 2,
+                window: 200,
+            },
             seed: 5,
         }];
         let platforms = vec![DeviceConfig::pascal_like().scaled_down(4)];
@@ -550,10 +586,41 @@ mod tests {
 
     fn small_entries() -> Vec<DatasetEntry> {
         vec![
-            DatasetEntry { name: "rk".into(), spec: GenSpec::RandomK { n: 300, k: 2, window: 300 }, seed: 5 },
-            DatasetEntry { name: "band".into(), spec: GenSpec::Banded { n: 300, bandwidth: 64, fill: 0.04 }, seed: 6 },
-            DatasetEntry { name: "lay".into(), spec: GenSpec::Layered { n: 300, k: 3, layers: 3 }, seed: 7 },
-            DatasetEntry { name: "pl".into(), spec: GenSpec::PowerLaw { n: 300, avg_deg: 2.0 }, seed: 8 },
+            DatasetEntry {
+                name: "rk".into(),
+                spec: GenSpec::RandomK {
+                    n: 300,
+                    k: 2,
+                    window: 300,
+                },
+                seed: 5,
+            },
+            DatasetEntry {
+                name: "band".into(),
+                spec: GenSpec::Banded {
+                    n: 300,
+                    bandwidth: 64,
+                    fill: 0.04,
+                },
+                seed: 6,
+            },
+            DatasetEntry {
+                name: "lay".into(),
+                spec: GenSpec::Layered {
+                    n: 300,
+                    k: 3,
+                    layers: 3,
+                },
+                seed: 7,
+            },
+            DatasetEntry {
+                name: "pl".into(),
+                spec: GenSpec::PowerLaw {
+                    n: 300,
+                    avg_deg: 2.0,
+                },
+                seed: 8,
+            },
         ]
     }
 
@@ -567,10 +634,16 @@ mod tests {
         let algos = [Algorithm::CapelliniWritingFirst, Algorithm::SyncFree];
         let plats = [DeviceConfig::pascal_like().scaled_down(4)];
 
-        let serial =
-            Runner { threads: 1, results_dir: dir.clone() }.sweep("det(1)", &refs, &algos, &plats);
-        let parallel =
-            Runner { threads: 4, results_dir: dir.clone() }.sweep("det(4)", &refs, &algos, &plats);
+        let serial = Runner {
+            threads: 1,
+            results_dir: dir.clone(),
+        }
+        .sweep("det(1)", &refs, &algos, &plats);
+        let parallel = Runner {
+            threads: 4,
+            results_dir: dir.clone(),
+        }
+        .sweep("det(4)", &refs, &algos, &plats);
         assert_eq!(serial, parallel);
 
         let (pa, pb) = (dir.join("serial.csv"), dir.join("parallel.csv"));
@@ -587,13 +660,20 @@ mod tests {
     #[test]
     fn cache_versioning_detects_stale_inputs() {
         let dir = tmp_dir("meta");
-        let runner = Runner { threads: 1, results_dir: dir.clone() };
+        let runner = Runner {
+            threads: 1,
+            results_dir: dir.clone(),
+        };
         let plats = vec![DeviceConfig::pascal_like().scaled_down(4)];
         let algos = [Algorithm::CapelliniWritingFirst];
         let mk = |seed| {
             vec![DatasetEntry {
                 name: "tiny".into(),
-                spec: GenSpec::RandomK { n: 200, k: 2, window: 200 },
+                spec: GenSpec::RandomK {
+                    n: 200,
+                    k: 2,
+                    window: 200,
+                },
                 seed,
             }]
         };

@@ -16,7 +16,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -78,7 +81,10 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Resu
     out.push_str(&header.join(","));
     out.push('\n');
     for row in rows {
-        assert!(row.iter().all(|c| !c.contains(',')), "CSV fields must not contain commas");
+        assert!(
+            row.iter().all(|c| !c.contains(',')),
+            "CSV fields must not contain commas"
+        );
         out.push_str(&row.join(","));
         out.push('\n');
     }
@@ -104,12 +110,20 @@ pub fn read_csv(path: &Path) -> io::Result<(Vec<String>, Vec<Vec<String>>)> {
 
 /// Renders a horizontal ASCII bar chart for (label, value) pairs.
 pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
-    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, v) in items {
         let bars = ((v / max) * width as f64).round().max(0.0) as usize;
-        let _ = writeln!(out, "{label:<label_w$}  {:<width$}  {v:.2} {unit}", "#".repeat(bars));
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {:<width$}  {v:.2} {unit}",
+            "#".repeat(bars)
+        );
     }
     out
 }

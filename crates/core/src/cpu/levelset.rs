@@ -20,7 +20,11 @@ pub fn solve_levelset_parallel(
 ) -> Vec<f64> {
     let n = l.n();
     assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
-    assert_eq!(levels.n_rows(), n, "level analysis does not match the matrix");
+    assert_eq!(
+        levels.n_rows(),
+        n,
+        "level analysis does not match the matrix"
+    );
     let n_threads = n_threads.clamp(1, n.max(1));
     if n_threads == 1 || n < 2 {
         return crate::reference::solve_serial_csr(l, b);
@@ -64,7 +68,10 @@ pub fn solve_levelset_parallel(
         }
     });
 
-    x_bits.iter().map(|v| f64::from_bits(v.load(Ordering::Relaxed))).collect()
+    x_bits
+        .iter()
+        .map(|v| f64::from_bits(v.load(Ordering::Relaxed)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -91,7 +91,10 @@ pub fn solve_selfsched(
         }
     });
 
-    x_bits.iter().map(|v| f64::from_bits(v.load(Ordering::Relaxed))).collect()
+    x_bits
+        .iter()
+        .map(|v| f64::from_bits(v.load(Ordering::Relaxed)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -30,11 +30,11 @@ pub struct IterResult {
 /// `A = (D + L_strict) + U_strict`, with the first factor as a validated
 /// lower-triangular system (the SpTRSV input) and the second as a general
 /// CSR matrix.
-pub fn gauss_seidel_split(
-    a: &CsrMatrix,
-) -> Result<(LowerTriangularCsr, CsrMatrix), SparseError> {
+pub fn gauss_seidel_split(a: &CsrMatrix) -> Result<(LowerTriangularCsr, CsrMatrix), SparseError> {
     if a.n_rows() != a.n_cols() {
-        return Err(SparseError::InvalidStructure("splitting requires a square matrix".into()));
+        return Err(SparseError::InvalidStructure(
+            "splitting requires a square matrix".into(),
+        ));
     }
     let n = a.n_rows();
     let mut lower = capellini_sparse::CooMatrix::new(n, n);
@@ -78,11 +78,21 @@ pub fn gauss_seidel(
         x = solve_selfsched(&lower, &rhs, threads, Distribution::Cyclic);
         let res = residual_general(a, &x, b);
         if res <= tol {
-            return Ok(IterResult { x, iterations: it, residual: res, converged: true });
+            return Ok(IterResult {
+                x,
+                iterations: it,
+                residual: res,
+                converged: true,
+            });
         }
     }
     let residual = residual_general(a, &x, b);
-    Ok(IterResult { x, iterations: max_iters, residual, converged: false })
+    Ok(IterResult {
+        x,
+        iterations: max_iters,
+        residual,
+        converged: false,
+    })
 }
 
 /// Successive over-relaxation: `(D/ω + L)·x_{k+1} = b − (U + (1−1/ω)·D)·x_k`.
@@ -119,11 +129,21 @@ pub fn sor(
         x = solve_selfsched(&lower, &rhs, threads, Distribution::Cyclic);
         let res = residual_general(a, &x, b);
         if res <= tol {
-            return Ok(IterResult { x, iterations: it, residual: res, converged: true });
+            return Ok(IterResult {
+                x,
+                iterations: it,
+                residual: res,
+                converged: true,
+            });
         }
     }
     let residual = residual_general(a, &x, b);
-    Ok(IterResult { x, iterations: max_iters, residual, converged: false })
+    Ok(IterResult {
+        x,
+        iterations: max_iters,
+        residual,
+        converged: false,
+    })
 }
 
 /// The SSOR preconditioner `M = (D+L)·D⁻¹·(D+U)` of a symmetric matrix:
@@ -145,7 +165,12 @@ impl SsorPreconditioner {
         let diag: Vec<f64> = (0..n).map(|i| lower.diag(i)).collect();
         // (D + U) = (D + L)ᵀ for symmetric A.
         let upper = UpperTriangularCsr::transpose_of(&lower);
-        Ok(SsorPreconditioner { lower, upper, diag, threads })
+        Ok(SsorPreconditioner {
+            lower,
+            upper,
+            diag,
+            threads,
+        })
     }
 
     /// Applies `M⁻¹ r`.
@@ -182,7 +207,12 @@ pub fn pcg_ssor(
         }
         let res = linalg::norm_inf(&r);
         if res <= tol {
-            return Ok(IterResult { x, iterations: it, residual: res, converged: true });
+            return Ok(IterResult {
+                x,
+                iterations: it,
+                residual: res,
+                converged: true,
+            });
         }
         z = m.apply(&r);
         let rz_new = dot(&r, &z);
@@ -193,7 +223,12 @@ pub fn pcg_ssor(
         }
     }
     let residual = residual_general(a, &x, b);
-    Ok(IterResult { x, iterations: max_iters, residual, converged: false })
+    Ok(IterResult {
+        x,
+        iterations: max_iters,
+        residual,
+        converged: false,
+    })
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -202,7 +237,10 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 fn residual_general(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = linalg::spmv(a, x);
-    ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max)
+    ax.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]
@@ -258,8 +296,17 @@ mod tests {
     fn gauss_seidel_converges_on_dominant_systems() {
         let (a, b, x_true) = spd_system(1_500, 91);
         let out = gauss_seidel(&a, &b, 1e-10, 200, 4).unwrap();
-        assert!(out.converged, "residual {} after {}", out.residual, out.iterations);
-        let err = out.x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        assert!(
+            out.converged,
+            "residual {} after {}",
+            out.residual, out.iterations
+        );
+        let err = out
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "error {err}");
     }
 
@@ -269,19 +316,38 @@ mod tests {
         let gs = gauss_seidel(&a, &b, 1e-10, 300, 2).unwrap();
         let sr = sor(&a, &b, 1.2, 1e-10, 300, 2).unwrap();
         assert!(sr.converged);
-        assert!(sr.iterations <= gs.iterations + 5, "SOR {} vs GS {}", sr.iterations, gs.iterations);
+        assert!(
+            sr.iterations <= gs.iterations + 5,
+            "SOR {} vs GS {}",
+            sr.iterations,
+            gs.iterations
+        );
     }
 
     #[test]
     fn pcg_ssor_converges_fast() {
         let (a, b, x_true) = spd_system(2_000, 93);
         let out = pcg_ssor(&a, &b, 1e-10, 60, 4).unwrap();
-        assert!(out.converged, "residual {} after {}", out.residual, out.iterations);
-        let err = out.x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        assert!(
+            out.converged,
+            "residual {} after {}",
+            out.residual, out.iterations
+        );
+        let err = out
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-7, "error {err}");
         // The preconditioner should beat unpreconditioned-style sweep counts.
         let gs = gauss_seidel(&a, &b, 1e-10, 300, 4).unwrap();
-        assert!(out.iterations < gs.iterations, "PCG {} vs GS {}", out.iterations, gs.iterations);
+        assert!(
+            out.iterations < gs.iterations,
+            "PCG {} vs GS {}",
+            out.iterations,
+            gs.iterations
+        );
     }
 
     #[test]

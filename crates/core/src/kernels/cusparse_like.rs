@@ -266,7 +266,15 @@ pub fn launch(
     let row_ptr = dev.mem_ref().read_u32(m.row_ptr).to_vec();
     let info: Vec<u32> = row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
     let info = dev.mem().alloc_u32(&info);
-    dev.launch(&CusparseLikeKernel { m, sb, info, warp_size: ws as u32 }, m.n)
+    dev.launch(
+        &CusparseLikeKernel {
+            m,
+            sb,
+            info,
+            warp_size: ws as u32,
+        },
+        m.n,
+    )
 }
 
 /// Convenience: upload, solve, read back.

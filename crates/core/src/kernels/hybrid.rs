@@ -454,7 +454,15 @@ pub fn launch_with_threshold(
     let encoded: Vec<u32> = tasks.iter().map(|t| t.encode()).collect();
     let n_warps = encoded.len();
     let tasks = dev.mem().alloc_u32(&encoded);
-    dev.launch(&HybridKernel { m, sb, tasks, warp_size: ws as u32 }, n_warps)
+    dev.launch(
+        &HybridKernel {
+            m,
+            sb,
+            tasks,
+            warp_size: ws as u32,
+        },
+        n_warps,
+    )
 }
 
 /// Convenience: upload, solve with the default threshold, read back.
@@ -486,8 +494,12 @@ mod tests {
 
     #[test]
     fn task_encoding_round_trips() {
-        for t in [Task::ThreadBlock { base: 0 }, Task::ThreadBlock { base: 96 },
-                  Task::WarpRow { row: 0 }, Task::WarpRow { row: 12345 }] {
+        for t in [
+            Task::ThreadBlock { base: 0 },
+            Task::ThreadBlock { base: 96 },
+            Task::WarpRow { row: 0 },
+            Task::WarpRow { row: 12345 },
+        ] {
             assert_eq!(Task::decode(t.encode()), t);
         }
     }
@@ -513,8 +525,14 @@ mod tests {
         let l = LowerTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).unwrap();
         let tasks = plan_tasks(&l, 32, 16.0);
         // Two sparse blocks → 2 thread tasks; two dense blocks → 64 warp tasks.
-        let threads = tasks.iter().filter(|t| matches!(t, Task::ThreadBlock { .. })).count();
-        let warps = tasks.iter().filter(|t| matches!(t, Task::WarpRow { .. })).count();
+        let threads = tasks
+            .iter()
+            .filter(|t| matches!(t, Task::ThreadBlock { .. }))
+            .count();
+        let warps = tasks
+            .iter()
+            .filter(|t| matches!(t, Task::WarpRow { .. }))
+            .count();
         assert_eq!(threads, 2);
         assert_eq!(warps, 64);
     }

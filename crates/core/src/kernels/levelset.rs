@@ -187,7 +187,10 @@ pub fn solve(
     let dm = DeviceCsr::upload(dev, l);
     let sb = SolveBuffers::upload(dev, b);
     let stats = launch_with_levels(dev, dm, sb, &levels)?;
-    Ok(SimSolve { x: sb.read_x(dev), stats })
+    Ok(SimSolve {
+        x: sb.read_x(dev),
+        stats,
+    })
 }
 
 #[cfg(test)]

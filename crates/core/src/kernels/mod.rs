@@ -48,7 +48,10 @@ pub(crate) fn run_on_fresh_device(
     let dm = DeviceCsr::upload(dev, l);
     let sb = SolveBuffers::upload(dev, b);
     let stats = solve(dev, dm, sb)?;
-    Ok(SimSolve { x: sb.read_x(dev), stats })
+    Ok(SimSolve {
+        x: sb.read_x(dev),
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@
 //! its preprocessing (see `HostCostModel::syncfree_preprocessing_ms`), while
 //! the execution kernel follows the paper's Algorithm 3 pseudocode.
 
-use capellini_simt::{Effect, GpuDevice, LaneMem, LaunchStats, Pc, SimtError, Trace, WarpKernel, PC_EXIT};
+use capellini_simt::{
+    Effect, GpuDevice, LaneMem, LaunchStats, Pc, SimtError, Trace, WarpKernel, PC_EXIT,
+};
 use capellini_sparse::LowerTriangularCsr;
 
 use crate::buffers::{DeviceCsr, SolveBuffers};
@@ -66,7 +68,11 @@ pub struct SfLane {
 impl SyncFreeKernel {
     /// Creates the kernel over uploaded buffers for a given warp width.
     pub fn new(m: DeviceCsr, sb: SolveBuffers, warp_size: usize) -> Self {
-        SyncFreeKernel { m, sb, warp_size: warp_size as u32 }
+        SyncFreeKernel {
+            m,
+            sb,
+            warp_size: warp_size as u32,
+        }
     }
 
     fn lane_of(&self, tid: u32) -> u32 {

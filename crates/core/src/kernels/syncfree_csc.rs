@@ -263,7 +263,10 @@ pub fn solve(
     };
     let x_buf = kernel.x;
     let stats = dev.launch(&kernel, n)?;
-    Ok(SimSolve { x: dev.mem_ref().read_f64(x_buf).to_vec(), stats })
+    Ok(SimSolve {
+        x: dev.mem_ref().read_f64(x_buf).to_vec(),
+        stats,
+    })
 }
 
 /// The launch statistics plus solution, as a `LaunchStats` convenience.

@@ -68,7 +68,11 @@ pub struct TpLane {
 impl TwoPhaseKernel {
     /// Creates the kernel over uploaded buffers for a given warp width.
     pub fn new(m: DeviceCsr, sb: SolveBuffers, warp_size: usize) -> Self {
-        TwoPhaseKernel { m, sb, warp_size: warp_size as u32 }
+        TwoPhaseKernel {
+            m,
+            sb,
+            warp_size: warp_size as u32,
+        }
     }
 }
 

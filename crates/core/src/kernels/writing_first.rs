@@ -34,7 +34,9 @@
 //! component whose row is complete, so the minimal unsolved row always
 //! progresses.
 
-use capellini_simt::{Effect, GpuDevice, LaneMem, LaunchStats, Pc, SimtError, Trace, WarpKernel, PC_EXIT};
+use capellini_simt::{
+    Effect, GpuDevice, LaneMem, LaunchStats, Pc, SimtError, Trace, WarpKernel, PC_EXIT,
+};
 use capellini_sparse::LowerTriangularCsr;
 
 use crate::buffers::{DeviceCsr, SolveBuffers};
@@ -61,6 +63,25 @@ const P_ST_FLAG: Pc = 16;
 /// Challenge 2 (3.3) eliminates by folding it into the readiness test.
 const P_EXPLICIT_CHECK: Pc = 17;
 
+/// Layout of the publish sequence (`x[i] = xi; __threadfence(); flag[i] = 1`).
+///
+/// [`FenceMode::Fenced`] is Algorithm 5. The other two deliberately break
+/// the protocol; they exist to prove the relaxed memory model of
+/// `capellini-simt` has teeth (under default sequential consistency both
+/// broken layouts still "solve correctly" on most schedules — exactly the
+/// latent-bug class `MemoryModel::Relaxed` makes observable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FenceMode {
+    /// Store `x[i]`, `__threadfence()`, set the flag (Algorithm 5).
+    #[default]
+    Fenced,
+    /// Fence stripped: store `x[i]`, then set the flag with no fence.
+    NoFence,
+    /// Set the flag *first*, fence, then store `x[i]` — the fence protects
+    /// the wrong store, so consumers can see the flag before the value.
+    FlagFirst,
+}
+
 /// The Writing-First kernel (Algorithm 5).
 pub struct WritingFirstKernel {
     m: DeviceCsr,
@@ -69,6 +90,8 @@ pub struct WritingFirstKernel {
     /// consumed element — the unoptimized control flow of Challenge 2,
     /// kept for the ablation study.
     explicit_last_check: bool,
+    /// Publish-sequence layout (broken variants for the memory-model audit).
+    fence_mode: FenceMode,
 }
 
 /// Per-lane registers.
@@ -86,14 +109,34 @@ pub struct WfLane {
 impl WritingFirstKernel {
     /// Creates the kernel over uploaded buffers.
     pub fn new(m: DeviceCsr, sb: SolveBuffers) -> Self {
-        WritingFirstKernel { m, sb, explicit_last_check: false }
+        WritingFirstKernel {
+            m,
+            sb,
+            explicit_last_check: false,
+            fence_mode: FenceMode::Fenced,
+        }
     }
 
     /// The Challenge-2 ablation variant: checks for the last element before
     /// processing every nonzero instead of integrating the check into the
     /// readiness test.
     pub fn with_explicit_last_check(m: DeviceCsr, sb: SolveBuffers) -> Self {
-        WritingFirstKernel { m, sb, explicit_last_check: true }
+        WritingFirstKernel {
+            m,
+            sb,
+            explicit_last_check: true,
+            fence_mode: FenceMode::Fenced,
+        }
+    }
+
+    /// Audit variant with a deliberately broken (or intact) publish layout.
+    pub fn with_fence_mode(m: DeviceCsr, sb: SolveBuffers, fence_mode: FenceMode) -> Self {
+        WritingFirstKernel {
+            m,
+            sb,
+            explicit_last_check: false,
+            fence_mode,
+        }
     }
 }
 
@@ -196,13 +239,26 @@ impl WarpKernel for WritingFirstKernel {
                 l.xi = (l.bv - l.left_sum) / l.v;
                 Effect::flops(P_ST_X, 2)
             }
-            P_ST_X => {
-                mem.store_f64(self.sb.x, i, l.xi);
-                Effect::to(P_FENCE)
-            }
+            P_ST_X => match self.fence_mode {
+                FenceMode::Fenced => {
+                    mem.store_f64(self.sb.x, i, l.xi);
+                    Effect::to(P_FENCE)
+                }
+                FenceMode::NoFence => {
+                    mem.store_f64(self.sb.x, i, l.xi);
+                    Effect::to(P_ST_FLAG)
+                }
+                FenceMode::FlagFirst => {
+                    mem.store_flag(self.sb.flags, i, true);
+                    Effect::to(P_FENCE)
+                }
+            },
             P_FENCE => Effect::fence(P_ST_FLAG),
             P_ST_FLAG => {
-                mem.store_flag(self.sb.flags, i, true);
+                match self.fence_mode {
+                    FenceMode::FlagFirst => mem.store_f64(self.sb.x, i, l.xi),
+                    _ => mem.store_flag(self.sb.flags, i, true),
+                }
                 Effect::exit()
             }
             _ => unreachable!("writing-first has no pc {pc}"),
@@ -306,7 +362,24 @@ pub fn solve_with_explicit_last_check(
 ) -> Result<SimSolve, SimtError> {
     run_on_fresh_device(dev, l, b, |dev, m, sb| {
         let n_warps = warps_for(m.n, dev.config().warp_size);
-        dev.launch(&WritingFirstKernel::with_explicit_last_check(m, sb), n_warps)
+        dev.launch(
+            &WritingFirstKernel::with_explicit_last_check(m, sb),
+            n_warps,
+        )
+    })
+}
+
+/// Audit entry point: Writing-First with a chosen publish-sequence layout
+/// (see [`FenceMode`]). With `FenceMode::Fenced` this is exactly [`solve`].
+pub fn solve_with_fence_mode(
+    dev: &mut GpuDevice,
+    l: &LowerTriangularCsr,
+    b: &[f64],
+    mode: FenceMode,
+) -> Result<SimSolve, SimtError> {
+    run_on_fresh_device(dev, l, b, |dev, m, sb| {
+        let n_warps = warps_for(m.n, dev.config().warp_size);
+        dev.launch(&WritingFirstKernel::with_fence_mode(m, sb, mode), n_warps)
     })
 }
 
@@ -352,7 +425,11 @@ mod tests {
         assert_eq!(out.stats.warps_launched, 200u64.div_ceil(32));
         // Every row executes one fence; lanes finalizing together share a
         // warp instruction, so the count lies between warps and rows.
-        assert!(out.stats.fences >= 7 && out.stats.fences <= 200, "{}", out.stats.fences);
+        assert!(
+            out.stats.fences >= 7 && out.stats.fences <= 200,
+            "{}",
+            out.stats.fences
+        );
     }
 
     #[test]

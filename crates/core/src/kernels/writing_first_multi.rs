@@ -241,7 +241,10 @@ pub fn solve_multi(
     let x_buf = kernel.x;
     let n_warps = l.n().div_ceil(dev.config().warp_size);
     let stats = dev.launch(&kernel, n_warps)?;
-    Ok(SimSolve { x: dev.mem_ref().read_f64(x_buf).to_vec(), stats })
+    Ok(SimSolve {
+        x: dev.mem_ref().read_f64(x_buf).to_vec(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -258,8 +261,9 @@ mod tests {
         let mut bs = vec![0.0; n * nrhs];
         let mut refs: Vec<Vec<f64>> = Vec::new();
         for r in 0..nrhs {
-            let b: Vec<f64> =
-                (0..n).map(|i| ((i * (r + 3) + 7 * r) % 19) as f64 - 9.0).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * (r + 3) + 7 * r) % 19) as f64 - 9.0)
+                .collect();
             for i in 0..n {
                 bs[i * nrhs + r] = b[i];
             }

@@ -36,8 +36,8 @@ pub mod solver;
 pub mod upper;
 
 pub use buffers::{DeviceCsr, SolveBuffers};
-pub use kernels::SimSolve;
 pub use iterative::{gauss_seidel, pcg_ssor, sor, IterResult, SsorPreconditioner};
+pub use kernels::SimSolve;
 pub use reference::{solve_serial_csc, solve_serial_csr};
 pub use select::{algorithm_traits, recommend, Algorithm, GRANULARITY_THRESHOLD};
 pub use solver::{solve_simulated, SolveReport, Solver};

@@ -33,7 +33,10 @@ pub fn solve_serial_csc(l: &CscMatrix, b: &[f64]) -> Vec<f64> {
     for j in 0..n {
         let (rows, vals) = l.col(j);
         // Diagonal first (top of the column in a lower-triangular CSC).
-        assert!(!rows.is_empty() && rows[0] as usize == j, "missing diagonal in column {j}");
+        assert!(
+            !rows.is_empty() && rows[0] as usize == j,
+            "missing diagonal in column {j}"
+        );
         x[j] /= vals[0];
         let xj = x[j];
         for (&r, &v) in rows.iter().zip(vals).skip(1) {

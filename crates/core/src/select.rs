@@ -43,7 +43,11 @@ impl Algorithm {
 
     /// The three algorithms of the paper's headline comparison (Tables 4-5).
     pub fn evaluation_trio() -> [Algorithm; 3] {
-        [Algorithm::SyncFree, Algorithm::CusparseLike, Algorithm::CapelliniWritingFirst]
+        [
+            Algorithm::SyncFree,
+            Algorithm::CusparseLike,
+            Algorithm::CapelliniWritingFirst,
+        ]
     }
 
     /// All live algorithms (excludes the deadlocking straw man).

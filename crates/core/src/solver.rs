@@ -47,7 +47,13 @@ pub fn solve_simulated(
             let dm = crate::buffers::DeviceCsr::upload(&mut dev, l);
             let sb = crate::buffers::SolveBuffers::upload(&mut dev, b);
             let stats = kernels::levelset::launch_with_levels(&mut dev, dm, sb, &levels)?;
-            (kernels::SimSolve { x: sb.read_x(&dev), stats }, pre)
+            (
+                kernels::SimSolve {
+                    x: sb.read_x(&dev),
+                    stats,
+                },
+                pre,
+            )
         }
         Algorithm::SyncFree => {
             let pre = host.syncfree_preprocessing_ms(n, nnz);
@@ -158,8 +164,8 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use capellini_sparse::linalg::assert_solutions_close;
     use capellini_sparse::gen;
+    use capellini_sparse::linalg::assert_solutions_close;
 
     #[test]
     fn every_live_algorithm_produces_the_same_solution() {
@@ -198,7 +204,9 @@ mod tests {
         assert_eq!(solver.recommend(), Algorithm::CapelliniWritingFirst);
         let b = vec![1.0; solver.matrix().n()];
         let x_ref = solver.solve_serial(&b);
-        let rep = solver.solve_simulated(&DeviceConfig::turing_like(), &b).unwrap();
+        let rep = solver
+            .solve_simulated(&DeviceConfig::turing_like(), &b)
+            .unwrap();
         assert_solutions_close(&rep.x, &x_ref, 1e-11);
         let x_cpu = solver.solve_cpu(&b, 4);
         assert_solutions_close(&x_cpu, &x_ref, 1e-11);

@@ -30,8 +30,8 @@ pub fn solve_upper_simulated(
 mod tests {
     use super::*;
     use capellini_sparse::linalg::{assert_solutions_close, spmv};
-    use capellini_sparse::{gen, UpperTriangularCsr};
     use capellini_sparse::triangular::solve_serial_upper;
+    use capellini_sparse::{gen, UpperTriangularCsr};
 
     #[test]
     fn upper_solve_matches_serial_backward_substitution() {
@@ -41,7 +41,11 @@ mod tests {
         let b = spmv(u.csr(), &x_true);
         let x_serial = solve_serial_upper(&u, &b);
         let cfg = DeviceConfig::pascal_like().scaled_down(4);
-        for algo in [Algorithm::CapelliniWritingFirst, Algorithm::SyncFree, Algorithm::LevelSet] {
+        for algo in [
+            Algorithm::CapelliniWritingFirst,
+            Algorithm::SyncFree,
+            Algorithm::LevelSet,
+        ] {
             let rep = solve_upper_simulated(&cfg, &u, &b, algo).unwrap();
             assert_solutions_close(&rep.x, &x_serial, 1e-10);
         }

@@ -17,14 +17,9 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Top-level harness handle; one per bench binary.
+#[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { filter: None }
-    }
 }
 
 impl Criterion {
@@ -215,7 +210,10 @@ fn run_one(
     let mut iters = 1u64;
     let warm_start = Instant::now();
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if warm_start.elapsed() >= warm_up {
             break;
@@ -228,7 +226,10 @@ fn run_one(
     let mut total = Duration::ZERO;
     let mut total_iters = 0u64;
     while total < measurement {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total += b.elapsed;
         total_iters += iters;
@@ -239,11 +240,17 @@ fn run_one(
     match throughput {
         Some(Throughput::Elements(n)) => {
             let rate = n as f64 * 1e9 / per_iter_ns;
-            println!("{id:<60} time: {time:>12}   thrpt: {} elem/s", format_rate(rate));
+            println!(
+                "{id:<60} time: {time:>12}   thrpt: {} elem/s",
+                format_rate(rate)
+            );
         }
         Some(Throughput::Bytes(n)) => {
             let rate = n as f64 * 1e9 / per_iter_ns;
-            println!("{id:<60} time: {time:>12}   thrpt: {}B/s", format_rate(rate));
+            println!(
+                "{id:<60} time: {time:>12}   thrpt: {}B/s",
+                format_rate(rate)
+            );
         }
         None => println!("{id:<60} time: {time:>12}   ({total_iters} iters)"),
     }
@@ -324,7 +331,9 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let c = Criterion { filter: Some("spmv".into()) };
+        let c = Criterion {
+            filter: Some("spmv".into()),
+        };
         assert!(c.matches("sparse/spmv/100"));
         assert!(!c.matches("sparse/gen/100"));
     }

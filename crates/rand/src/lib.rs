@@ -103,7 +103,10 @@ pub trait Rng: RngCore {
         // Upstream Bernoulli::new: p == 1.0 maps to the always-true marker;
         // otherwise p_int = (p * 2^64) as u64.
         const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
-        assert!((0.0..=1.0).contains(&p), "p={p} is outside range [0.0, 1.0]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
         if p == 1.0 {
             // Upstream's always-true marker short-circuits before drawing.
             return true;

@@ -3,6 +3,77 @@
 //! corresponding card (SM count, clock, DRAM bandwidth, resident-warp limit)
 //! plus the microarchitectural constants of the timing model.
 
+/// Which unit of execution owns a store buffer under the relaxed model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreScope {
+    /// One store buffer per warp: a store is invisible to *every* other
+    /// warp (even co-resident ones) until drained. The strictest audit.
+    Warp,
+    /// One store buffer per SM: warps on the same SM see each other's
+    /// stores immediately (they share an L1), only cross-SM visibility is
+    /// delayed — closer to real-hardware incoherent L1 behaviour.
+    Sm,
+}
+
+/// Global-memory visibility model of the simulated device.
+///
+/// The default, [`MemoryModel::SequentiallyConsistent`], makes every store
+/// instantly visible to every warp — the historical behaviour, under which
+/// `__threadfence` is pure latency. [`MemoryModel::Relaxed`] gives each
+/// warp (or SM, see [`StoreScope`]) a bounded store buffer that drains to
+/// DRAM only after a delay or at a fence, so a kernel that publishes its
+/// ready flag *before* (or without) fencing its data store becomes
+/// observably wrong — the bug class `__threadfence` exists to prevent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Every global store is immediately visible device-wide (default).
+    #[default]
+    SequentiallyConsistent,
+    /// Stores buffer locally and drain after a delay or at a fence.
+    Relaxed {
+        /// Engine ticks a buffered store waits before draining on its own
+        /// (ticks are cycles × `schedulers_per_sm`). Large values make a
+        /// missing fence near-certain to be observed; small values make
+        /// races intermittent, as on real hardware.
+        drain_ticks: u64,
+        /// Whether buffers are per-warp or per-SM.
+        scope: StoreScope,
+        /// When set, data loads of a word whose producing store has not
+        /// been fence-published by another owner fail the launch with
+        /// [`crate::SimtError::RaceDetected`] instead of silently reading
+        /// whatever has drained — the `compute-sanitizer --tool racecheck`
+        /// analogue. Flag polls are exempt (they are the sync protocol).
+        racecheck: bool,
+    },
+}
+
+impl MemoryModel {
+    /// Relaxed visibility with the given drain delay, per-warp buffers,
+    /// and no racecheck: missing fences show up as wrong results.
+    pub fn relaxed(drain_ticks: u64) -> Self {
+        MemoryModel::Relaxed {
+            drain_ticks,
+            scope: StoreScope::Warp,
+            racecheck: false,
+        }
+    }
+
+    /// Relaxed visibility with racecheck: unpublished cross-owner data
+    /// reads fail the launch with a structured race report.
+    pub fn racecheck(drain_ticks: u64) -> Self {
+        MemoryModel::Relaxed {
+            drain_ticks,
+            scope: StoreScope::Warp,
+            racecheck: true,
+        }
+    }
+
+    /// True for any `Relaxed` variant.
+    pub fn is_relaxed(&self) -> bool {
+        matches!(self, MemoryModel::Relaxed { .. })
+    }
+}
+
 /// Parameters of a simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
@@ -44,6 +115,8 @@ pub struct DeviceConfig {
     pub deadlock_window: u64,
     /// Hard cycle budget per launch.
     pub max_cycles: u64,
+    /// Global-memory visibility model (see [`MemoryModel`]).
+    pub memory_model: MemoryModel,
 }
 
 impl DeviceConfig {
@@ -68,6 +141,7 @@ impl DeviceConfig {
             launch_overhead_cycles: 8_000,
             deadlock_window: 2_000_000,
             max_cycles: 2_000_000_000,
+            memory_model: MemoryModel::SequentiallyConsistent,
         }
     }
 
@@ -92,6 +166,7 @@ impl DeviceConfig {
             launch_overhead_cycles: 7_000,
             deadlock_window: 2_000_000,
             max_cycles: 2_000_000_000,
+            memory_model: MemoryModel::SequentiallyConsistent,
         }
     }
 
@@ -116,6 +191,7 @@ impl DeviceConfig {
             launch_overhead_cycles: 7_500,
             deadlock_window: 2_000_000,
             max_cycles: 2_000_000_000,
+            memory_model: MemoryModel::SequentiallyConsistent,
         }
     }
 
@@ -144,6 +220,7 @@ impl DeviceConfig {
             launch_overhead_cycles: 15,
             deadlock_window: 100_000,
             max_cycles: 10_000_000,
+            memory_model: MemoryModel::SequentiallyConsistent,
         }
     }
 
@@ -162,6 +239,13 @@ impl DeviceConfig {
         self
     }
 
+    /// Returns this configuration with the given memory model (builder
+    /// style, for `DeviceConfig::toy().with_memory_model(...)` chains).
+    pub fn with_memory_model(mut self, model: MemoryModel) -> Self {
+        self.memory_model = model;
+        self
+    }
+
     /// The three evaluation platforms, in Table 3 order.
     pub fn evaluation_platforms() -> Vec<DeviceConfig> {
         vec![Self::pascal_like(), Self::volta_like(), Self::turing_like()]
@@ -170,7 +254,10 @@ impl DeviceConfig {
     /// The evaluation platforms scaled down 4× — the configuration the
     /// harness actually simulates (see [`DeviceConfig::scaled_down`]).
     pub fn evaluation_platforms_scaled() -> Vec<DeviceConfig> {
-        Self::evaluation_platforms().into_iter().map(|c| c.scaled_down(4)).collect()
+        Self::evaluation_platforms()
+            .into_iter()
+            .map(|c| c.scaled_down(4))
+            .collect()
     }
 
     /// Peak DRAM bytes transferable per core cycle.
@@ -223,6 +310,29 @@ mod tests {
         let trio = DeviceConfig::evaluation_platforms_scaled();
         assert_eq!(trio[1].sm_count, 20);
         assert_eq!(trio[2].sm_count, 17);
+    }
+
+    #[test]
+    fn memory_model_defaults_to_sequential_consistency() {
+        for cfg in DeviceConfig::evaluation_platforms() {
+            assert_eq!(cfg.memory_model, MemoryModel::SequentiallyConsistent);
+            assert!(!cfg.memory_model.is_relaxed());
+        }
+        assert_eq!(DeviceConfig::toy().memory_model, MemoryModel::default());
+        let relaxed = DeviceConfig::toy().with_memory_model(MemoryModel::relaxed(64));
+        assert!(relaxed.memory_model.is_relaxed());
+        match MemoryModel::racecheck(64) {
+            MemoryModel::Relaxed {
+                drain_ticks,
+                scope,
+                racecheck,
+            } => {
+                assert_eq!(drain_ticks, 64);
+                assert_eq!(scope, StoreScope::Warp);
+                assert!(racecheck);
+            }
+            other => panic!("expected relaxed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,8 +21,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::config::DeviceConfig;
-use crate::error::SimtError;
+use crate::config::{DeviceConfig, MemoryModel, StoreScope};
+use crate::error::{SimtError, WarpSnapshot};
 use crate::kernel::{Pc, WarpKernel, PC_EXIT};
 use crate::mem::{AccessKind, DeviceMemory, LaneMem, RawAccess, SECTOR_BYTES};
 use crate::metrics::LaunchStats;
@@ -122,6 +122,29 @@ struct StepOutcome {
     retired: u64,
 }
 
+/// Warps included in a hang diagnostic (keep errors readable on big grids).
+const MAX_SNAPSHOT_WARPS: usize = 8;
+
+/// Captures where the live warps currently are, for hang diagnostics.
+fn snapshot_warps<L>(warps: &[Option<WarpRt<L>>]) -> Vec<WarpSnapshot> {
+    warps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, w)| {
+            w.as_ref().map(|w| {
+                let top = w.stack.last();
+                WarpSnapshot {
+                    warp: i as u32,
+                    sm: w.sm,
+                    pc: top.map_or(PC_EXIT, |e| e.pc),
+                    active_mask: top.map_or(0, |e| e.mask),
+                }
+            })
+        })
+        .take(MAX_SNAPSHOT_WARPS)
+        .collect()
+}
+
 impl GpuDevice {
     /// Creates a device with empty memory.
     pub fn new(config: DeviceConfig) -> Self {
@@ -192,9 +215,26 @@ impl GpuDevice {
         let deadlock_ticks = cfg.deadlock_window * tpc;
         let max_ticks = cfg.max_cycles.saturating_mul(tpc);
         let warp_size = cfg.warp_size;
-        let full_mask: u64 = if warp_size == 64 { u64::MAX } else { (1u64 << warp_size) - 1 };
+        let full_mask: u64 = if warp_size == 64 {
+            u64::MAX
+        } else {
+            (1u64 << warp_size) - 1
+        };
         let sm_count = cfg.sm_count;
         let max_resident = cfg.max_warps_per_sm;
+        // Relaxed memory model: arm per-launch store buffers; everything on
+        // the SC path stays byte-identical (all hooks early-return).
+        let (relaxed_on, store_scope, racecheck) = match cfg.memory_model {
+            MemoryModel::SequentiallyConsistent => (false, StoreScope::Warp, false),
+            MemoryModel::Relaxed {
+                drain_ticks,
+                scope,
+                racecheck,
+            } => {
+                self.mem.set_relaxed(drain_ticks, racecheck);
+                (true, scope, racecheck)
+            }
+        };
 
         let shared_len = kernel.shared_per_warp();
         let mut warps: Vec<Option<WarpRt<K::Lane>>> = Vec::with_capacity(n_warps);
@@ -208,14 +248,27 @@ impl GpuDevice {
         let mut pool = std::mem::take(&mut self.warp_scratch);
         let pool_cap = sm_count * max_resident;
         let make_warp = |pool: &mut Vec<WarpScratch>, kernel: &K, wid: usize, sm: usize| {
-            let WarpScratch { mut stack, mut shared } = pool.pop().unwrap_or_default();
+            let WarpScratch {
+                mut stack,
+                mut shared,
+            } = pool.pop().unwrap_or_default();
             stack.clear();
-            stack.push(StackEntry { pc: 0, reconv: PC_EXIT, mask: full_mask });
+            stack.push(StackEntry {
+                pc: 0,
+                reconv: PC_EXIT,
+                mask: full_mask,
+            });
             shared.clear();
             shared.resize(shared_len, 0.0);
             let mut lanes = Vec::with_capacity(warp_size);
             lanes.extend((0..warp_size).map(|l| kernel.make_lane((wid * warp_size + l) as u32)));
-            WarpRt { sm, lanes, alive: full_mask, stack, shared }
+            WarpRt {
+                sm,
+                lanes,
+                alive: full_mask,
+                stack,
+                shared,
+            }
         };
 
         // Initial residency: fill SMs round-robin. All kernel-independent
@@ -247,7 +300,11 @@ impl GpuDevice {
         scratch.sm_last_issue.clear();
         scratch.sm_last_issue.resize(sm_count, 0);
         let mut sm_last_issue = scratch.sm_last_issue;
-        let mut stats = LaunchStats { warps_launched: n_warps as u64, launches: 1, ..Default::default() };
+        let mut stats = LaunchStats {
+            warps_launched: n_warps as u64,
+            launches: 1,
+            ..Default::default()
+        };
         let mut dram_busy: f64 = 0.0;
         let mut last_progress: u64 = 0;
         let mut end_tick: u64 = 0;
@@ -258,6 +315,11 @@ impl GpuDevice {
         let mut groups = scratch.groups;
 
         while let Some(Reverse((t, wid))) = heap.pop() {
+            if relaxed_on {
+                // Heap pops are monotone in t, so due-expired stores drain
+                // exactly once, in program order.
+                self.mem.drain_due(t);
+            }
             let w = warps[wid as usize].as_mut().expect("scheduled warp exists");
             let sm = w.sm;
             if sm_next_free[sm] > t {
@@ -265,11 +327,24 @@ impl GpuDevice {
                 continue;
             }
             if t > max_ticks {
-                return Err(SimtError::Timeout { max_cycles: cfg.max_cycles });
+                self.mem.finish_relaxed();
+                return Err(SimtError::Timeout {
+                    kernel: kernel.name(),
+                    max_cycles: cfg.max_cycles,
+                    live_warps: warps.iter().filter(|w| w.is_some()).count(),
+                    last_progress_cycle: last_progress / tpc,
+                    warps: snapshot_warps(&warps),
+                });
             }
             if t.saturating_sub(last_progress) > deadlock_ticks {
-                let live = warps.iter().filter(|w| w.is_some()).count();
-                return Err(SimtError::Deadlock { cycle: t / tpc, live_warps: live });
+                self.mem.finish_relaxed();
+                return Err(SimtError::Deadlock {
+                    kernel: kernel.name(),
+                    cycle: t / tpc,
+                    live_warps: warps.iter().filter(|w| w.is_some()).count(),
+                    last_progress_cycle: last_progress / tpc,
+                    warps: snapshot_warps(&warps),
+                });
             }
 
             // Issue accounting.
@@ -280,10 +355,15 @@ impl GpuDevice {
             sm_next_free[sm] = t + 1;
 
             // Execute one warp instruction.
+            let owner = match store_scope {
+                StoreScope::Warp => wid,
+                StoreScope::Sm => sm as u32,
+            };
             let out = Self::step_warp(
                 kernel,
                 w,
                 wid,
+                owner,
                 warp_size,
                 &mut self.mem,
                 &mut stats,
@@ -302,6 +382,19 @@ impl GpuDevice {
                 sector_service_ticks,
                 &mut dram_busy,
             );
+            if racecheck {
+                if let Some(r) = self.mem.take_race() {
+                    self.mem.finish_relaxed();
+                    return Err(SimtError::RaceDetected {
+                        kernel: kernel.name(),
+                        buffer: r.buf,
+                        index: r.idx,
+                        producer_warp: r.producer_warp,
+                        consumer_warp: r.consumer_warp,
+                        pc: r.pc,
+                    });
+                }
+            }
             if out.stored || out.retired > 0 {
                 last_progress = t;
             }
@@ -319,7 +412,11 @@ impl GpuDevice {
                     w.sm = sm;
                     w.alive = full_mask;
                     w.stack.clear();
-                    w.stack.push(StackEntry { pc: 0, reconv: PC_EXIT, mask: full_mask });
+                    w.stack.push(StackEntry {
+                        pc: 0,
+                        reconv: PC_EXIT,
+                        mask: full_mask,
+                    });
                     w.shared.clear();
                     w.shared.resize(shared_len, 0.0);
                     w.lanes.clear();
@@ -332,7 +429,10 @@ impl GpuDevice {
                     heap.push(Reverse((t + 1, next_pending as u32)));
                     next_pending += 1;
                 } else if pool.len() < pool_cap {
-                    pool.push(WarpScratch { stack: done.stack, shared: done.shared });
+                    pool.push(WarpScratch {
+                        stack: done.stack,
+                        shared: done.shared,
+                    });
                 }
             } else {
                 heap.push(Reverse((t_done, wid)));
@@ -349,6 +449,15 @@ impl GpuDevice {
             groups,
         };
 
+        // Kernel completion is a device-wide sync point: under the relaxed
+        // model every still-buffered store drains here, which is what makes
+        // launch-boundary-synchronized algorithms (Level-Set) correct.
+        if relaxed_on {
+            let (stale, drained) = self.mem.finish_relaxed();
+            stats.stale_reads = stale;
+            stats.drained_stores = drained;
+        }
+
         // Kernel completion includes draining the DRAM write queue
         // (fire-and-forget stores still occupy bandwidth).
         let end_tick = end_tick.max(dram_busy.ceil() as u64);
@@ -361,6 +470,7 @@ impl GpuDevice {
         kernel: &K,
         w: &mut WarpRt<K::Lane>,
         wid: u32,
+        owner: u32,
         warp_size: usize,
         mem: &mut DeviceMemory,
         stats: &mut LaunchStats,
@@ -407,6 +517,10 @@ impl GpuDevice {
                 accesses,
                 shared_ops: &mut shared_ops,
                 failed_polls: &mut failed_polls,
+                owner,
+                warp: wid,
+                now: t,
+                pc,
                 #[cfg(debug_assertions)]
                 ops_this_exec: 0,
             };
@@ -482,6 +596,9 @@ impl GpuDevice {
         } else if fence {
             stats.fences += 1;
             cost_ticks = fence_ticks;
+            // Under the relaxed model the fence is load-bearing: it drains
+            // and publishes this owner's store buffer (no-op under SC).
+            mem.fence_drain(owner);
         } else if shared_ops > 0 {
             cost_ticks = shared_lat;
         } else {
@@ -527,13 +644,21 @@ impl GpuDevice {
                 } else if tg == PC_EXIT {
                     retired_ct += retire(&mut w.stack, &mut w.alive, gmask) as u64;
                 } else {
-                    w.stack.push(StackEntry { pc: tg, reconv: rpc, mask: gmask });
+                    w.stack.push(StackEntry {
+                        pc: tg,
+                        reconv: rpc,
+                        mask: gmask,
+                    });
                 }
             }
             normalize(&mut w.stack, &mut w.alive, &mut retired_ct);
         }
 
-        StepOutcome { cost_ticks: cost_ticks.max(1), stored, retired: retired_ct }
+        StepOutcome {
+            cost_ticks: cost_ticks.max(1),
+            stored,
+            retired: retired_ct,
+        }
     }
 }
 
@@ -599,10 +724,12 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let x = dev.mem().alloc_f64(&xs);
         let y = dev.mem().alloc_f64_zeroed(n);
-        let stats = dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap();
+        let stats = dev
+            .launch(&DoubleKernel { n, x, y }, n.div_ceil(32))
+            .unwrap();
         let out = dev.mem_ref().read_f64(y);
-        for i in 0..n {
-            assert_eq!(out[i], 2.0 * i as f64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f64);
         }
         // 4 warps; full warps run 3 instructions, the tail warp's bounds
         // check diverges (4 live lanes continue, 28 exit) but instruction
@@ -755,15 +882,49 @@ mod tests {
         cfg.deadlock_window = 10_000;
         let mut dev = GpuDevice::new(cfg);
         let flag = dev.mem().alloc_flags(1);
-        let err = dev.launch(&IntraWarpSpin { flag, spin_first: true }, 1).unwrap_err();
-        assert!(matches!(err, SimtError::Deadlock { .. }), "got {err:?}");
+        let err = dev
+            .launch(
+                &IntraWarpSpin {
+                    flag,
+                    spin_first: true,
+                },
+                1,
+            )
+            .unwrap_err();
+        match err {
+            SimtError::Deadlock {
+                kernel,
+                cycle,
+                live_warps,
+                last_progress_cycle,
+                warps,
+            } => {
+                assert_eq!(kernel, "intra-warp-spin");
+                assert_eq!(live_warps, 1);
+                assert!(last_progress_cycle < cycle);
+                // The snapshot shows the lone warp stuck in the spin loop.
+                assert_eq!(warps.len(), 1);
+                assert_eq!(warps[0].warp, 0);
+                assert_eq!(warps[0].pc, 1, "stuck at the poll instruction");
+                assert_ne!(warps[0].active_mask, 0);
+            }
+            other => panic!("expected a deadlock, got {other:?}"),
+        }
     }
 
     #[test]
     fn intra_warp_spin_completes_when_producer_runs_first() {
         let mut dev = GpuDevice::new(DeviceConfig::toy());
         let flag = dev.mem().alloc_flags(1);
-        let stats = dev.launch(&IntraWarpSpin { flag, spin_first: false }, 1).unwrap();
+        let stats = dev
+            .launch(
+                &IntraWarpSpin {
+                    flag,
+                    spin_first: false,
+                },
+                1,
+            )
+            .unwrap();
         assert_eq!(dev.mem_ref().read_flags(flag), &[1]);
         assert_eq!(stats.lanes_retired, 3);
     }
@@ -875,7 +1036,8 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let x = dev.mem().alloc_f64(&xs);
             let y = dev.mem().alloc_f64_zeroed(n);
-            dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap()
+            dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32))
+                .unwrap()
         };
         assert_eq!(run(), run());
     }
@@ -891,9 +1053,15 @@ mod tests {
         let xs = vec![1.0f64; n];
         let x = dev.mem().alloc_f64(&xs);
         let y = dev.mem().alloc_f64_zeroed(n);
-        let stats = dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap();
+        let stats = dev
+            .launch(&DoubleKernel { n, x, y }, n.div_ceil(32))
+            .unwrap();
         let bytes = stats.dram_read_bytes + stats.dram_write_bytes;
-        assert_eq!(bytes as usize, 2 * n * 8, "streaming traffic is the footprint");
+        assert_eq!(
+            bytes as usize,
+            2 * n * 8,
+            "streaming traffic is the footprint"
+        );
         let min_cycles = bytes as f64 / cfg.bytes_per_cycle();
         assert!(
             (stats.cycles as f64) >= min_cycles * 0.9,
@@ -917,7 +1085,9 @@ mod tests {
             let xs = vec![1.0f64; n];
             let x = dev.mem().alloc_f64(&xs);
             let y = dev.mem().alloc_f64_zeroed(n);
-            dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32)).unwrap().cycles
+            dev.launch(&DoubleKernel { n, x, y }, n.div_ceil(32))
+                .unwrap()
+                .cycles
         };
         let low_occupancy = run(2);
         let high_occupancy = run(64);
@@ -966,6 +1136,193 @@ mod tests {
             "cycles {} below the issue-width bound",
             stats.cycles
         );
+    }
+
+    /// The fence-before-flag publish protocol, in three layouts: correct
+    /// (store x, fence, set flag), fence-stripped, and flag-first (set flag,
+    /// fence, then store x — the fence protects the wrong store).
+    #[derive(Clone, Copy, PartialEq)]
+    enum PublishMode {
+        Fenced,
+        NoFence,
+        FlagFirst,
+    }
+
+    /// Warp 0 lane 0 produces `x[0]` and publishes it; warp 1 lane 0 spins
+    /// on the flag, then reads `x[0]` into `y[0]`.
+    struct ProducerConsumer {
+        mode: PublishMode,
+        x: BufF64,
+        y: BufF64,
+        flag: BufFlag,
+    }
+
+    impl WarpKernel for ProducerConsumer {
+        type Lane = f64;
+        fn name(&self) -> &'static str {
+            "producer-consumer"
+        }
+        fn make_lane(&self, _tid: u32) -> f64 {
+            0.0
+        }
+        fn exec(&self, pc: Pc, l: &mut f64, tid: u32, mem: &mut LaneMem<'_>) -> Effect {
+            match pc {
+                0 => Effect::to(match tid {
+                    0 => 1,
+                    3 => 10,
+                    _ => PC_EXIT,
+                }),
+                // Producer, in mode order.
+                1 => match self.mode {
+                    PublishMode::FlagFirst => {
+                        mem.store_flag(self.flag, 0, true);
+                        Effect::to(2)
+                    }
+                    _ => {
+                        mem.store_f64(self.x, 0, 42.0);
+                        Effect::to(if self.mode == PublishMode::Fenced {
+                            2
+                        } else {
+                            3
+                        })
+                    }
+                },
+                2 => Effect::fence(3),
+                3 => match self.mode {
+                    PublishMode::FlagFirst => {
+                        mem.store_f64(self.x, 0, 42.0);
+                        Effect::exit()
+                    }
+                    _ => {
+                        mem.store_flag(self.flag, 0, true);
+                        Effect::exit()
+                    }
+                },
+                // Consumer spin loop.
+                10 => {
+                    let ready = mem.poll_flag(self.flag, 0);
+                    Effect::to(if ready { 11 } else { 10 })
+                }
+                11 => {
+                    *l = mem.load_f64(self.x, 0);
+                    Effect::to(12)
+                }
+                12 => {
+                    mem.store_f64(self.y, 0, *l);
+                    Effect::exit()
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, pc: Pc) -> Pc {
+            match pc {
+                0 => PC_EXIT,
+                10 => 11,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn run_producer_consumer(
+        mode: PublishMode,
+        model: crate::MemoryModel,
+    ) -> (Result<LaunchStats, SimtError>, f64) {
+        let mut dev = GpuDevice::new(DeviceConfig::toy().with_memory_model(model));
+        let x = dev.mem().alloc_f64_zeroed(1);
+        let y = dev.mem().alloc_f64_zeroed(1);
+        let flag = dev.mem().alloc_flags(1);
+        let res = dev.launch(&ProducerConsumer { mode, x, y, flag }, 2);
+        let y_val = dev.mem_ref().read_f64(y)[0];
+        (res, y_val)
+    }
+
+    #[test]
+    fn fenced_publish_is_correct_under_every_model() {
+        use crate::MemoryModel;
+        for model in [
+            MemoryModel::SequentiallyConsistent,
+            MemoryModel::relaxed(10_000),
+            MemoryModel::racecheck(10_000),
+        ] {
+            let (res, y) = run_producer_consumer(PublishMode::Fenced, model);
+            let stats = res.unwrap();
+            assert_eq!(y, 42.0, "under {model:?}");
+            if model.is_relaxed() {
+                assert!(stats.drained_stores >= 2, "x and flag both drained");
+                assert_eq!(stats.stale_reads, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn per_sm_scope_shares_the_buffer_within_an_sm() {
+        use crate::{MemoryModel, StoreScope};
+        // Toy device has a single SM, so under Sm scope the consumer warp
+        // shares the producer's buffer: even the fence-stripped layout
+        // forwards and completes without a race.
+        let model = MemoryModel::Relaxed {
+            drain_ticks: 10_000,
+            scope: StoreScope::Sm,
+            racecheck: true,
+        };
+        let (res, y) = run_producer_consumer(PublishMode::NoFence, model);
+        res.unwrap();
+        assert_eq!(y, 42.0);
+    }
+
+    #[test]
+    fn missing_fence_is_a_detected_race_under_racecheck() {
+        use crate::MemoryModel;
+        // Under SC the bug is invisible...
+        let (res, y) =
+            run_producer_consumer(PublishMode::NoFence, MemoryModel::SequentiallyConsistent);
+        res.unwrap();
+        assert_eq!(y, 42.0, "SC silently certifies the broken kernel");
+        // ...racecheck rejects it with full attribution.
+        let (res, _) = run_producer_consumer(PublishMode::NoFence, MemoryModel::racecheck(10_000));
+        match res.unwrap_err() {
+            SimtError::RaceDetected {
+                kernel,
+                index,
+                producer_warp,
+                consumer_warp,
+                pc,
+                ..
+            } => {
+                assert_eq!(kernel, "producer-consumer");
+                assert_eq!(index, 0);
+                assert_eq!(producer_warp, 0);
+                assert_eq!(consumer_warp, 1);
+                assert_eq!(pc, 11, "the consumer's x load races");
+            }
+            other => panic!("expected a race, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flag_before_store_reads_stale_data_under_relaxed() {
+        use crate::MemoryModel;
+        // Flag-first is broken even under SC when the consumer's poll lands
+        // in the window between the flag store and the x store — as it does
+        // in the toy schedule. The relaxed model widens that window from a
+        // couple of cycles to the whole drain delay.
+        let (res, y) =
+            run_producer_consumer(PublishMode::FlagFirst, MemoryModel::SequentiallyConsistent);
+        res.unwrap();
+        assert_eq!(y, 0.0, "consumer outruns the producer even under SC");
+        // Relaxed (no racecheck): the fence publishes the *flag*, the x
+        // store stays buffered, and the consumer reads a stale 0.0.
+        let (res, y) = run_producer_consumer(PublishMode::FlagFirst, MemoryModel::relaxed(10_000));
+        let stats = res.unwrap();
+        assert_eq!(y, 0.0, "wrong result is observable");
+        assert!(stats.stale_reads >= 1, "and counted: {stats:?}");
+        // Racecheck names the racy read instead.
+        let (res, _) =
+            run_producer_consumer(PublishMode::FlagFirst, MemoryModel::racecheck(10_000));
+        assert!(matches!(
+            res.unwrap_err(),
+            SimtError::RaceDetected { pc: 11, .. }
+        ));
     }
 
     #[test]

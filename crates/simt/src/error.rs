@@ -2,6 +2,36 @@
 
 use std::fmt;
 
+use crate::kernel::{Pc, PC_EXIT};
+
+/// Point-in-time view of one live warp, attached to hang diagnostics so a
+/// deadlock or timeout is debuggable from the error alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpSnapshot {
+    /// Logical warp id (launch-wide, stable across slot recycling).
+    pub warp: u32,
+    /// SM the warp is resident on.
+    pub sm: usize,
+    /// Program counter of the warp's current reconvergence-stack top.
+    pub pc: Pc,
+    /// Active-lane mask at that stack entry (bit `i` = lane `i` live).
+    pub active_mask: u64,
+}
+
+impl fmt::Display for WarpSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pc == PC_EXIT {
+            write!(f, "warp {} (sm {}) at EXIT", self.warp, self.sm)
+        } else {
+            write!(
+                f,
+                "warp {} (sm {}) at pc {} mask {:#x}",
+                self.warp, self.sm, self.pc, self.active_mask
+            )
+        }
+    }
+}
+
 /// Errors surfaced by a kernel launch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimtError {
@@ -9,29 +39,102 @@ pub enum SimtError {
     /// the configured deadlock window — the situation the paper's
     /// Challenge 1 (§3.3) describes for naive intra-warp busy-waiting.
     Deadlock {
+        /// Name of the kernel that hung.
+        kernel: &'static str,
         /// Cycle at which the detector gave up.
         cycle: u64,
         /// Warps still alive at that point.
         live_warps: usize,
+        /// Last cycle at which any warp stored or retired a lane.
+        last_progress_cycle: u64,
+        /// Where the live warps are stuck (bounded sample).
+        warps: Vec<WarpSnapshot>,
     },
     /// The launch exceeded the configured cycle budget.
     Timeout {
+        /// Name of the kernel that ran over budget.
+        kernel: &'static str,
         /// The configured budget that was exhausted.
         max_cycles: u64,
+        /// Warps still alive when the budget ran out.
+        live_warps: usize,
+        /// Last cycle at which any warp stored or retired a lane.
+        last_progress_cycle: u64,
+        /// Where the live warps are (bounded sample).
+        warps: Vec<WarpSnapshot>,
+    },
+    /// Racecheck (relaxed memory model): a consumer read a word whose
+    /// producing store had not been fence-published by its owner — the
+    /// missing-`__threadfence` bug class of sync-free SpTRSV kernels.
+    RaceDetected {
+        /// Name of the offending kernel.
+        kernel: &'static str,
+        /// Raw handle of the buffer containing the racy word.
+        buffer: u32,
+        /// Element index of the racy word within that buffer.
+        index: usize,
+        /// Logical warp id that issued the unpublished store.
+        producer_warp: u32,
+        /// Logical warp id that read the word.
+        consumer_warp: u32,
+        /// Program counter of the consuming instruction.
+        pc: Pc,
     },
     /// Invalid launch configuration (zero warps, oversized warp, ...).
     Launch(String),
 }
 
+fn write_warp_sample(f: &mut fmt::Formatter<'_>, warps: &[WarpSnapshot]) -> fmt::Result {
+    for w in warps {
+        write!(f, "\n  {w}")?;
+    }
+    Ok(())
+}
+
 impl fmt::Display for SimtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimtError::Deadlock { cycle, live_warps } => write!(
-                f,
-                "deadlock detected at cycle {cycle}: {live_warps} warps spinning with no progress"
-            ),
-            SimtError::Timeout { max_cycles } => {
-                write!(f, "launch exceeded the cycle budget of {max_cycles}")
+            SimtError::Deadlock {
+                kernel,
+                cycle,
+                live_warps,
+                last_progress_cycle,
+                warps,
+            } => {
+                write!(
+                    f,
+                    "deadlock in `{kernel}` at cycle {cycle}: {live_warps} warps spinning \
+                     with no progress since cycle {last_progress_cycle}"
+                )?;
+                write_warp_sample(f, warps)
+            }
+            SimtError::Timeout {
+                kernel,
+                max_cycles,
+                live_warps,
+                last_progress_cycle,
+                warps,
+            } => {
+                write!(
+                    f,
+                    "`{kernel}` exceeded the cycle budget of {max_cycles} with {live_warps} \
+                     warps live (last progress at cycle {last_progress_cycle})"
+                )?;
+                write_warp_sample(f, warps)
+            }
+            SimtError::RaceDetected {
+                kernel,
+                buffer,
+                index,
+                producer_warp,
+                consumer_warp,
+                pc,
+            } => {
+                write!(
+                    f,
+                    "race in `{kernel}`: warp {consumer_warp} (pc {pc}) read buffer {buffer}\
+                     [{index}] stored by warp {producer_warp} before any fence published it"
+                )
             }
             SimtError::Launch(msg) => write!(f, "invalid launch: {msg}"),
         }
@@ -39,3 +142,40 @@ impl fmt::Display for SimtError {
 }
 
 impl std::error::Error for SimtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_diagnostics() {
+        let e = SimtError::Deadlock {
+            kernel: "naive",
+            cycle: 1000,
+            live_warps: 2,
+            last_progress_cycle: 400,
+            warps: vec![WarpSnapshot {
+                warp: 1,
+                sm: 0,
+                pc: 7,
+                active_mask: 0b101,
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("`naive`"), "{s}");
+        assert!(s.contains("cycle 400"), "{s}");
+        assert!(s.contains("warp 1 (sm 0) at pc 7 mask 0x5"), "{s}");
+
+        let r = SimtError::RaceDetected {
+            kernel: "stripped",
+            buffer: 3,
+            index: 42,
+            producer_warp: 0,
+            consumer_warp: 5,
+            pc: 9,
+        };
+        let s = r.to_string();
+        assert!(s.contains("buffer 3[42]"), "{s}");
+        assert!(s.contains("warp 5"), "{s}");
+    }
+}

@@ -67,8 +67,8 @@ impl HostCostModel {
     /// phase builds dependency information; empirically ~2× the SyncFree
     /// conversion on the Table 1 matrices.
     pub fn cusparse_preprocessing_ms(&self, n: usize, nnz: usize) -> f64 {
-        let analysis = nnz as f64 * (self.ns_per_nnz_convert * 2.4)
-            + n as f64 * self.ns_per_row * 4.0;
+        let analysis =
+            nnz as f64 * (self.ns_per_nnz_convert * 2.4) + n as f64 * self.ns_per_row * 4.0;
         let arrays = 2.0 * self.ns_per_malloc + (n * 4) as f64 * self.ns_per_byte_memset;
         (analysis + arrays) / 1e6
     }

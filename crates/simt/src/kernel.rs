@@ -41,25 +41,41 @@ impl Effect {
     /// Plain instruction: go to `next`.
     #[inline]
     pub fn to(next: Pc) -> Self {
-        Effect { next, flops: 0, fence: false }
+        Effect {
+            next,
+            flops: 0,
+            fence: false,
+        }
     }
 
     /// Instruction performing `flops` floating-point operations.
     #[inline]
     pub fn flops(next: Pc, flops: u16) -> Self {
-        Effect { next, flops, fence: false }
+        Effect {
+            next,
+            flops,
+            fence: false,
+        }
     }
 
     /// A memory fence.
     #[inline]
     pub fn fence(next: Pc) -> Self {
-        Effect { next, flops: 0, fence: true }
+        Effect {
+            next,
+            flops: 0,
+            fence: true,
+        }
     }
 
     /// Retire this lane.
     #[inline]
     pub fn exit() -> Self {
-        Effect { next: PC_EXIT, flops: 0, fence: false }
+        Effect {
+            next: PC_EXIT,
+            flops: 0,
+            fence: false,
+        }
     }
 }
 
@@ -80,8 +96,13 @@ pub trait WarpKernel: Sync {
     fn make_lane(&self, tid: u32) -> Self::Lane;
 
     /// Executes the instruction at `pc` for one lane.
-    fn exec(&self, pc: Pc, lane: &mut Self::Lane, tid: u32, mem: &mut crate::mem::LaneMem<'_>)
-        -> Effect;
+    fn exec(
+        &self,
+        pc: Pc,
+        lane: &mut Self::Lane,
+        tid: u32,
+        mem: &mut crate::mem::LaneMem<'_>,
+    ) -> Effect;
 
     /// The reconvergence point (immediate post-dominator) of a divergent
     /// branch at `pc`. Called only when lanes actually diverge there.
@@ -112,8 +133,22 @@ mod tests {
 
     #[test]
     fn effect_constructors() {
-        assert_eq!(Effect::to(3), Effect { next: 3, flops: 0, fence: false });
-        assert_eq!(Effect::flops(4, 2), Effect { next: 4, flops: 2, fence: false });
+        assert_eq!(
+            Effect::to(3),
+            Effect {
+                next: 3,
+                flops: 0,
+                fence: false
+            }
+        );
+        assert_eq!(
+            Effect::flops(4, 2),
+            Effect {
+                next: 4,
+                flops: 2,
+                fence: false
+            }
+        );
         assert!(Effect::fence(1).fence);
         assert_eq!(Effect::exit().next, PC_EXIT);
     }

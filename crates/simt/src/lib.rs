@@ -16,7 +16,11 @@
 //!   parallelism by the warp width — the paper's core claim.
 //! * **Memory**: per-warp coalescing into 32-byte sectors, DRAM latency and
 //!   a global bandwidth queue, an infinite-L2 first-touch traffic model,
-//!   fire-and-forget stores, and `__threadfence()`.
+//!   fire-and-forget stores, and `__threadfence()`. An opt-in relaxed
+//!   visibility model ([`MemoryModel`]) buffers global stores per warp until
+//!   a fence publishes them, with a racecheck mode that reports unpublished
+//!   cross-warp reads as structured [`SimtError::RaceDetected`] errors —
+//!   making the paper's fence placement load-bearing instead of decorative.
 //! * **Counters**: instructions, dependency-stall slots, DRAM bytes — the
 //!   `nvprof` metrics of the paper's Figures 7–8 and Table 6.
 //!
@@ -54,9 +58,9 @@ pub mod mem;
 pub mod metrics;
 pub mod trace;
 
-pub use config::DeviceConfig;
+pub use config::{DeviceConfig, MemoryModel, StoreScope};
 pub use engine::GpuDevice;
-pub use error::SimtError;
+pub use error::{SimtError, WarpSnapshot};
 pub use host::HostCostModel;
 pub use kernel::{Effect, Pc, WarpKernel, PC_EXIT};
 pub use mem::{BufF64, BufFlag, BufU32, LaneMem, SECTOR_BYTES};
@@ -65,9 +69,9 @@ pub use trace::{Trace, TraceEvent};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::config::DeviceConfig;
+    pub use crate::config::{DeviceConfig, MemoryModel, StoreScope};
     pub use crate::engine::GpuDevice;
-    pub use crate::error::SimtError;
+    pub use crate::error::{SimtError, WarpSnapshot};
     pub use crate::host::HostCostModel;
     pub use crate::kernel::{Effect, Pc, WarpKernel, PC_EXIT};
     pub use crate::mem::{BufF64, BufFlag, BufU32, LaneMem};

@@ -6,8 +6,17 @@
 //! the working-set footprint, which is the regime the paper's matrices
 //! (a few MB, within real L2 reach for the hot arrays) operate in.
 
+use std::collections::HashMap;
+
+use crate::kernel::Pc;
+
 /// Bytes per memory sector/transaction (NVIDIA L2 sector size).
 pub const SECTOR_BYTES: u32 = 32;
+
+/// Per-owner store-buffer capacity under the relaxed model. Real GPUs hold
+/// a handful of outstanding stores per sub-core; overflowing the buffer
+/// force-drains the oldest entry (without publishing it).
+const STORE_BUFFER_CAP: usize = 8;
 
 /// Handle to a device buffer of `f64`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +53,11 @@ impl Buffer {
         };
         let sectors = bytes.div_ceil(SECTOR_BYTES as usize);
         let words = sectors.div_ceil(64);
-        Buffer { data, read_touched: vec![0; words], write_touched: vec![0; words] }
+        Buffer {
+            data,
+            read_touched: vec![0; words],
+            write_touched: vec![0; words],
+        }
     }
 }
 
@@ -71,10 +84,119 @@ pub struct RawAccess {
     pub kind: AccessKind,
 }
 
+/// A store sitting in an owner's buffer, not yet visible in DRAM.
+/// Program order is the push order of `RelaxedState::pending`; the publish
+/// epoch lives in the word's [`WordMeta`].
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    owner: u32,
+    buf: u32,
+    idx: usize,
+    val: PendingVal,
+    /// Tick at which the store drains on its own.
+    due: u64,
+}
+
+/// Value payload of a buffered store (the simulator has no plain `u32`
+/// store instruction, so two variants suffice).
+#[derive(Debug, Clone, Copy)]
+enum PendingVal {
+    F64(f64),
+    Flag(u8),
+}
+
+/// Bookkeeping for one global word with unpublished stores: who last stored
+/// it, at which epoch, how many of its stores are still undrained — and the
+/// newest value, so same-owner store-to-load forwarding is O(1).
+#[derive(Debug, Clone, Copy)]
+struct WordMeta {
+    owner: u32,
+    warp: u32,
+    epoch: u64,
+    undrained: u32,
+    last_val: PendingVal,
+}
+
+/// A detected unpublished cross-owner read, reported by the engine as
+/// [`crate::SimtError::RaceDetected`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RaceInfo {
+    pub(crate) buf: u32,
+    pub(crate) idx: usize,
+    pub(crate) producer_warp: u32,
+    pub(crate) consumer_warp: u32,
+    pub(crate) pc: Pc,
+}
+
+/// State of the relaxed memory model for one launch: the store buffers,
+/// the per-word publish epochs, and the audit counters.
+struct RelaxedState {
+    drain_ticks: u64,
+    racecheck: bool,
+    /// All undrained stores, in program (seq) order.
+    pending: Vec<PendingStore>,
+    /// Per-owner count of entries in `pending` (capacity enforcement).
+    owner_counts: HashMap<u32, usize>,
+    /// Racecheck epochs of words stored since the last owning fence.
+    words: HashMap<(u32, usize), WordMeta>,
+    /// Per-owner fence epoch: every store with `seq < fence_epochs[owner]`
+    /// is published (ordering-visible to other owners).
+    fence_epochs: HashMap<u32, u64>,
+    next_seq: u64,
+    /// Earliest `due` among `pending` (fast path for the per-tick drain).
+    min_due: u64,
+    race: Option<RaceInfo>,
+    stale_reads: u64,
+    drained_stores: u64,
+}
+
+impl RelaxedState {
+    fn new(drain_ticks: u64, racecheck: bool) -> Self {
+        RelaxedState {
+            drain_ticks,
+            racecheck,
+            pending: Vec::new(),
+            owner_counts: HashMap::new(),
+            words: HashMap::new(),
+            fence_epochs: HashMap::new(),
+            next_seq: 0,
+            min_due: u64::MAX,
+            race: None,
+            stale_reads: 0,
+            drained_stores: 0,
+        }
+    }
+
+    fn fence_epoch(&self, owner: u32) -> u64 {
+        self.fence_epochs.get(&owner).copied().unwrap_or(0)
+    }
+}
+
+/// Writes a buffered store through to the backing buffer.
+fn apply_store(bufs: &mut [Buffer], ps: &PendingStore) {
+    match (&mut bufs[ps.buf as usize].data, ps.val) {
+        (BufData::F64(v), PendingVal::F64(x)) => v[ps.idx] = x,
+        (BufData::Flag(v), PendingVal::Flag(x)) => v[ps.idx] = x,
+        _ => panic!("buffered store type mismatch on buffer {}", ps.buf),
+    }
+}
+
+/// Deterministic per-word drain-time skew: spreads autonomous drains out
+/// so a missing fence produces value-dependent (but reproducible) timing,
+/// as on real hardware. Same word → same skew, so per-word FIFO holds.
+fn drain_skew(buf: u32, idx: usize, drain_ticks: u64) -> u64 {
+    let h = (buf as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((idx as u64).wrapping_mul(0x85EB_CA77_C2B2_AE63));
+    (h >> 33) % (drain_ticks / 2 + 1)
+}
+
 /// All buffers of one simulated device.
 #[derive(Default)]
 pub struct DeviceMemory {
     bufs: Vec<Buffer>,
+    /// `Some` while a launch runs under [`crate::MemoryModel::Relaxed`].
+    relaxed: Option<RelaxedState>,
 }
 
 impl DeviceMemory {
@@ -172,6 +294,209 @@ impl DeviceMemory {
         first
     }
 
+    // ---- relaxed memory model (engine-internal) -------------------------
+
+    /// Arms the relaxed model for one launch with fresh buffers/counters.
+    pub(crate) fn set_relaxed(&mut self, drain_ticks: u64, racecheck: bool) {
+        self.relaxed = Some(RelaxedState::new(drain_ticks, racecheck));
+    }
+
+    /// Drains every store due at or before `now`, in program order.
+    pub(crate) fn drain_due(&mut self, now: u64) {
+        let Some(rs) = &mut self.relaxed else { return };
+        if now < rs.min_due {
+            return;
+        }
+        let bufs = &mut self.bufs;
+        let mut min_due = u64::MAX;
+        rs.pending.retain(|ps| {
+            if ps.due <= now {
+                apply_store(bufs, ps);
+                rs.drained_stores += 1;
+                *rs.owner_counts.get_mut(&ps.owner).expect("owner count") -= 1;
+                if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
+                    m.undrained = m.undrained.saturating_sub(1);
+                }
+                false
+            } else {
+                min_due = min_due.min(ps.due);
+                true
+            }
+        });
+        rs.min_due = min_due;
+    }
+
+    /// `__threadfence` by `owner`: drains its store buffer and bumps its
+    /// fence epoch, publishing everything it stored so far.
+    pub(crate) fn fence_drain(&mut self, owner: u32) {
+        let Some(rs) = &mut self.relaxed else { return };
+        let bufs = &mut self.bufs;
+        let mut min_due = u64::MAX;
+        rs.pending.retain(|ps| {
+            if ps.owner == owner {
+                apply_store(bufs, ps);
+                rs.drained_stores += 1;
+                if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
+                    m.undrained = m.undrained.saturating_sub(1);
+                }
+                false
+            } else {
+                min_due = min_due.min(ps.due);
+                true
+            }
+        });
+        rs.min_due = min_due;
+        rs.owner_counts.insert(owner, 0);
+        let epoch = rs.next_seq;
+        rs.fence_epochs.insert(owner, epoch);
+        // Published words need no further tracking.
+        rs.words
+            .retain(|_, m| !(m.owner == owner && m.epoch < epoch));
+    }
+
+    /// End-of-launch flush: drains everything (the kernel-boundary sync of
+    /// CUDA's launch semantics), clears the racecheck maps, and returns the
+    /// `(stale_reads, drained_stores)` counters. Disarms the model, so host
+    /// read-backs always see the drained state.
+    pub(crate) fn finish_relaxed(&mut self) -> (u64, u64) {
+        let Some(mut rs) = self.relaxed.take() else {
+            return (0, 0);
+        };
+        for ps in &rs.pending {
+            apply_store(&mut self.bufs, ps);
+            rs.drained_stores += 1;
+        }
+        (rs.stale_reads, rs.drained_stores)
+    }
+
+    /// Takes the pending race report, if a racy read occurred.
+    pub(crate) fn take_race(&mut self) -> Option<RaceInfo> {
+        self.relaxed.as_mut().and_then(|rs| rs.race.take())
+    }
+
+    /// Buffers a store by `owner`/`warp` instead of writing DRAM.
+    fn relaxed_store(
+        &mut self,
+        owner: u32,
+        warp: u32,
+        buf: u32,
+        idx: usize,
+        val: PendingVal,
+        now: u64,
+    ) {
+        let rs = self.relaxed.as_mut().expect("relaxed model armed");
+        let count = rs.owner_counts.entry(owner).or_insert(0);
+        if *count >= STORE_BUFFER_CAP {
+            // Capacity eviction: force-drain the owner's oldest store.
+            // The value reaches DRAM but is NOT published (no fence ran).
+            let pos = rs
+                .pending
+                .iter()
+                .position(|ps| ps.owner == owner)
+                .expect("owner count says an entry exists");
+            let ps = rs.pending.remove(pos);
+            apply_store(&mut self.bufs, &ps);
+            rs.drained_stores += 1;
+            if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
+                m.undrained = m.undrained.saturating_sub(1);
+            }
+            let count = rs.owner_counts.get_mut(&owner).expect("owner count");
+            *count -= 1;
+        }
+        let seq = rs.next_seq;
+        rs.next_seq += 1;
+        let due = now + rs.drain_ticks + drain_skew(buf, idx, rs.drain_ticks);
+        rs.pending.push(PendingStore {
+            owner,
+            buf,
+            idx,
+            val,
+            due,
+        });
+        *rs.owner_counts.entry(owner).or_insert(0) += 1;
+        rs.min_due = rs.min_due.min(due);
+        match rs.words.entry((buf, idx)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let m = e.get_mut();
+                m.owner = owner;
+                m.warp = warp;
+                m.epoch = seq;
+                m.undrained += 1;
+                m.last_val = val;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WordMeta {
+                    owner,
+                    warp,
+                    epoch: seq,
+                    undrained: 1,
+                    last_val: val,
+                });
+            }
+        }
+    }
+
+    /// Relaxed-model load path. Forwards the reader's own newest buffered
+    /// store (program order within an owner); otherwise the caller reads
+    /// DRAM, and for data loads (`sync == false`) a cross-owner undrained
+    /// store counts as a stale read and — under racecheck — an unpublished
+    /// cross-owner store records a race.
+    fn relaxed_peek(
+        &mut self,
+        owner: u32,
+        warp: u32,
+        pc: Pc,
+        buf: u32,
+        idx: usize,
+        sync: bool,
+    ) -> Option<PendingVal> {
+        let rs = self.relaxed.as_mut()?;
+        let m = rs.words.get(&(buf, idx))?;
+        if m.owner == owner {
+            // Store-to-load forwarding: the newest value this owner stored
+            // to the word (whether still buffered or already drained — by
+            // per-word FIFO it is also what DRAM holds once drained).
+            return Some(m.last_val);
+        }
+        if !sync {
+            if m.undrained > 0 {
+                rs.stale_reads += 1;
+            }
+            if rs.racecheck && m.epoch >= rs.fence_epoch(m.owner) && rs.race.is_none() {
+                rs.race = Some(RaceInfo {
+                    buf,
+                    idx,
+                    producer_warp: m.warp,
+                    consumer_warp: warp,
+                    pc,
+                });
+            }
+        }
+        None
+    }
+
+    /// Atomics synchronize the word they touch: all pending stores to it
+    /// (any owner) drain first, in program order, and the word is published
+    /// — an atomic RMW at the L2 is ordering-safe by construction.
+    fn atomic_sync(&mut self, buf: u32, idx: usize) {
+        let Some(rs) = &mut self.relaxed else { return };
+        let bufs = &mut self.bufs;
+        let mut min_due = u64::MAX;
+        rs.pending.retain(|ps| {
+            if ps.buf == buf && ps.idx == idx {
+                apply_store(bufs, ps);
+                rs.drained_stores += 1;
+                *rs.owner_counts.get_mut(&ps.owner).expect("owner count") -= 1;
+                false
+            } else {
+                min_due = min_due.min(ps.due);
+                true
+            }
+        });
+        rs.min_due = min_due;
+        rs.words.remove(&(buf, idx));
+    }
+
     /// Total footprint in bytes of all buffers (upper bound on traffic).
     pub fn footprint_bytes(&self) -> u64 {
         self.bufs
@@ -196,6 +521,14 @@ pub struct LaneMem<'a> {
     pub(crate) accesses: &'a mut Vec<RawAccess>,
     pub(crate) shared_ops: &'a mut u32,
     pub(crate) failed_polls: &'a mut u32,
+    /// Store-buffer owner id under the relaxed model (warp or SM scoped).
+    pub(crate) owner: u32,
+    /// Logical warp id of the executing lane (race attribution).
+    pub(crate) warp: u32,
+    /// Current engine tick (store drain deadlines).
+    pub(crate) now: u64,
+    /// Program counter of the executing instruction (race attribution).
+    pub(crate) pc: Pc,
     #[cfg(debug_assertions)]
     pub(crate) ops_this_exec: u32,
 }
@@ -222,6 +555,14 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn load_f64(&mut self, h: BufF64, idx: usize) -> f64 {
         self.record(h.0, idx * 8, AccessKind::Load);
+        if self.dev.relaxed.is_some() {
+            if let Some(PendingVal::F64(v)) = self
+                .dev
+                .relaxed_peek(self.owner, self.warp, self.pc, h.0, idx, false)
+            {
+                return v;
+            }
+        }
         self.dev.f64s(h)[idx]
     }
 
@@ -229,26 +570,62 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn store_f64(&mut self, h: BufF64, idx: usize, v: f64) {
         self.record(h.0, idx * 8, AccessKind::Store);
+        if self.dev.relaxed.is_some() {
+            self.dev.relaxed_store(
+                self.owner,
+                self.warp,
+                h.0,
+                idx,
+                PendingVal::F64(v),
+                self.now,
+            );
+            return;
+        }
         match &mut self.dev.bufs[h.0 as usize].data {
             BufData::F64(vec) => vec[idx] = v,
             _ => panic!("buffer {} is not f64", h.0),
         }
     }
 
-    /// Global load of a `u32`.
+    /// Global load of a `u32` (data load: racechecked under the relaxed
+    /// model; the sync-loop variant is [`LaneMem::poll_zero_u32`]).
     #[inline]
     pub fn load_u32(&mut self, h: BufU32, idx: usize) -> u32 {
+        self.load_u32_inner(h, idx, false)
+    }
+
+    #[inline]
+    fn load_u32_inner(&mut self, h: BufU32, idx: usize, sync: bool) -> u32 {
         self.record(h.0, idx * 4, AccessKind::Load);
+        if self.dev.relaxed.is_some() {
+            // No u32 store instruction exists, so forwarding never hits;
+            // this only performs the stale/race accounting.
+            let fwd = self
+                .dev
+                .relaxed_peek(self.owner, self.warp, self.pc, h.0, idx, sync);
+            debug_assert!(fwd.is_none(), "u32 words are never store-buffered");
+        }
         match &self.dev.bufs[h.0 as usize].data {
             BufData::U32(v) => v[idx],
             _ => panic!("buffer {} is not u32", h.0),
         }
     }
 
-    /// Volatile load of a completion flag (the spin-loop poll).
+    /// Volatile load of a completion flag (the spin-loop poll). Flag loads
+    /// are the synchronization protocol itself, so they are exempt from
+    /// racecheck — but under the relaxed model they observe the *drained*
+    /// flag state (another warp's buffered `store_flag` is invisible).
     #[inline]
     pub fn load_flag(&mut self, h: BufFlag, idx: usize) -> bool {
         self.record(h.0, idx, AccessKind::Load);
+        if self.dev.relaxed.is_some() {
+            if let Some(PendingVal::Flag(v)) = self
+                .dev
+                .relaxed_peek(self.owner, self.warp, self.pc, h.0, idx, true)
+            {
+                return v != 0;
+            }
+        }
         match &self.dev.bufs[h.0 as usize].data {
             BufData::Flag(v) => v[idx] != 0,
             _ => panic!("buffer {} is not flags", h.0),
@@ -272,6 +649,17 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn store_flag(&mut self, h: BufFlag, idx: usize, v: bool) {
         self.record(h.0, idx, AccessKind::Store);
+        if self.dev.relaxed.is_some() {
+            self.dev.relaxed_store(
+                self.owner,
+                self.warp,
+                h.0,
+                idx,
+                PendingVal::Flag(v as u8),
+                self.now,
+            );
+            return;
+        }
         match &mut self.dev.bufs[h.0 as usize].data {
             BufData::Flag(vec) => vec[idx] = v as u8,
             _ => panic!("buffer {} is not flags", h.0),
@@ -280,10 +668,10 @@ impl<'a> LaneMem<'a> {
 
     /// Volatile poll of a `u32` counter against zero, counting non-zero
     /// results as dependency-stall retries (the in-degree countdown of
-    /// CSC-based SyncFree).
+    /// CSC-based SyncFree). Sync-exempt from racecheck, like `poll_flag`.
     #[inline]
     pub fn poll_zero_u32(&mut self, h: BufU32, idx: usize) -> bool {
-        let v = self.load_u32(h, idx);
+        let v = self.load_u32_inner(h, idx, true);
         if v != 0 {
             *self.failed_polls += 1;
         }
@@ -295,6 +683,9 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn atomic_add_f64(&mut self, h: BufF64, idx: usize, v: f64) -> f64 {
         self.record(h.0, idx * 8, AccessKind::Atomic);
+        if self.dev.relaxed.is_some() {
+            self.dev.atomic_sync(h.0, idx);
+        }
         match &mut self.dev.bufs[h.0 as usize].data {
             BufData::F64(vec) => {
                 let old = vec[idx];
@@ -310,6 +701,9 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn atomic_sub_u32(&mut self, h: BufU32, idx: usize, v: u32) -> u32 {
         self.record(h.0, idx * 4, AccessKind::Atomic);
+        if self.dev.relaxed.is_some() {
+            self.dev.atomic_sync(h.0, idx);
+        }
         match &mut self.dev.bufs[h.0 as usize].data {
             BufData::U32(vec) => {
                 let old = vec[idx];
@@ -346,12 +740,29 @@ mod tests {
         sops: &'a mut u32,
         polls: &'a mut u32,
     ) -> LaneMem<'a> {
+        lane_mem_as(dev, shared, acc, sops, polls, 0, 0)
+    }
+
+    /// Test lane with an explicit owner/warp identity (relaxed-model tests).
+    fn lane_mem_as<'a>(
+        dev: &'a mut DeviceMemory,
+        shared: &'a mut [f64],
+        acc: &'a mut Vec<RawAccess>,
+        sops: &'a mut u32,
+        polls: &'a mut u32,
+        owner: u32,
+        now: u64,
+    ) -> LaneMem<'a> {
         LaneMem {
             dev,
             shared,
             accesses: acc,
             shared_ops: sops,
             failed_polls: polls,
+            owner,
+            warp: owner,
+            now,
+            pc: 0,
             #[cfg(debug_assertions)]
             ops_this_exec: 0,
         }
@@ -381,7 +792,14 @@ mod tests {
             let mut m = lane_mem(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls);
             m.store_f64(f, 5, 9.0); // byte 40 → sector 1
         }
-        assert_eq!(acc, vec![RawAccess { buf: 0, sector: 1, kind: AccessKind::Store }]);
+        assert_eq!(
+            acc,
+            vec![RawAccess {
+                buf: 0,
+                sector: 1,
+                kind: AccessKind::Store
+            }]
+        );
         assert_eq!(dev.read_f64(f)[5], 9.0);
     }
 
@@ -389,10 +807,18 @@ mod tests {
     fn first_touch_is_dram_then_l2() {
         let mut dev = DeviceMemory::new();
         let f = dev.alloc_f64(&[0.0; 8]);
-        let a = RawAccess { buf: f.0, sector: 0, kind: AccessKind::Load };
+        let a = RawAccess {
+            buf: f.0,
+            sector: 0,
+            kind: AccessKind::Load,
+        };
         assert!(dev.touch(a), "first read touch goes to DRAM");
         assert!(!dev.touch(a), "second read touch is an L2 hit");
-        let w = RawAccess { buf: f.0, sector: 0, kind: AccessKind::Store };
+        let w = RawAccess {
+            buf: f.0,
+            sector: 0,
+            kind: AccessKind::Store,
+        };
         assert!(dev.touch(w), "write touches tracked separately");
         assert!(!dev.touch(w));
     }
@@ -481,6 +907,181 @@ mod tests {
             assert!(m.poll_flag(g, 0));
         }
         assert_eq!(polls, 1);
+    }
+
+    #[test]
+    fn relaxed_store_is_invisible_until_fence() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 4]);
+        dev.set_relaxed(1_000, false);
+        let (mut acc, mut sops, mut polls) = (Vec::new(), 0, 0u32);
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
+            m.store_f64(f, 2, 7.0);
+        }
+        acc.clear();
+        {
+            // Another owner reads DRAM: still 0 (and counted stale).
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 1);
+            assert_eq!(m.load_f64(f, 2), 0.0);
+        }
+        acc.clear();
+        {
+            // The owner itself forwards its own buffered store.
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 1);
+            assert_eq!(m.load_f64(f, 2), 7.0);
+        }
+        dev.fence_drain(1);
+        acc.clear();
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 2);
+            assert_eq!(m.load_f64(f, 2), 7.0);
+        }
+        let (stale, drained) = dev.finish_relaxed();
+        assert_eq!(stale, 1);
+        assert_eq!(drained, 1);
+    }
+
+    #[test]
+    fn relaxed_store_drains_on_its_own_after_the_delay() {
+        let mut dev = DeviceMemory::new();
+        let g = dev.alloc_flags(2);
+        dev.set_relaxed(10, false);
+        let (mut acc, mut sops, mut polls) = (Vec::new(), 0, 0u32);
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
+            m.store_flag(g, 0, true);
+        }
+        dev.drain_due(5);
+        acc.clear();
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 5);
+            assert!(!m.poll_flag(g, 0), "not yet drained");
+        }
+        dev.drain_due(100); // past due + any skew
+        acc.clear();
+        {
+            let mut m = lane_mem_as(
+                &mut dev,
+                &mut shared,
+                &mut acc,
+                &mut sops,
+                &mut polls,
+                2,
+                100,
+            );
+            assert!(m.poll_flag(g, 0), "drained by delay expiry");
+        }
+    }
+
+    #[test]
+    fn racecheck_flags_unpublished_cross_owner_data_reads() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 2]);
+        dev.set_relaxed(10, true);
+        let (mut acc, mut sops, mut polls) = (Vec::new(), 0, 0u32);
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
+            m.store_f64(f, 0, 3.0);
+        }
+        dev.drain_due(1_000); // value reaches DRAM — but was never fenced
+        acc.clear();
+        {
+            let mut m = lane_mem_as(
+                &mut dev,
+                &mut shared,
+                &mut acc,
+                &mut sops,
+                &mut polls,
+                2,
+                1_000,
+            );
+            assert_eq!(m.load_f64(f, 0), 3.0, "drained value is readable");
+        }
+        let race = dev.take_race().expect("unpublished read must race");
+        assert_eq!((race.buf, race.idx), (f.0, 0));
+        assert_eq!(race.producer_warp, 1);
+        assert_eq!(race.consumer_warp, 2);
+        assert!(dev.take_race().is_none(), "race is taken once");
+    }
+
+    #[test]
+    fn racecheck_passes_fence_published_reads_and_atomics() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 2]);
+        let u = dev.alloc_u32(&[2]);
+        dev.set_relaxed(10, true);
+        let (mut acc, mut sops, mut polls) = (Vec::new(), 0, 0u32);
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
+            m.store_f64(f, 0, 3.0);
+        }
+        dev.fence_drain(1);
+        acc.clear();
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 1);
+            assert_eq!(m.load_f64(f, 0), 3.0);
+        }
+        acc.clear();
+        {
+            // Atomically-updated words are published by the atomic itself.
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 2);
+            m.atomic_add_f64(f, 1, 4.0);
+        }
+        acc.clear();
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 3);
+            assert_eq!(m.load_f64(f, 1), 4.0);
+        }
+        acc.clear();
+        {
+            // Sync polls (in-degree countdown) are exempt as well.
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 4);
+            assert!(!m.poll_zero_u32(u, 0));
+        }
+        assert!(dev.take_race().is_none(), "no false positives");
+    }
+
+    #[test]
+    fn store_buffer_capacity_evicts_oldest_without_publishing() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 64]);
+        dev.set_relaxed(1_000_000, true);
+        let (mut acc, mut sops, mut polls) = (Vec::new(), 0, 0u32);
+        let mut shared = [0.0f64; 0];
+        for i in 0..STORE_BUFFER_CAP + 1 {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
+            m.store_f64(f, i, i as f64 + 1.0);
+            acc.clear();
+        }
+        // The first store was force-drained to DRAM...
+        assert_eq!(dev.read_f64(f)[0], 1.0);
+        // ...but it was never published, so a cross-owner read still races.
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 0);
+            assert_eq!(m.load_f64(f, 0), 1.0);
+        }
+        assert!(dev.take_race().is_some(), "eviction is not a fence");
+    }
+
+    #[test]
+    fn finish_relaxed_flushes_everything_for_host_readback() {
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 2]);
+        dev.set_relaxed(1_000_000, false);
+        let (mut acc, mut sops, mut polls) = (Vec::new(), 0, 0u32);
+        let mut shared = [0.0f64; 0];
+        {
+            let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
+            m.store_f64(f, 1, 9.0);
+        }
+        let (_, drained) = dev.finish_relaxed();
+        assert_eq!(drained, 1);
+        assert_eq!(dev.read_f64(f), &[0.0, 9.0]);
     }
 
     #[test]

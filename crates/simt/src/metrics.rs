@@ -45,6 +45,13 @@ pub struct LaunchStats {
     pub lanes_retired: u64,
     /// Number of kernel launches accumulated into this value.
     pub launches: u64,
+    /// Relaxed memory model only: data loads that observed DRAM while
+    /// another owner still had an undrained store to the same word (the
+    /// reads a racecheck would flag; always 0 under sequential consistency).
+    pub stale_reads: u64,
+    /// Relaxed memory model only: buffered stores drained to DRAM (by
+    /// fence, delay expiry, capacity eviction, or end-of-launch flush).
+    pub drained_stores: u64,
 }
 
 impl LaunchStats {
@@ -67,6 +74,8 @@ impl LaunchStats {
         self.warps_launched += other.warps_launched;
         self.lanes_retired += other.lanes_retired;
         self.launches += other.launches;
+        self.stale_reads += other.stale_reads;
+        self.drained_stores += other.drained_stores;
     }
 
     /// Execution time in seconds at the given device's clock.
@@ -148,8 +157,18 @@ mod tests {
 
     #[test]
     fn accumulate_sums_everything() {
-        let mut a = LaunchStats { cycles: 10, warp_instructions: 5, launches: 1, ..Default::default() };
-        let b = LaunchStats { cycles: 7, warp_instructions: 3, launches: 1, ..Default::default() };
+        let mut a = LaunchStats {
+            cycles: 10,
+            warp_instructions: 5,
+            launches: 1,
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            cycles: 7,
+            warp_instructions: 3,
+            launches: 1,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.cycles, 17);
         assert_eq!(a.warp_instructions, 8);

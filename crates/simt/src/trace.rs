@@ -61,8 +61,10 @@ impl Trace {
 }
 
 fn mask_str(mask: u64) -> String {
-    let lanes: Vec<String> =
-        (0..64).filter(|b| mask & (1 << b) != 0).map(|b| b.to_string()).collect();
+    let lanes: Vec<String> = (0..64)
+        .filter(|b| mask & (1 << b) != 0)
+        .map(|b| b.to_string())
+        .collect();
     format!("[{}]", lanes.join(","))
 }
 
@@ -74,9 +76,30 @@ mod tests {
     fn render_groups_by_cycle() {
         let t = Trace {
             events: vec![
-                TraceEvent { cycle: 0, sm: 0, warp: 0, pc: 0, label: "load", mask: 0b111 },
-                TraceEvent { cycle: 0, sm: 0, warp: 1, pc: 0, label: "load", mask: 0b011 },
-                TraceEvent { cycle: 1, sm: 0, warp: 0, pc: 1, label: "fma", mask: 0b101 },
+                TraceEvent {
+                    cycle: 0,
+                    sm: 0,
+                    warp: 0,
+                    pc: 0,
+                    label: "load",
+                    mask: 0b111,
+                },
+                TraceEvent {
+                    cycle: 0,
+                    sm: 0,
+                    warp: 1,
+                    pc: 0,
+                    label: "load",
+                    mask: 0b011,
+                },
+                TraceEvent {
+                    cycle: 1,
+                    sm: 0,
+                    warp: 0,
+                    pc: 1,
+                    label: "fma",
+                    mask: 0b101,
+                },
             ],
         };
         let r = t.render();

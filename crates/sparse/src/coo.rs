@@ -18,7 +18,11 @@ impl CooMatrix {
     /// Creates an empty matrix with the given shape.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
         assert!(n_rows <= u32::MAX as usize && n_cols <= u32::MAX as usize);
-        CooMatrix { n_rows, n_cols, entries: Vec::new() }
+        CooMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix and reserves room for `cap` entries.

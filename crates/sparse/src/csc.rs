@@ -66,7 +66,13 @@ impl CscMatrix {
                 prev = Some(r);
             }
         }
-        Ok(CscMatrix { n_rows, n_cols, col_ptr, row_idx, values })
+        Ok(CscMatrix {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 
     /// Constructs without re-validating; used by trusted conversions whose
@@ -78,10 +84,21 @@ impl CscMatrix {
         row_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        debug_assert!(
-            Self::new(n_rows, n_cols, col_ptr.clone(), row_idx.clone(), values.clone()).is_ok()
-        );
-        CscMatrix { n_rows, n_cols, col_ptr, row_idx, values }
+        debug_assert!(Self::new(
+            n_rows,
+            n_cols,
+            col_ptr.clone(),
+            row_idx.clone(),
+            values.clone()
+        )
+        .is_ok());
+        CscMatrix {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -157,7 +174,13 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             3,
             3,
-            [(0u32, 0u32, 1.0), (1, 0, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0u32, 0u32, 1.0),
+                (1, 0, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap();
         let csr = CsrMatrix::from_coo(&coo);

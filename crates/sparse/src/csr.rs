@@ -71,7 +71,13 @@ impl CsrMatrix {
                 prev = Some(c);
             }
         }
-        Ok(CsrMatrix { n_rows, n_cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds a CSR matrix from a COO matrix; duplicates are summed.
@@ -93,7 +99,13 @@ impl CsrMatrix {
             col_idx.push(c);
             values.push(v);
         }
-        CsrMatrix { n_rows, n_cols: sorted.n_cols(), row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows,
+            n_cols: sorted.n_cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.

@@ -55,7 +55,11 @@ impl DatasetEntry {
     /// matrices never come level-sorted, and the interleaved layout is what
     /// exercises the sync-free algorithms' dependency polling.
     fn new(name: impl Into<String>, spec: GenSpec, seed: u64) -> Self {
-        DatasetEntry { name: name.into(), spec: spec.shuffled(), seed }
+        DatasetEntry {
+            name: name.into(),
+            spec: spec.shuffled(),
+            seed,
+        }
     }
 
     /// Builds the matrix.
@@ -81,14 +85,25 @@ pub fn nlpkkt160_like(scale: Scale) -> DatasetEntry {
         Scale::Medium => 22,
         Scale::Full => 34,
     };
-    DatasetEntry::new("nlpkkt160-like", GenSpec::Stencil3D { nx: s, ny: s, nz: s }, 160)
+    DatasetEntry::new(
+        "nlpkkt160-like",
+        GenSpec::Stencil3D {
+            nx: s,
+            ny: s,
+            nz: s,
+        },
+        160,
+    )
 }
 
 /// *wiki-Talk* stand-in (Table 1): a power-law communication graph.
 pub fn wiki_talk_like(scale: Scale) -> DatasetEntry {
     DatasetEntry::new(
         "wiki-Talk-like",
-        GenSpec::PowerLaw { n: scale.apply(40_000), avg_deg: 2.6 },
+        GenSpec::PowerLaw {
+            n: scale.apply(40_000),
+            avg_deg: 2.6,
+        },
         2394,
     )
 }
@@ -96,7 +111,14 @@ pub fn wiki_talk_like(scale: Scale) -> DatasetEntry {
 /// *cant* stand-in (Table 1): an FEM cantilever — dense rows, deep DAG,
 /// low granularity (the regime where warp-level SpTRSV is the right choice).
 pub fn cant_like(scale: Scale) -> DatasetEntry {
-    DatasetEntry::new("cant-like", GenSpec::DenseBand { n: scale.apply(16_000), band: 30 }, 62)
+    DatasetEntry::new(
+        "cant-like",
+        GenSpec::DenseBand {
+            n: scale.apply(16_000),
+            band: 30,
+        },
+        62,
+    )
 }
 
 /// *lp1* stand-in (Figure 5, Table 5): the extreme-granularity LP factor
@@ -104,7 +126,11 @@ pub fn cant_like(scale: Scale) -> DatasetEntry {
 pub fn lp1_like(scale: Scale) -> DatasetEntry {
     DatasetEntry::new(
         "lp1-like",
-        GenSpec::UltraSparseWide { n: scale.apply(50_000), heads: 8, deps: 1 },
+        GenSpec::UltraSparseWide {
+            n: scale.apply(50_000),
+            heads: 8,
+            deps: 1,
+        },
         534,
     )
 }
@@ -116,7 +142,11 @@ pub fn lp1_like(scale: Scale) -> DatasetEntry {
 pub fn rajat29_like(scale: Scale) -> DatasetEntry {
     DatasetEntry::new(
         "rajat29-like",
-        GenSpec::Layered { n: scale.apply(44_000), k: 5, layers: 4 },
+        GenSpec::Layered {
+            n: scale.apply(44_000),
+            k: 5,
+            layers: 4,
+        },
         29,
     )
 }
@@ -125,7 +155,11 @@ pub fn rajat29_like(scale: Scale) -> DatasetEntry {
 pub fn bayer01_like(scale: Scale) -> DatasetEntry {
     DatasetEntry::new(
         "bayer01-like",
-        GenSpec::Layered { n: scale.apply(29_000), k: 4, layers: 3 },
+        GenSpec::Layered {
+            n: scale.apply(29_000),
+            k: 4,
+            layers: 3,
+        },
         101,
     )
 }
@@ -134,7 +168,11 @@ pub fn bayer01_like(scale: Scale) -> DatasetEntry {
 pub fn circuit5m_dc_like(scale: Scale) -> DatasetEntry {
     DatasetEntry::new(
         "circuit5M_dc-like",
-        GenSpec::Layered { n: scale.apply(38_500), k: 3, layers: 3 },
+        GenSpec::Layered {
+            n: scale.apply(38_500),
+            k: 3,
+            layers: 3,
+        },
         55,
     )
 }
@@ -143,7 +181,11 @@ pub fn circuit5m_dc_like(scale: Scale) -> DatasetEntry {
 pub fn neos_like(scale: Scale) -> DatasetEntry {
     DatasetEntry::new(
         "neos-like",
-        GenSpec::UltraSparseWide { n: scale.apply(36_000), heads: 64, deps: 2 },
+        GenSpec::UltraSparseWide {
+            n: scale.apply(36_000),
+            heads: 64,
+            deps: 2,
+        },
         77,
     )
 }
@@ -190,7 +232,16 @@ pub fn suite(scale: Scale) -> Vec<DatasetEntry> {
         let n = scale.apply(16_000 + (i % 9) * 3_000);
         let rails = 3 + (i % 5);
         let dense_every = [48, 120, 400, 1200, 4000][i % 5];
-        push(&mut out, "circuit", GenSpec::Circuit { n, rails, dense_every }, seed);
+        push(
+            &mut out,
+            "circuit",
+            GenSpec::Circuit {
+                n,
+                rails,
+                dense_every,
+            },
+            seed,
+        );
     }
 
     // Combinatorial problems (11% → 27 matrices): shallow layered random
@@ -200,7 +251,12 @@ pub fn suite(scale: Scale) -> Vec<DatasetEntry> {
         let n = scale.apply(14_000 + (i % 7) * 4_000);
         let k = 1 + (i % 3);
         let layers = 2 + (i % 3);
-        push(&mut out, "combinatorial", GenSpec::Layered { n, k, layers }, seed);
+        push(
+            &mut out,
+            "combinatorial",
+            GenSpec::Layered { n, k, layers },
+            seed,
+        );
     }
 
     // Linear programming (9.4% → 23 matrices): two-to-three-level factors.
@@ -209,7 +265,12 @@ pub fn suite(scale: Scale) -> Vec<DatasetEntry> {
         let n = scale.apply(18_000 + (i % 6) * 5_000);
         let heads = 8 << (i % 4);
         let deps = 1 + (i % 2);
-        push(&mut out, "lp", GenSpec::UltraSparseWide { n, heads, deps }, seed);
+        push(
+            &mut out,
+            "lp",
+            GenSpec::UltraSparseWide { n, heads, deps },
+            seed,
+        );
     }
 
     // Optimization problems (8.6% → 21 matrices): shallow layered DAGs
@@ -219,7 +280,12 @@ pub fn suite(scale: Scale) -> Vec<DatasetEntry> {
         let n = scale.apply(15_000 + (i % 5) * 4_000);
         let k = 2 + (i % 2);
         let layers = 2 + (i % 4);
-        push(&mut out, "optimization", GenSpec::Layered { n, k, layers }, seed);
+        push(
+            &mut out,
+            "optimization",
+            GenSpec::Layered { n, k, layers },
+            seed,
+        );
     }
 
     // Other domains (remaining 37 matrices): mixtures.
@@ -228,19 +294,51 @@ pub fn suite(scale: Scale) -> Vec<DatasetEntry> {
         match i % 4 {
             0 => {
                 let n = scale.apply(10_000 + (i % 10) * 3_000);
-                push(&mut out, "other", GenSpec::PowerLaw { n, avg_deg: 3.2 }, seed);
+                push(
+                    &mut out,
+                    "other",
+                    GenSpec::PowerLaw { n, avg_deg: 3.2 },
+                    seed,
+                );
             }
             1 => {
                 let n = scale.apply(12_000 + (i % 8) * 2_000);
-                push(&mut out, "other", GenSpec::Layered { n, k: 3, layers: 3 + i % 3 }, seed);
+                push(
+                    &mut out,
+                    "other",
+                    GenSpec::Layered {
+                        n,
+                        k: 3,
+                        layers: 3 + i % 3,
+                    },
+                    seed,
+                );
             }
             2 => {
                 let n = scale.apply(20_000);
-                push(&mut out, "other", GenSpec::UltraSparseWide { n, heads: 32, deps: 2 }, seed);
+                push(
+                    &mut out,
+                    "other",
+                    GenSpec::UltraSparseWide {
+                        n,
+                        heads: 32,
+                        deps: 2,
+                    },
+                    seed,
+                );
             }
             _ => {
                 let n = scale.apply(16_000);
-                push(&mut out, "other", GenSpec::Circuit { n, rails: 8, dense_every: 900 }, seed);
+                push(
+                    &mut out,
+                    "other",
+                    GenSpec::Circuit {
+                        n,
+                        rails: 8,
+                        dense_every: 900,
+                    },
+                    seed,
+                );
             }
         }
     }
@@ -260,18 +358,38 @@ pub fn full_sweep(scale: Scale) -> Vec<DatasetEntry> {
     let mut seed = 40_000u64;
     let push = |out: &mut Vec<DatasetEntry>, family: &str, spec: GenSpec, seed: u64| {
         let idx = out.len();
-        out.push(DatasetEntry::new(format!("sweep-{family}-{idx:03}"), spec, seed));
+        out.push(DatasetEntry::new(
+            format!("sweep-{family}-{idx:03}"),
+            spec,
+            seed,
+        ));
     };
 
     // Deep, dense: FEM-like (negative granularity).
     for band in [8, 16, 24, 32, 48, 64] {
         seed += 1;
-        push(&mut out, "denseband", GenSpec::DenseBand { n: scale.apply(8_000), band }, seed);
+        push(
+            &mut out,
+            "denseband",
+            GenSpec::DenseBand {
+                n: scale.apply(8_000),
+                band,
+            },
+            seed,
+        );
     }
     // Deep, sparse: chains.
     for k in [1, 2, 3] {
         seed += 1;
-        push(&mut out, "chain", GenSpec::Chain { n: scale.apply(8_000), k }, seed);
+        push(
+            &mut out,
+            "chain",
+            GenSpec::Chain {
+                n: scale.apply(8_000),
+                k,
+            },
+            seed,
+        );
     }
     // Banded with varying locality: granularity rises as the band loosens.
     for (bw, fill) in [
@@ -286,21 +404,37 @@ pub fn full_sweep(scale: Scale) -> Vec<DatasetEntry> {
         push(
             &mut out,
             "banded",
-            GenSpec::Banded { n: scale.apply(16_000), bandwidth: bw, fill },
+            GenSpec::Banded {
+                n: scale.apply(16_000),
+                bandwidth: bw,
+                fill,
+            },
             seed,
         );
     }
     // Stencils: moderate granularity.
     for s in [16usize, 24, 32] {
         seed += 1;
-        push(&mut out, "stencil", GenSpec::Stencil3D { nx: s, ny: s, nz: s }, seed);
+        push(
+            &mut out,
+            "stencil",
+            GenSpec::Stencil3D {
+                nx: s,
+                ny: s,
+                nz: s,
+            },
+            seed,
+        );
     }
     for (nx, ny) in [(200usize, 200usize), (1000, 40), (4000, 8)] {
         seed += 1;
         push(
             &mut out,
             "stencil2d",
-            GenSpec::Stencil2D { nx: scale.apply(nx).max(8), ny },
+            GenSpec::Stencil2D {
+                nx: scale.apply(nx).max(8),
+                ny,
+            },
             seed,
         );
     }
@@ -318,7 +452,12 @@ pub fn full_sweep(scale: Scale) -> Vec<DatasetEntry> {
     for k in [8usize, 16, 32, 48] {
         seed += 1;
         let n = scale.apply(12_000);
-        push(&mut out, "wide-dense", GenSpec::Layered { n, k, layers: 6 }, seed);
+        push(
+            &mut out,
+            "wide-dense",
+            GenSpec::Layered { n, k, layers: 6 },
+            seed,
+        );
     }
     // A 2-D grid of (nnz_row, n_level) for the Figure 6 map.
     for k in [1usize, 2, 4, 8, 16, 32] {
@@ -332,7 +471,15 @@ pub fn full_sweep(scale: Scale) -> Vec<DatasetEntry> {
     for i in 0..16 {
         seed += 1;
         let n = scale.apply(14_000 + (i % 4) * 6_000);
-        push(&mut out, "graph", GenSpec::PowerLaw { n, avg_deg: 1.8 + 0.3 * (i % 5) as f64 }, seed);
+        push(
+            &mut out,
+            "graph",
+            GenSpec::PowerLaw {
+                n,
+                avg_deg: 1.8 + 0.3 * (i % 5) as f64,
+            },
+            seed,
+        );
     }
     for i in 0..8 {
         seed += 1;
@@ -340,13 +487,24 @@ pub fn full_sweep(scale: Scale) -> Vec<DatasetEntry> {
         push(
             &mut out,
             "lp",
-            GenSpec::UltraSparseWide { n, heads: 8 << (i % 4), deps: 1 + i % 2 },
+            GenSpec::UltraSparseWide {
+                n,
+                heads: 8 << (i % 4),
+                deps: 1 + i % 2,
+            },
             seed,
         );
     }
     // The trivial extreme.
     seed += 1;
-    push(&mut out, "diag", GenSpec::Diagonal { n: scale.apply(16_000) }, seed);
+    push(
+        &mut out,
+        "diag",
+        GenSpec::Diagonal {
+            n: scale.apply(16_000),
+        },
+        seed,
+    );
     out
 }
 
@@ -400,7 +558,10 @@ mod tests {
     #[test]
     fn full_sweep_spans_low_and_high_granularity() {
         let s = full_sweep(Scale::Small);
-        let grans: Vec<f64> = s.iter().map(|e| e.build_with_stats().1.granularity).collect();
+        let grans: Vec<f64> = s
+            .iter()
+            .map(|e| e.build_with_stats().1.granularity)
+            .collect();
         let min = grans.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = grans.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min < 0.0, "sweep min granularity {min} not low enough");

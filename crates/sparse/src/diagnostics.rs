@@ -29,7 +29,10 @@ impl LogHistogram {
         let mut counts = vec![0usize; bounds.len()];
         let mut max_used = 0usize;
         for v in values {
-            let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len() - 1);
+            let idx = bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(bounds.len() - 1);
             counts[idx] += 1;
             max_used = max_used.max(idx);
         }

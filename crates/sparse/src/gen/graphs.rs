@@ -53,7 +53,10 @@ pub fn powerlaw(n: usize, avg_deg: f64, seed: u64) -> LowerTriangularCsr {
 /// denser row every `dense_every` rows. Levels are shallow and very wide
 /// (β in the thousands) — exactly Table 6's regime.
 pub fn circuit_like(n: usize, rails: usize, dense_every: usize, seed: u64) -> LowerTriangularCsr {
-    assert!(n > rails + 2, "matrix too small for the requested rail count");
+    assert!(
+        n > rails + 2,
+        "matrix too small for the requested rail count"
+    );
     let mut rng = rng_for(seed ^ 0x5eed_0102);
     let rails = rails.max(1);
     let dense_every = dense_every.max(2);
@@ -99,7 +102,10 @@ pub fn circuit_like(n: usize, rails: usize, dense_every: usize, seed: u64) -> Lo
 /// in the evaluation (δ ≈ 1.18 for lp1, where the paper reports its maximum
 /// 34.8× speedup).
 pub fn ultra_sparse_wide(n: usize, heads: usize, deps: usize, seed: u64) -> LowerTriangularCsr {
-    assert!(n > heads + 1, "matrix too small for the requested head count");
+    assert!(
+        n > heads + 1,
+        "matrix too small for the requested head count"
+    );
     assert!(heads >= 1);
     let mut rng = rng_for(seed ^ 0x5eed_0103);
     let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
@@ -147,7 +153,11 @@ mod tests {
     fn circuit_matches_table6_regime() {
         let l = circuit_like(20_000, 4, 512, 23);
         let s = MatrixStats::compute(&l);
-        assert!(s.nnz_row > 2.0 && s.nnz_row < 6.5, "nnz_row = {}", s.nnz_row);
+        assert!(
+            s.nnz_row > 2.0 && s.nnz_row < 6.5,
+            "nnz_row = {}",
+            s.nnz_row
+        );
         assert!(s.n_level > 1000.0, "n_level = {}", s.n_level);
         assert!(s.granularity > 0.7, "granularity = {}", s.granularity);
     }

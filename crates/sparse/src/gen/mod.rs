@@ -51,7 +51,10 @@ pub(crate) fn from_dep_lists(deps: Vec<Vec<u32>>, rng: &mut SmallRng) -> LowerTr
     for (i, mut d) in deps.into_iter().enumerate() {
         d.sort_unstable();
         d.dedup();
-        debug_assert!(d.iter().all(|&c| (c as usize) < i), "dependency at or past diagonal");
+        debug_assert!(
+            d.iter().all(|&c| (c as usize) < i),
+            "dependency at or past diagonal"
+        );
         let k = d.len().max(1) as f64;
         for c in d {
             let mag = rng.gen_range(0.25..=1.0) / k;
@@ -105,7 +108,11 @@ pub enum GenSpec {
     /// `random_k(n, k, window)`.
     RandomK { n: usize, k: usize, window: usize },
     /// `banded(n, bandwidth, fill)`.
-    Banded { n: usize, bandwidth: usize, fill: f64 },
+    Banded {
+        n: usize,
+        bandwidth: usize,
+        fill: f64,
+    },
     /// `chain(n, k)`.
     Chain { n: usize, k: usize },
     /// `dense_band(n, band)`.
@@ -117,7 +124,11 @@ pub enum GenSpec {
     /// `powerlaw(n, avg_deg)`.
     PowerLaw { n: usize, avg_deg: f64 },
     /// `circuit_like(n, rails, dense_every)`.
-    Circuit { n: usize, rails: usize, dense_every: usize },
+    Circuit {
+        n: usize,
+        rails: usize,
+        dense_every: usize,
+    },
     /// `ultra_sparse_wide(n, heads, deps)`.
     UltraSparseWide { n: usize, heads: usize, deps: usize },
     /// `stencil2d(nx, ny)`.
@@ -142,12 +153,12 @@ impl GenSpec {
             GenSpec::Diagonal { n } => diagonal(n),
             GenSpec::Layered { n, k, layers } => layered(n, k, layers, seed),
             GenSpec::PowerLaw { n, avg_deg } => powerlaw(n, avg_deg, seed),
-            GenSpec::Circuit { n, rails, dense_every } => {
-                circuit_like(n, rails, dense_every, seed)
-            }
-            GenSpec::UltraSparseWide { n, heads, deps } => {
-                ultra_sparse_wide(n, heads, deps, seed)
-            }
+            GenSpec::Circuit {
+                n,
+                rails,
+                dense_every,
+            } => circuit_like(n, rails, dense_every, seed),
+            GenSpec::UltraSparseWide { n, heads, deps } => ultra_sparse_wide(n, heads, deps, seed),
             GenSpec::Stencil2D { nx, ny } => stencil2d(nx, ny, seed),
             GenSpec::Stencil3D { nx, ny, nz } => stencil3d(nx, ny, nz, seed),
             GenSpec::Shuffled { ref inner } => {
@@ -159,7 +170,9 @@ impl GenSpec {
 
     /// Wraps this recipe in a random topological relabeling.
     pub fn shuffled(self) -> GenSpec {
-        GenSpec::Shuffled { inner: Box::new(self) }
+        GenSpec::Shuffled {
+            inner: Box::new(self),
+        }
     }
 
     /// A short human-readable tag used in dataset listings.
@@ -174,7 +187,11 @@ impl GenSpec {
             GenSpec::Diagonal { n } => format!("diag-n{n}"),
             GenSpec::Layered { n, k, layers } => format!("layered-n{n}-k{k}-l{layers}"),
             GenSpec::PowerLaw { n, avg_deg } => format!("powerlaw-n{n}-d{:.1}", avg_deg),
-            GenSpec::Circuit { n, rails, dense_every } => {
+            GenSpec::Circuit {
+                n,
+                rails,
+                dense_every,
+            } => {
                 format!("circuit-n{n}-r{rails}-d{dense_every}")
             }
             GenSpec::UltraSparseWide { n, heads, deps } => format!("lpwide-n{n}-h{heads}-d{deps}"),
@@ -207,7 +224,10 @@ mod tests {
                 .filter(|(&c, _)| (c as usize) < i)
                 .map(|(_, &v)| v.abs())
                 .sum();
-            assert!(off_sum <= 1.0 + 1e-12, "row {i} off-diagonal sum {off_sum} too large");
+            assert!(
+                off_sum <= 1.0 + 1e-12,
+                "row {i} off-diagonal sum {off_sum} too large"
+            );
         }
     }
 
@@ -227,7 +247,11 @@ mod tests {
 
     #[test]
     fn genspec_build_is_deterministic() {
-        let spec = GenSpec::RandomK { n: 500, k: 3, window: 500 };
+        let spec = GenSpec::RandomK {
+            n: 500,
+            k: 3,
+            window: 500,
+        };
         let a = spec.build(42);
         let b = spec.build(42);
         assert_eq!(a.csr(), b.csr());
@@ -238,7 +262,11 @@ mod tests {
     #[test]
     fn genspec_tags_are_unique_enough() {
         let specs = [
-            GenSpec::RandomK { n: 10, k: 2, window: 10 },
+            GenSpec::RandomK {
+                n: 10,
+                k: 2,
+                window: 10,
+            },
             GenSpec::Chain { n: 10, k: 1 },
             GenSpec::Diagonal { n: 10 },
         ];
@@ -252,7 +280,11 @@ mod tests {
     #[test]
     fn shuffled_spec_preserves_statistics() {
         use crate::stats::MatrixStats;
-        let base = GenSpec::Layered { n: 1000, k: 2, layers: 4 };
+        let base = GenSpec::Layered {
+            n: 1000,
+            k: 2,
+            layers: 4,
+        };
         let plain = MatrixStats::compute(&base.clone().build(3));
         let shuf = MatrixStats::compute(&base.shuffled().build(3));
         assert_eq!(plain.n_levels, shuf.n_levels);
@@ -263,17 +295,44 @@ mod tests {
     #[test]
     fn every_spec_builds_a_valid_matrix() {
         let specs = [
-            GenSpec::RandomK { n: 300, k: 3, window: 300 },
-            GenSpec::Banded { n: 300, bandwidth: 10, fill: 0.4 },
+            GenSpec::RandomK {
+                n: 300,
+                k: 3,
+                window: 300,
+            },
+            GenSpec::Banded {
+                n: 300,
+                bandwidth: 10,
+                fill: 0.4,
+            },
             GenSpec::Chain { n: 300, k: 2 },
             GenSpec::DenseBand { n: 300, band: 16 },
             GenSpec::Diagonal { n: 300 },
-            GenSpec::Layered { n: 300, k: 4, layers: 5 },
-            GenSpec::PowerLaw { n: 300, avg_deg: 3.0 },
-            GenSpec::Circuit { n: 300, rails: 4, dense_every: 64 },
-            GenSpec::UltraSparseWide { n: 300, heads: 8, deps: 2 },
+            GenSpec::Layered {
+                n: 300,
+                k: 4,
+                layers: 5,
+            },
+            GenSpec::PowerLaw {
+                n: 300,
+                avg_deg: 3.0,
+            },
+            GenSpec::Circuit {
+                n: 300,
+                rails: 4,
+                dense_every: 64,
+            },
+            GenSpec::UltraSparseWide {
+                n: 300,
+                heads: 8,
+                deps: 2,
+            },
             GenSpec::Stencil2D { nx: 20, ny: 15 },
-            GenSpec::Stencil3D { nx: 8, ny: 7, nz: 6 },
+            GenSpec::Stencil3D {
+                nx: 8,
+                ny: 7,
+                nz: 6,
+            },
         ];
         for spec in &specs {
             let l = spec.build(11);

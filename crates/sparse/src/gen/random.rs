@@ -166,7 +166,11 @@ mod tests {
         assert!(s.n_levels <= 5, "n_levels = {}", s.n_levels);
         assert!(s.n_levels >= 4, "n_levels = {}", s.n_levels);
         // nnz_row ≈ k + 1 except for the dependency-free first layer.
-        assert!(s.nnz_row > 3.0 && s.nnz_row <= 4.0, "nnz_row = {}", s.nnz_row);
+        assert!(
+            s.nnz_row > 3.0 && s.nnz_row <= 4.0,
+            "nnz_row = {}",
+            s.nnz_row
+        );
     }
 
     #[test]
@@ -178,7 +182,10 @@ mod tests {
         for i in 0..n {
             let start = (i / layer_size) * layer_size;
             for &d in l.row_deps(i) {
-                assert!((d as usize) < start, "row {i} depends on {d} in its own layer");
+                assert!(
+                    (d as usize) < start,
+                    "row {i} depends on {d} in its own layer"
+                );
             }
         }
     }

@@ -88,7 +88,11 @@ mod tests {
     fn stencil3d_nnz_row_near_four() {
         let l = stencil3d(20, 20, 20, 1);
         let s = MatrixStats::compute(&l);
-        assert!(s.nnz_row > 3.5 && s.nnz_row < 4.0, "nnz_row = {}", s.nnz_row);
+        assert!(
+            s.nnz_row > 3.5 && s.nnz_row < 4.0,
+            "nnz_row = {}",
+            s.nnz_row
+        );
     }
 
     #[test]

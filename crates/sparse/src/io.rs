@@ -26,7 +26,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, SparseErro
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: 0, message: "empty stream".into() })
+                return Err(SparseError::Parse {
+                    line: 0,
+                    message: "empty stream".into(),
+                })
             }
         }
     };
@@ -90,7 +93,11 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, SparseErro
     let mut coo = CooMatrix::with_capacity(
         n_rows,
         n_cols,
-        if symmetry == "symmetric" { nnz * 2 } else { nnz },
+        if symmetry == "symmetric" {
+            nnz * 2
+        } else {
+            nnz
+        },
     );
     let mut seen = 0usize;
     for (no, line) in lines {
@@ -101,7 +108,11 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, SparseErro
             continue;
         }
         let parts: Vec<&str> = t.split_whitespace().collect();
-        let (min_fields, has_value) = if field == "pattern" { (2, false) } else { (3, true) };
+        let (min_fields, has_value) = if field == "pattern" {
+            (2, false)
+        } else {
+            (3, true)
+        };
         if parts.len() < min_fields {
             return Err(SparseError::Parse {
                 line: line_no,
@@ -225,12 +236,8 @@ mod tests {
 
     #[test]
     fn write_then_read_round_trips() {
-        let coo = CooMatrix::from_triplets(
-            3,
-            3,
-            [(0u32, 0u32, 1.25), (1, 0, -2.5), (2, 2, 1e-3)],
-        )
-        .unwrap();
+        let coo = CooMatrix::from_triplets(3, 3, [(0u32, 0u32, 1.25), (1, 0, -2.5), (2, 2, 1e-3)])
+            .unwrap();
         let m = CsrMatrix::from_coo(&coo);
         let text = to_matrix_market_string(&m);
         let back = CsrMatrix::from_coo(&parse_matrix_market(&text).unwrap());

@@ -55,7 +55,11 @@ impl LevelSets {
             order[next[lvl as usize] as usize] = i as u32;
             next[lvl as usize] += 1;
         }
-        LevelSets { level_of, level_ptr, order }
+        LevelSets {
+            level_of,
+            level_ptr,
+            order,
+        }
     }
 
     /// Number of levels (the dependency-DAG depth).
@@ -96,7 +100,10 @@ impl LevelSets {
 
     /// Size of the largest level.
     pub fn max_level_width(&self) -> usize {
-        (0..self.n_levels()).map(|l| self.rows_in_level(l).len()).max().unwrap_or(0)
+        (0..self.n_levels())
+            .map(|l| self.rows_in_level(l).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average number of components per level — the paper's `n_level`
@@ -169,7 +176,13 @@ mod tests {
     #[test]
     fn chain_matrix_has_n_levels() {
         let l = lower(
-            &[(0, 0, 1.0), (1, 0, 0.5), (1, 1, 1.0), (2, 1, 0.5), (2, 2, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (1, 0, 0.5),
+                (1, 1, 1.0),
+                (2, 1, 0.5),
+                (2, 2, 1.0),
+            ],
             3,
         );
         let ls = LevelSets::analyze(&l);
@@ -204,7 +217,14 @@ mod tests {
     #[test]
     fn order_partitions_rows() {
         let l = lower(
-            &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 1, 1.0), (3, 3, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 1, 1.0),
+                (3, 3, 1.0),
+            ],
             4,
         );
         let ls = LevelSets::analyze(&l);

@@ -51,7 +51,9 @@ pub mod prelude {
     pub use crate::linalg;
     pub use crate::permute;
     pub use crate::stats::{parallel_granularity, MatrixStats};
-    pub use crate::{CooMatrix, CscMatrix, CsrMatrix, LowerTriangularCsr, SparseError, UpperTriangularCsr};
+    pub use crate::{
+        CooMatrix, CscMatrix, CsrMatrix, LowerTriangularCsr, SparseError, UpperTriangularCsr,
+    };
 }
 
 /// The 8×8 lower-triangular example of Figure 1, used throughout the paper

@@ -6,7 +6,11 @@ use crate::triangular::LowerTriangularCsr;
 
 /// Computes `y = A·x` for a CSR matrix.
 pub fn spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), a.n_cols(), "x length must equal matrix column count");
+    assert_eq!(
+        x.len(),
+        a.n_cols(),
+        "x length must equal matrix column count"
+    );
     let mut y = vec![0.0f64; a.n_rows()];
     for (i, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(i);
@@ -33,7 +37,9 @@ pub fn norm_inf(v: &[f64]) -> f64 {
 /// The infinity-norm residual `‖L·x − b‖∞`.
 pub fn residual_inf(l: &LowerTriangularCsr, x: &[f64], b: &[f64]) -> f64 {
     let lx = spmv(l.csr(), x);
-    lx.iter().zip(b).fold(0.0f64, |m, (&a, &bb)| m.max((a - bb).abs()))
+    lx.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (&a, &bb)| m.max((a - bb).abs()))
 }
 
 /// Relative infinity-norm error `‖x − y‖∞ / max(1, ‖y‖∞)`.
@@ -92,7 +98,16 @@ mod tests {
 
     #[test]
     fn rhs_round_trip_has_zero_residual() {
-        let l = lower(&[(0, 0, 1.0), (1, 0, 0.5), (1, 1, 1.0), (2, 1, -0.25), (2, 2, 1.0)], 3);
+        let l = lower(
+            &[
+                (0, 0, 1.0),
+                (1, 0, 0.5),
+                (1, 1, 1.0),
+                (2, 1, -0.25),
+                (2, 2, 1.0),
+            ],
+            3,
+        );
         let x_true = vec![1.0, -2.0, 4.0];
         let b = rhs_for_solution(&l, &x_true);
         assert_eq!(residual_inf(&l, &x_true, &b), 0.0);

@@ -20,7 +20,11 @@ use crate::triangular::LowerTriangularCsr;
 /// relabeling); the result is again lower triangular.
 pub fn symmetric_permute(l: &LowerTriangularCsr, perm: &[u32]) -> LowerTriangularCsr {
     let n = l.n();
-    assert_eq!(perm.len(), n, "permutation length must equal matrix dimension");
+    assert_eq!(
+        perm.len(),
+        n,
+        "permutation length must equal matrix dimension"
+    );
     // inverse[new] = old
     let mut inverse = vec![u32::MAX; n];
     for (old, &new) in perm.iter().enumerate() {
@@ -73,7 +77,10 @@ pub fn random_topological_order(l: &LowerTriangularCsr, seed: u64) -> Vec<u32> {
         }
     }
     // Ready pool; pick a uniformly random element each step.
-    let mut ready: Vec<u32> = (0..n).filter(|&i| indegree[i] == 0).map(|i| i as u32).collect();
+    let mut ready: Vec<u32> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(|i| i as u32)
+        .collect();
     let mut perm = vec![0u32; n];
     let mut next_index = 0u32;
     while let Some(pick) = ready.len().checked_sub(1).map(|hi| rng.gen_range(0..=hi)) {
@@ -87,7 +94,10 @@ pub fn random_topological_order(l: &LowerTriangularCsr, seed: u64) -> Vec<u32> {
             }
         }
     }
-    assert_eq!(next_index as usize, n, "DAG must be acyclic (lower triangular)");
+    assert_eq!(
+        next_index as usize, n,
+        "DAG must be acyclic (lower triangular)"
+    );
     perm
 }
 
@@ -147,7 +157,10 @@ mod tests {
             .filter(|&i| levels.level_of(i) != levels.level_of(i - 1))
             .count();
         // The blocked layout has 3 changes; interleaving gives thousands.
-        assert!(changes > 1_000, "only {changes} level changes after shuffle");
+        assert!(
+            changes > 1_000,
+            "only {changes} level changes after shuffle"
+        );
     }
 
     #[test]

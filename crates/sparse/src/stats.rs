@@ -31,16 +31,18 @@ pub struct GranularityParams {
 
 impl Default for GranularityParams {
     fn default() -> Self {
-        GranularityParams { c1: 10.0, c2: 10.0, c3: 10.0, b1: 0.01, b2: 0.01 }
+        GranularityParams {
+            c1: 10.0,
+            c2: 10.0,
+            c3: 10.0,
+            b1: 0.01,
+            b2: 0.01,
+        }
     }
 }
 
 /// Evaluates Equation 1 for the two aggregate statistics.
-pub fn parallel_granularity_with(
-    n_level: f64,
-    nnz_row: f64,
-    p: GranularityParams,
-) -> f64 {
+pub fn parallel_granularity_with(n_level: f64, nnz_row: f64, p: GranularityParams) -> f64 {
     let num = n_level.log(p.c2);
     let den = (nnz_row + p.b1).log(p.c3);
     (num / den + p.b2).log(p.c1)
@@ -143,7 +145,10 @@ mod tests {
 
     #[test]
     fn custom_params_change_the_value() {
-        let p = GranularityParams { c1: 2.0, ..Default::default() };
+        let p = GranularityParams {
+            c1: 2.0,
+            ..Default::default()
+        };
         let a = parallel_granularity(1000.0, 3.0);
         let b = parallel_granularity_with(1000.0, 3.0, p);
         assert!(a != b);

@@ -27,7 +27,10 @@ impl LowerTriangularCsr {
         }
         for (r, c, _) in m.iter() {
             if c > r {
-                return Err(SparseError::NotLowerTriangular { row: r as usize, col: c as usize });
+                return Err(SparseError::NotLowerTriangular {
+                    row: r as usize,
+                    col: c as usize,
+                });
             }
         }
         if !m.has_trailing_diagonal() {
@@ -134,7 +137,10 @@ mod tests {
     fn rejects_upper_entries() {
         let m = square(&[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 1.0)], 2);
         let r = LowerTriangularCsr::try_new(m);
-        assert!(matches!(r, Err(SparseError::NotLowerTriangular { row: 0, col: 1 })));
+        assert!(matches!(
+            r,
+            Err(SparseError::NotLowerTriangular { row: 0, col: 1 })
+        ));
     }
 
     #[test]
@@ -154,7 +160,14 @@ mod tests {
     #[test]
     fn unit_lower_extraction_drops_upper_and_sets_diag() {
         let m = square(
-            &[(0, 0, 5.0), (0, 2, 9.0), (1, 0, 2.0), (1, 1, 3.0), (2, 1, 4.0), (2, 2, 7.0)],
+            &[
+                (0, 0, 5.0),
+                (0, 2, 9.0),
+                (1, 0, 2.0),
+                (1, 1, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 7.0),
+            ],
             3,
         );
         let l = LowerTriangularCsr::unit_lower_from(&m).unwrap();
@@ -199,7 +212,10 @@ impl UpperTriangularCsr {
         }
         for (r, c, _) in m.iter() {
             if c < r {
-                return Err(SparseError::NotLowerTriangular { row: r as usize, col: c as usize });
+                return Err(SparseError::NotLowerTriangular {
+                    row: r as usize,
+                    col: c as usize,
+                });
             }
         }
         for i in 0..m.n_rows() {
@@ -296,8 +312,8 @@ mod upper_tests {
 
     #[test]
     fn validation_rejects_lower_entries_and_missing_diag() {
-        let coo = CooMatrix::from_triplets(2, 2, [(0u32, 0u32, 1.0), (1, 0, 1.0), (1, 1, 1.0)])
-            .unwrap();
+        let coo =
+            CooMatrix::from_triplets(2, 2, [(0u32, 0u32, 1.0), (1, 0, 1.0), (1, 1, 1.0)]).unwrap();
         assert!(UpperTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).is_err());
         let coo = CooMatrix::from_triplets(2, 2, [(0u32, 1u32, 1.0), (1, 1, 1.0)]).unwrap();
         assert!(matches!(
@@ -329,7 +345,10 @@ mod upper_tests {
         let b_rev = reverse_vector(&b);
         let x_rev = crate::linalg::spmv(l.csr(), &reverse_vector(&x_true));
         for (a, e) in x_rev.iter().zip(&b_rev) {
-            assert!((a - e).abs() < 1e-12, "reversed system must reproduce reversed rhs");
+            assert!(
+                (a - e).abs() < 1e-12,
+                "reversed system must reproduce reversed rhs"
+            );
         }
     }
 

@@ -13,8 +13,14 @@ use capellini_sptrsv::prelude::*;
 fn main() {
     let matrices: Vec<(&str, LowerTriangularCsr)> = vec![
         ("social graph (power-law)", gen::powerlaw(16_000, 2.5, 1)),
-        ("LP factor (2 levels)", gen::ultra_sparse_wide(16_000, 16, 1, 2)),
-        ("circuit (rails + couplings)", gen::circuit_like(16_000, 4, 800, 3)),
+        (
+            "LP factor (2 levels)",
+            gen::ultra_sparse_wide(16_000, 16, 1, 2),
+        ),
+        (
+            "circuit (rails + couplings)",
+            gen::circuit_like(16_000, 4, 800, 3),
+        ),
         ("3-D stencil (nlpkkt-like)", gen::stencil3d(24, 24, 24, 4)),
         ("FEM band (cant-like)", gen::dense_band(6_000, 32, 5)),
         ("layered combinatorial", gen::layered(16_000, 2, 4, 6)),
@@ -36,8 +42,11 @@ fn main() {
         let sf = solve_simulated(&device, l, &b, Algorithm::SyncFree)
             .expect("syncfree solves")
             .gflops;
-        let winner =
-            if cap > sf { Algorithm::CapelliniWritingFirst } else { Algorithm::SyncFree };
+        let winner = if cap > sf {
+            Algorithm::CapelliniWritingFirst
+        } else {
+            Algorithm::SyncFree
+        };
         if winner == pick {
             rule_hits += 1;
         }

@@ -71,7 +71,11 @@ fn report(name: &str, out: &capellini_sptrsv::core::IterResult, x_true: &[f64]) 
         out.iterations,
         out.residual,
         err,
-        if out.converged { "" } else { "  (NOT converged)" }
+        if out.converged {
+            ""
+        } else {
+            "  (NOT converged)"
+        }
     );
     assert!(out.converged, "{name} must converge on this system");
 }

@@ -30,7 +30,11 @@ fn main() {
     }
     let parsed = CsrMatrix::from_coo(&io::parse_matrix_market(&mtx).expect("own output parses"));
     assert_eq!(parsed, general);
-    println!("round trip: {} rows, {} nonzeros, bit-identical\n", parsed.n_rows(), parsed.nnz());
+    println!(
+        "round trip: {} rows, {} nonzeros, bit-identical\n",
+        parsed.n_rows(),
+        parsed.nnz()
+    );
 
     // The paper's dataset rule: keep the lower-left entries, unit diagonal.
     let l = LowerTriangularCsr::unit_lower_from(&parsed).expect("square matrix");

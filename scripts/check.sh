@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, and the tier-1 build/test cycle.
+# Run before every push; CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release
+cargo test -q
+
+echo "==> all checks passed"

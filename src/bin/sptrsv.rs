@@ -45,7 +45,10 @@ fn usage() {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -128,10 +131,15 @@ fn cmd_solve(args: &[String]) {
 
     let solver = Solver::new(l);
     let x = if has_flag(args, "--cpu") {
-        let threads = flag_value(args, "--cpu").and_then(|v| v.parse().ok()).unwrap_or(4);
+        let threads = flag_value(args, "--cpu")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4);
         let t0 = std::time::Instant::now();
         let x = solver.solve_cpu(&b, threads);
-        eprintln!("cpu self-scheduled solve ({threads} threads): {:.2?}", t0.elapsed());
+        eprintln!(
+            "cpu self-scheduled solve ({threads} threads): {:.2?}",
+            t0.elapsed()
+        );
         x
     } else {
         let algo = match flag_value(args, "--algo") {
@@ -186,8 +194,12 @@ fn cmd_solve(args: &[String]) {
 }
 
 fn cmd_gen(args: &[String]) {
-    let n: usize = flag_value(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(10_000);
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let n: usize = flag_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
     let kind = flag_value(args, "--kind").unwrap_or("powerlaw");
     let l = match kind {
         "powerlaw" => gen::powerlaw(n, 3.0, seed),

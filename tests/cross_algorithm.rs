@@ -21,7 +21,9 @@ fn matrices() -> Vec<(&'static str, LowerTriangularCsr)> {
 }
 
 fn problem(l: &LowerTriangularCsr) -> (Vec<f64>, Vec<f64>) {
-    let x_true: Vec<f64> = (0..l.n()).map(|i| ((i * 7 + 3) % 17) as f64 - 8.0).collect();
+    let x_true: Vec<f64> = (0..l.n())
+        .map(|i| ((i * 7 + 3) % 17) as f64 - 8.0)
+        .collect();
     let b = linalg::rhs_for_solution(l, &x_true);
     (b, x_true)
 }
@@ -98,8 +100,9 @@ fn multiple_rhs_reuse_the_same_matrix() {
     let solver = Solver::new(l);
     let cfg = DeviceConfig::pascal_like().scaled_down(4);
     for seed in 0..4 {
-        let b: Vec<f64> =
-            (0..solver.matrix().n()).map(|i| ((i + seed * 97) % 23) as f64 - 11.0).collect();
+        let b: Vec<f64> = (0..solver.matrix().n())
+            .map(|i| ((i + seed * 97) % 23) as f64 - 11.0)
+            .collect();
         let rep = solver.solve_simulated(&cfg, &b).unwrap();
         let x_ref = solver.solve_serial(&b);
         linalg::assert_solutions_close(&rep.x, &x_ref, 1e-10);

@@ -45,14 +45,23 @@ fn table6_standins_match_published_statistics() {
             entry.name,
             s.n_level
         );
-        assert!(s.granularity > 0.7, "{}: granularity {}", entry.name, s.granularity);
+        assert!(
+            s.granularity > 0.7,
+            "{}: granularity {}",
+            entry.name,
+            s.granularity
+        );
     }
 }
 
 #[test]
 fn lp1_standin_sits_at_the_granularity_extreme() {
     let (_, s) = dataset::lp1_like(Scale::Full).build_with_stats();
-    assert!(s.granularity > 1.1, "lp1 published δ = 1.18, got {}", s.granularity);
+    assert!(
+        s.granularity > 1.1,
+        "lp1 published δ = 1.18, got {}",
+        s.granularity
+    );
     assert_eq!(s.n_levels, 2);
 }
 
@@ -79,7 +88,10 @@ fn full_scale_suite_meets_the_granularity_gate() {
     // full scale is affordable; a small minority of borderline graph
     // instances may fall just under.
     let s = dataset::suite(Scale::Full);
-    let high = s.iter().filter(|e| e.build_with_stats().1.granularity > 0.7).count();
+    let high = s
+        .iter()
+        .filter(|e| e.build_with_stats().1.granularity > 0.7)
+        .count();
     assert!(
         high * 100 >= s.len() * 90,
         "only {high}/{} full-scale entries exceed granularity 0.7",

@@ -1,0 +1,161 @@
+//! Differential fuzzing: random structured matrices and right-hand sides,
+//! every live GPU algorithm against the serial CSR reference, under both the
+//! default sequentially-consistent model and the relaxed store-buffer model.
+//! A second battery drives near-singular (subnormal-diagonal) systems and
+//! checks that inf/NaN *classes* propagate exactly like `reference.rs` —
+//! classification is order-independent under IEEE-754 addition, so it holds
+//! even for kernels that reduce partial sums in a different order.
+
+use capellini_sptrsv::core::Algorithm;
+use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::sparse::{CooMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn models() -> [(&'static str, MemoryModel); 2] {
+    [
+        ("sc", MemoryModel::SequentiallyConsistent),
+        ("relaxed", MemoryModel::relaxed(2_000)),
+    ]
+}
+
+fn random_matrix(rng: &mut SmallRng) -> (String, LowerTriangularCsr) {
+    let n = rng.gen_range(60..300);
+    let seed: u64 = rng.gen_range(0..1 << 20);
+    match rng.gen_range(0..5u32) {
+        0 => (
+            format!("random_k(n={n}, {seed})"),
+            gen::random_k(n, 3, n, seed),
+        ),
+        1 => (
+            format!("banded(n={n}, {seed})"),
+            gen::banded(n, 12, 0.4, seed),
+        ),
+        2 => (
+            format!("powerlaw(n={n}, {seed})"),
+            gen::powerlaw(n, 3.0, seed),
+        ),
+        3 => (
+            format!("layered(n={n}, {seed})"),
+            gen::layered(n, 3, 4, seed),
+        ),
+        _ => (format!("chain(n={n}, {seed})"), gen::chain(n, 2, seed)),
+    }
+}
+
+#[test]
+fn random_systems_agree_with_the_serial_reference_under_both_models() {
+    let mut rng = SmallRng::seed_from_u64(0xF077_BA11);
+    let base = DeviceConfig::pascal_like().scaled_down(4);
+    for _trial in 0..8 {
+        let (tag, l) = random_matrix(&mut rng);
+        let b: Vec<f64> = (0..l.n()).map(|_| rng.gen_range(-8.0..=8.0)).collect();
+        let x_ref = solve_serial_csr(&l, &b);
+        for (mname, model) in models() {
+            let cfg = base.clone().with_memory_model(model);
+            for algo in Algorithm::all_live() {
+                let rep = solve_simulated(&cfg, &l, &b, algo)
+                    .unwrap_or_else(|e| panic!("{tag}/{}/{mname}: {e}", algo.label()));
+                linalg::assert_solutions_close(&rep.x, &x_ref, 1e-9);
+            }
+        }
+    }
+}
+
+/// IEEE-754 class of a solve output — the only thing that is deterministic
+/// once infinities enter the arithmetic, independent of reduction order.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Class {
+    Finite,
+    PosInf,
+    NegInf,
+    Nan,
+}
+
+fn classify(v: f64) -> Class {
+    if v.is_nan() {
+        Class::Nan
+    } else if v == f64::INFINITY {
+        Class::PosInf
+    } else if v == f64::NEG_INFINITY {
+        Class::NegInf
+    } else {
+        Class::Finite
+    }
+}
+
+/// A lower-triangular chain where some diagonal entries are subnormal
+/// (`5e-324`), so their rows divide a finite numerator by almost-zero and
+/// explode to ±inf; downstream rows mix those infinities into NaN.
+fn near_singular_matrix(rng: &mut SmallRng) -> LowerTriangularCsr {
+    let n = rng.gen_range(40..120);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        if i > 0 {
+            coo.push(i as u32, (i - 1) as u32, rng.gen_range(0.25..=1.5));
+        }
+        if i > 4 && rng.gen_bool(0.2) {
+            coo.push(
+                i as u32,
+                rng.gen_range(0..(i as u32) - 2),
+                rng.gen_range(-1.5..=-0.25),
+            );
+        }
+        let diag = if rng.gen_bool(0.15) {
+            5e-324
+        } else {
+            rng.gen_range(1.0..=2.0)
+        };
+        coo.push(i as u32, i as u32, diag);
+    }
+    LowerTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).unwrap()
+}
+
+#[test]
+fn near_singular_diagonals_propagate_inf_nan_like_the_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_CAFE);
+    let base = DeviceConfig::pascal_like().scaled_down(4);
+    let mut saw_inf = false;
+    let mut saw_nan = false;
+    for _trial in 0..6 {
+        let l = near_singular_matrix(&mut rng);
+        let b: Vec<f64> = (0..l.n()).map(|_| rng.gen_range(1.0..=4.0)).collect();
+        let x_ref = solve_serial_csr(&l, &b);
+        let ref_classes: Vec<Class> = x_ref.iter().map(|&v| classify(v)).collect();
+        saw_inf |= ref_classes
+            .iter()
+            .any(|&c| c == Class::PosInf || c == Class::NegInf);
+        saw_nan |= ref_classes.contains(&Class::Nan);
+        for (mname, model) in models() {
+            let cfg = base.clone().with_memory_model(model);
+            for algo in Algorithm::all_live() {
+                let rep = solve_simulated(&cfg, &l, &b, algo)
+                    .unwrap_or_else(|e| panic!("near-singular/{}/{mname}: {e}", algo.label()));
+                for (i, (&got, &want)) in rep.x.iter().zip(&x_ref).enumerate() {
+                    assert_eq!(
+                        classify(got),
+                        ref_classes[i],
+                        "row {i}: {}/{mname} got {got}, reference {want}",
+                        algo.label()
+                    );
+                    if ref_classes[i] == Class::Finite && want.abs() < 1e100 {
+                        assert!(
+                            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                            "row {i}: {}/{mname} finite value drifted: {got} vs {want}",
+                            algo.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The generator must actually exercise the non-finite paths.
+    assert!(
+        saw_inf,
+        "fuzzer never produced an infinity — tighten the generator"
+    );
+    assert!(
+        saw_nan,
+        "fuzzer never produced a NaN — tighten the generator"
+    );
+}

@@ -4,9 +4,7 @@
 //! scheduler, or a kernel's control-flow graph shows up as a diff here and
 //! must be reviewed against Figure 2's schedule.
 
-use capellini_sptrsv::core::kernels::{
-    levelset, syncfree, syncfree_csc, two_phase, writing_first,
-};
+use capellini_sptrsv::core::kernels::{levelset, syncfree, syncfree_csc, two_phase, writing_first};
 use capellini_sptrsv::prelude::*;
 use capellini_sptrsv::simt::GpuDevice;
 use capellini_sptrsv::sparse::paper_example;
@@ -31,7 +29,10 @@ fn writing_first_golden() {
     // 8 rows over 3-lane warps = 3 warps; the Figure-2c schedule.
     assert_eq!(out.stats.warps_launched, 3);
     assert_eq!(out.stats.cycles, 92, "writing-first cycle count changed");
-    assert_eq!(out.stats.warp_instructions, 129, "writing-first instruction count changed");
+    assert_eq!(
+        out.stats.warp_instructions, 129,
+        "writing-first instruction count changed"
+    );
 }
 
 #[test]
@@ -43,7 +44,10 @@ fn syncfree_golden() {
     // One warp per component: Figure 2b.
     assert_eq!(out.stats.warps_launched, 8);
     assert_eq!(out.stats.cycles, 109, "syncfree cycle count changed");
-    assert_eq!(out.stats.warp_instructions, 186, "syncfree instruction count changed");
+    assert_eq!(
+        out.stats.warp_instructions, 186,
+        "syncfree instruction count changed"
+    );
 }
 
 #[test]
@@ -93,7 +97,10 @@ fn csc_formulation_solves_the_example() {
     let mut dev = GpuDevice::new(toy());
     let out = syncfree_csc::solve(&mut dev, &l, &b).unwrap();
     linalg::assert_solutions_close(&out.x, &x_true, 1e-12);
-    assert!(out.stats.atomic_ops > 0, "the scatter form must use atomics");
+    assert!(
+        out.stats.atomic_ops > 0,
+        "the scatter form must use atomics"
+    );
 }
 
 #[test]
@@ -118,11 +125,13 @@ fn launch_stats_bit_exact() {
     use capellini_sptrsv::core::kernels::cusparse_like;
     use capellini_sptrsv::sparse::gen;
 
-    type Solve = fn(
-        &mut GpuDevice,
-        &LowerTriangularCsr,
-        &[f64],
-    ) -> Result<capellini_sptrsv::core::kernels::SimSolve, capellini_sptrsv::simt::SimtError>;
+    type Solve =
+        fn(
+            &mut GpuDevice,
+            &LowerTriangularCsr,
+            &[f64],
+        )
+            -> Result<capellini_sptrsv::core::kernels::SimSolve, capellini_sptrsv::simt::SimtError>;
     let kernels: &[(&str, Solve)] = &[
         ("writing_first", writing_first::solve as Solve),
         ("syncfree", syncfree::solve as Solve),
@@ -133,20 +142,20 @@ fn launch_stats_bit_exact() {
     ];
 
     let expected_paper = [
-        "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 67, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1 }",
-        "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1 }",
-        "LaunchStats { cycles: 75, warp_instructions: 118, thread_instructions: 229, flops: 34, dram_read_bytes: 448, dram_write_bytes: 160, dram_transactions: 19, l2_hits: 64, shared_ops: 24, atomic_ops: 13, fences: 8, issue_ticks: 118, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1 }",
-        "LaunchStats { cycles: 109, warp_instructions: 159, thread_instructions: 327, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 74, shared_ops: 0, atomic_ops: 0, fences: 4, issue_ticks: 159, stall_ticks: 28, failed_polls: 58, warps_launched: 3, lanes_retired: 9, launches: 1 }",
-        "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 32, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4 }",
-        "LaunchStats { cycles: 97, warp_instructions: 162, thread_instructions: 327, flops: 82, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 64, shared_ops: 56, atomic_ops: 0, fences: 8, issue_ticks: 162, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1 }",
+        "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 67, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 75, warp_instructions: 118, thread_instructions: 229, flops: 34, dram_read_bytes: 448, dram_write_bytes: 160, dram_transactions: 19, l2_hits: 64, shared_ops: 24, atomic_ops: 13, fences: 8, issue_ticks: 118, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 109, warp_instructions: 159, thread_instructions: 327, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 74, shared_ops: 0, atomic_ops: 0, fences: 4, issue_ticks: 159, stall_ticks: 28, failed_polls: 58, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 32, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 97, warp_instructions: 162, thread_instructions: 327, flops: 82, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 64, shared_ops: 56, atomic_ops: 0, fences: 8, issue_ticks: 162, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }",
     ];
     let expected_randomk = [
-        "LaunchStats { cycles: 88185, warp_instructions: 86433, thread_instructions: 1861577, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 429322, shared_ops: 0, atomic_ops: 0, fences: 1009, issue_ticks: 86433, stall_ticks: 1497796, failed_polls: 356721, warps_launched: 94, lanes_retired: 3008, launches: 1 }",
-        "LaunchStats { cycles: 62990, warp_instructions: 271641, thread_instructions: 2445894, flops: 116988, dram_read_bytes: 205056, dram_write_bytes: 27008, dram_transactions: 7252, l2_hits: 190317, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 271641, stall_ticks: 818396, failed_polls: 174468, warps_launched: 3000, lanes_retired: 96000, launches: 1 }",
-        "LaunchStats { cycles: 80765, warp_instructions: 303064, thread_instructions: 8919298, flops: 23988, dram_read_bytes: 215392, dram_write_bytes: 60000, dram_transactions: 8606, l2_hits: 166593, shared_ops: 96000, atomic_ops: 17743, fences: 3000, issue_ticks: 303064, stall_ticks: 1143767, failed_polls: 4141664, warps_launched: 3000, lanes_retired: 96000, launches: 1 }",
-        "LaunchStats { cycles: 230048, warp_instructions: 205608, thread_instructions: 3101676, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 1007319, shared_ops: 0, atomic_ops: 0, fences: 191, issue_ticks: 205608, stall_ticks: 4189012, failed_polls: 1488737, warps_launched: 94, lanes_retired: 3008, launches: 1 }",
-        "LaunchStats { cycles: 499672, warp_instructions: 2356, thread_instructions: 60784, flops: 23988, dram_read_bytes: 214080, dram_write_bytes: 24000, dram_transactions: 7440, l2_hits: 30705, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 2356, stall_ticks: 1507792, failed_polls: 0, warps_launched: 119, lanes_retired: 3808, launches: 42 }",
-        "LaunchStats { cycles: 58845, warp_instructions: 295457, thread_instructions: 1688793, flops: 503988, dram_read_bytes: 217056, dram_write_bytes: 27008, dram_transactions: 7627, l2_hits: 173152, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 295457, stall_ticks: 713517, failed_polls: 151945, warps_launched: 3000, lanes_retired: 96000, launches: 1 }",
+        "LaunchStats { cycles: 88185, warp_instructions: 86433, thread_instructions: 1861577, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 429322, shared_ops: 0, atomic_ops: 0, fences: 1009, issue_ticks: 86433, stall_ticks: 1497796, failed_polls: 356721, warps_launched: 94, lanes_retired: 3008, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 62990, warp_instructions: 271641, thread_instructions: 2445894, flops: 116988, dram_read_bytes: 205056, dram_write_bytes: 27008, dram_transactions: 7252, l2_hits: 190317, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 271641, stall_ticks: 818396, failed_polls: 174468, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 80765, warp_instructions: 303064, thread_instructions: 8919298, flops: 23988, dram_read_bytes: 215392, dram_write_bytes: 60000, dram_transactions: 8606, l2_hits: 166593, shared_ops: 96000, atomic_ops: 17743, fences: 3000, issue_ticks: 303064, stall_ticks: 1143767, failed_polls: 4141664, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 230048, warp_instructions: 205608, thread_instructions: 3101676, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 1007319, shared_ops: 0, atomic_ops: 0, fences: 191, issue_ticks: 205608, stall_ticks: 4189012, failed_polls: 1488737, warps_launched: 94, lanes_retired: 3008, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 499672, warp_instructions: 2356, thread_instructions: 60784, flops: 23988, dram_read_bytes: 214080, dram_write_bytes: 24000, dram_transactions: 7440, l2_hits: 30705, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 2356, stall_ticks: 1507792, failed_polls: 0, warps_launched: 119, lanes_retired: 3808, launches: 42, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 58845, warp_instructions: 295457, thread_instructions: 1688793, flops: 503988, dram_read_bytes: 217056, dram_write_bytes: 27008, dram_transactions: 7627, l2_hits: 173152, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 295457, stall_ticks: 713517, failed_polls: 151945, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0 }",
     ];
 
     let fixtures = [
@@ -171,5 +180,34 @@ fn launch_stats_bit_exact() {
                 l.n()
             );
         }
+    }
+}
+
+#[test]
+fn upper_triangular_golden() {
+    // Backward substitution rides the same kernels through index reversal
+    // (`upper.rs`); pin its schedule on the transposed paper example so the
+    // reversal path cannot drift independently of the lower solves.
+    use capellini_sptrsv::core::Algorithm;
+    use capellini_sptrsv::sparse::UpperTriangularCsr;
+
+    let u = UpperTriangularCsr::transpose_of(&paper_example());
+    let x_true: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+    let b = linalg::spmv(u.csr(), &x_true);
+
+    let expected = [
+        (Algorithm::CapelliniWritingFirst, "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 68, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0 }"),
+        (Algorithm::SyncFree, "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }"),
+        (Algorithm::LevelSet, "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 34, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4, stale_reads: 0, drained_stores: 0 }"),
+    ];
+    for (algo, want) in expected {
+        let rep = solve_upper_simulated(&toy(), &u, &b, algo).unwrap();
+        linalg::assert_solutions_close(&rep.x, &x_true, 1e-12);
+        assert_eq!(
+            format!("{:?}", rep.stats),
+            want,
+            "{} upper-solve LaunchStats changed",
+            algo.label()
+        );
     }
 }

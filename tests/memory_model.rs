@@ -1,0 +1,231 @@
+//! Relaxed-visibility audit: under the opt-in store-buffer memory model
+//! (`MemoryModel::Relaxed`), a global store is invisible to other warps until
+//! the owning warp executes `__threadfence()` or the buffered store drains on
+//! its own. Every shipped kernel must still solve correctly under that model
+//! *and* pass racecheck — their fences are load-bearing. Deliberately broken
+//! publish sequences (fence stripped, flag stored before the value) must be
+//! rejected: racecheck reports a structured `RaceDetected`, and plain relaxed
+//! mode lets the stale read through so the solve is *numerically wrong*.
+//!
+//! The default `SequentiallyConsistent` model is pinned bit-exact by
+//! `golden_traces.rs`; this file is the teeth on the relaxed side.
+
+use capellini_sptrsv::core::kernels::writing_first::{self, FenceMode};
+use capellini_sptrsv::core::kernels::{naive, writing_first_multi};
+use capellini_sptrsv::core::Algorithm;
+use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::simt::GpuDevice;
+use capellini_sptrsv::sparse::{paper_example, CooMatrix, CsrMatrix};
+
+/// Drain delay in scheduler ticks: long enough that an unfenced store stays
+/// buffered across the consumer's poll-load window, short enough that
+/// auto-drain keeps launch-spanning protocols (level-set) fast.
+const DRAIN_TICKS: u64 = 2_000;
+
+fn relaxed_cfg() -> DeviceConfig {
+    DeviceConfig::pascal_like()
+        .scaled_down(4)
+        .with_memory_model(MemoryModel::relaxed(DRAIN_TICKS))
+}
+
+fn racecheck_cfg() -> DeviceConfig {
+    DeviceConfig::pascal_like()
+        .scaled_down(4)
+        .with_memory_model(MemoryModel::racecheck(DRAIN_TICKS))
+}
+
+fn matrices() -> Vec<(&'static str, LowerTriangularCsr)> {
+    vec![
+        ("paper", paper_example()),
+        ("graph", gen::powerlaw(1_200, 3.0, 21)),
+        ("chain", gen::chain(300, 1, 26)),
+        ("stencil", gen::stencil3d(7, 7, 7, 24)),
+        ("band", gen::dense_band(256, 16, 25)),
+    ]
+}
+
+fn problem(l: &LowerTriangularCsr) -> (Vec<f64>, Vec<f64>) {
+    let x_true: Vec<f64> = (0..l.n())
+        .map(|i| ((i * 7 + 3) % 17) as f64 - 8.0)
+        .collect();
+    let b = linalg::rhs_for_solution(l, &x_true);
+    (b, x_true)
+}
+
+/// Rows depend only on rows a full warp (or more) earlier, so every data
+/// hand-off crosses a warp boundary and must go through DRAM — the structure
+/// that exposes unpublished stores.
+fn cross_warp_matrix() -> LowerTriangularCsr {
+    let n = 128;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        if i >= 64 {
+            coo.push(i as u32, (i - 64) as u32, 0.5);
+        }
+        coo.push(i as u32, i as u32, 1.0);
+    }
+    LowerTriangularCsr::try_new(CsrMatrix::from_coo(&coo)).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// The shipped kernels: fences publish everything they must.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_live_algorithms_solve_correctly_under_relaxed_visibility() {
+    let cfg = relaxed_cfg();
+    for (name, l) in matrices() {
+        let (b, _) = problem(&l);
+        let x_ref = solve_serial_csr(&l, &b);
+        for algo in Algorithm::all_live() {
+            let rep = solve_simulated(&cfg, &l, &b, algo)
+                .unwrap_or_else(|e| panic!("{name}/{} under relaxed: {e}", algo.label()));
+            linalg::assert_solutions_close(&rep.x, &x_ref, 1e-10);
+        }
+    }
+}
+
+#[test]
+fn all_live_algorithms_pass_racecheck() {
+    let cfg = racecheck_cfg();
+    for (name, l) in matrices() {
+        let (b, _) = problem(&l);
+        let x_ref = solve_serial_csr(&l, &b);
+        for algo in Algorithm::all_live() {
+            let rep = solve_simulated(&cfg, &l, &b, algo)
+                .unwrap_or_else(|e| panic!("{name}/{} under racecheck: {e}", algo.label()));
+            linalg::assert_solutions_close(&rep.x, &x_ref, 1e-10);
+        }
+    }
+}
+
+#[test]
+fn multi_rhs_kernel_passes_racecheck() {
+    // One fence publishes all nrhs x-stores of a row; racecheck confirms.
+    let l = gen::powerlaw(600, 3.0, 33);
+    let nrhs = 3;
+    let x_true: Vec<f64> = (0..l.n() * nrhs)
+        .map(|i| ((i * 5 + 1) % 13) as f64 - 6.0)
+        .collect();
+    let mut bs = vec![0.0; l.n() * nrhs];
+    for r in 0..nrhs {
+        let xr: Vec<f64> = (0..l.n()).map(|i| x_true[i * nrhs + r]).collect();
+        let br = linalg::rhs_for_solution(&l, &xr);
+        for i in 0..l.n() {
+            bs[i * nrhs + r] = br[i];
+        }
+    }
+    let mut dev = GpuDevice::new(racecheck_cfg());
+    let out = writing_first_multi::solve_multi(&mut dev, &l, &bs, nrhs).unwrap();
+    for (got, want) in out.x.iter().zip(&x_true) {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "multi-rhs drifted under racecheck"
+        );
+    }
+}
+
+#[test]
+fn naive_kernel_passes_racecheck_on_cross_warp_dependencies() {
+    // The straw-man kernel deadlocks on intra-warp chains regardless of the
+    // memory model; on a strictly cross-warp matrix it completes, and its
+    // fence-then-flag publish sequence is race-free.
+    let l = cross_warp_matrix();
+    let (b, x_true) = problem(&l);
+    let mut dev = GpuDevice::new(racecheck_cfg());
+    let out = naive::solve(&mut dev, &l, &b).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-10);
+}
+
+#[test]
+fn relaxed_runs_report_drained_stores_in_metrics() {
+    let l = cross_warp_matrix();
+    let (b, _) = problem(&l);
+    let rep = solve_simulated(&relaxed_cfg(), &l, &b, Algorithm::CapelliniWritingFirst).unwrap();
+    // Every row's flag store (post-fence) drains on its own; fenced x-stores
+    // drain at the fence. Either way the counter must be live.
+    assert!(
+        rep.stats.drained_stores > 0,
+        "drained_stores counter never moved"
+    );
+    assert_eq!(
+        rep.stats.stale_reads, 0,
+        "a fenced kernel must never read stale data"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The broken variants: SC silently certifies them, relaxed mode rejects them.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fence_stripped_kernel_passes_under_sc_but_is_a_detected_race() {
+    let l = cross_warp_matrix();
+    let (b, x_true) = problem(&l);
+
+    // Under sequential consistency the stripped kernel "works": stores land
+    // in program order, so the flag can never outrun the value. This is the
+    // trap — a test suite on the default model certifies a broken kernel.
+    let mut dev = GpuDevice::new(DeviceConfig::pascal_like().scaled_down(4));
+    let out = writing_first::solve_with_fence_mode(&mut dev, &l, &b, FenceMode::NoFence).unwrap();
+    linalg::assert_solutions_close(&out.x, &x_true, 1e-10);
+
+    // Racecheck sees the consumer load a word whose store was never
+    // published by a fence and reports the pair.
+    let mut dev = GpuDevice::new(racecheck_cfg());
+    let err = writing_first::solve_with_fence_mode(&mut dev, &l, &b, FenceMode::NoFence)
+        .expect_err("racecheck must reject the fence-stripped kernel");
+    match err {
+        SimtError::RaceDetected {
+            kernel,
+            producer_warp,
+            consumer_warp,
+            ..
+        } => {
+            assert_eq!(kernel, "capellini-writing-first");
+            assert_ne!(producer_warp, consumer_warp, "race must cross warps");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("race in"),
+                "Display should describe the race: {msg}"
+            );
+        }
+        other => panic!("expected RaceDetected, got {other}"),
+    }
+}
+
+#[test]
+fn flag_before_store_reads_stale_data_under_relaxed() {
+    let l = cross_warp_matrix();
+    let (b, x_true) = problem(&l);
+
+    // Flag-first with the fence between flag and value publishes the *flag*
+    // and leaves the value buffered: consumers poll successfully, then read
+    // a stale x. Plain relaxed mode lets that through — the solve completes
+    // with wrong numbers, and the stale-read counter records why.
+    let mut dev = GpuDevice::new(relaxed_cfg());
+    let out = writing_first::solve_with_fence_mode(&mut dev, &l, &b, FenceMode::FlagFirst).unwrap();
+    let max_err = out
+        .x
+        .iter()
+        .zip(&x_true)
+        .map(|(got, want)| (got - want).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_err > 1e-3,
+        "flag-first should have read stale x and produced a wrong solution"
+    );
+    assert!(
+        out.stats.stale_reads > 0,
+        "the wrong answer must be attributed to stale reads"
+    );
+
+    // Racecheck turns the silent wrong answer into a structured error.
+    let mut dev = GpuDevice::new(racecheck_cfg());
+    let err = writing_first::solve_with_fence_mode(&mut dev, &l, &b, FenceMode::FlagFirst)
+        .expect_err("racecheck must reject flag-before-store");
+    assert!(
+        matches!(err, SimtError::RaceDetected { .. }),
+        "expected RaceDetected, got {err}"
+    );
+}

@@ -79,7 +79,9 @@ fn level_analysis_invariants() {
         seen.sort_unstable();
         assert_eq!(seen, (0..l.n() as u32).collect::<Vec<_>>());
         // Width x depth accounting.
-        let total: usize = (0..levels.n_levels()).map(|k| levels.rows_in_level(k).len()).sum();
+        let total: usize = (0..levels.n_levels())
+            .map(|k| levels.rows_in_level(k).len())
+            .sum();
         assert_eq!(total, l.n());
         // Level 0 rows have no dependencies, and some row is at level 0.
         assert!(!levels.rows_in_level(0).is_empty());

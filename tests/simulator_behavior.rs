@@ -22,7 +22,10 @@ fn challenge1_naive_busywait_deadlocks_but_capellini_does_not() {
 
     let mut dev = capellini_sptrsv::simt::GpuDevice::new(cfg.clone());
     let err = naive::solve(&mut dev, &l, &b).unwrap_err();
-    assert!(matches!(err, SimtError::Deadlock { .. }), "expected deadlock, got {err:?}");
+    assert!(
+        matches!(err, SimtError::Deadlock { .. }),
+        "expected deadlock, got {err:?}"
+    );
 
     let mut dev = capellini_sptrsv::simt::GpuDevice::new(cfg);
     let ok = writing_first::solve(&mut dev, &l, &b).expect("two-phase-free design stays live");
@@ -103,15 +106,25 @@ fn writing_first_beats_two_phase() {
 fn preprocessing_ordering_is_stable_across_matrices() {
     // Table 1 / Table 2: none < low < low(x2) < high, for every matrix.
     let cfg = scaled(DeviceConfig::volta_like());
-    for l in [gen::powerlaw(8_000, 3.0, 14), gen::stencil3d(16, 16, 16, 15)] {
+    for l in [
+        gen::powerlaw(8_000, 3.0, 14),
+        gen::stencil3d(16, 16, 16, 15),
+    ] {
         let b = vec![1.0; l.n()];
-        let pre = |algo| solve_simulated(&cfg, &l, &b, algo).unwrap().preprocessing_ms;
+        let pre = |algo| {
+            solve_simulated(&cfg, &l, &b, algo)
+                .unwrap()
+                .preprocessing_ms
+        };
         let cap = pre(Algorithm::CapelliniWritingFirst);
         let sf = pre(Algorithm::SyncFree);
         let cu = pre(Algorithm::CusparseLike);
         let lv = pre(Algorithm::LevelSet);
         assert!(cap < sf && sf < cu && cu < lv, "{cap} {sf} {cu} {lv}");
-        assert!(lv / sf > 5.0, "level-set analysis must dominate: {lv} vs {sf}");
+        assert!(
+            lv / sf > 5.0,
+            "level-set analysis must dominate: {lv} vs {sf}"
+        );
     }
 }
 
@@ -136,13 +149,23 @@ fn hybrid_tracks_the_better_pure_algorithm_on_homogeneous_inputs() {
     let b = vec![1.0; sparse.n()];
     let hy = solve_simulated(&cfg, &sparse, &b, Algorithm::Hybrid).unwrap();
     let cap = solve_simulated(&cfg, &sparse, &b, Algorithm::CapelliniWritingFirst).unwrap();
-    assert!(hy.gflops > 0.8 * cap.gflops, "hybrid {:.2} vs capellini {:.2}", hy.gflops, cap.gflops);
+    assert!(
+        hy.gflops > 0.8 * cap.gflops,
+        "hybrid {:.2} vs capellini {:.2}",
+        hy.gflops,
+        cap.gflops
+    );
     // Dense homogeneous input: hybrid should behave like warp-level.
     let dense = gen::layered(8_000, 32, 8, 18);
     let b = vec![1.0; dense.n()];
     let hy = solve_simulated(&cfg, &dense, &b, Algorithm::Hybrid).unwrap();
     let sf = solve_simulated(&cfg, &dense, &b, Algorithm::SyncFree).unwrap();
-    assert!(hy.gflops > 0.8 * sf.gflops, "hybrid {:.2} vs syncfree {:.2}", hy.gflops, sf.gflops);
+    assert!(
+        hy.gflops > 0.8 * sf.gflops,
+        "hybrid {:.2} vs syncfree {:.2}",
+        hy.gflops,
+        sf.gflops
+    );
 }
 
 #[test]
