@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale small|medium|full] [--limit N] [--threads N]
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!              ablation hybrid deadlock racecheck sweep-timing all
+//!              ablation hybrid deadlock racecheck profile sweep-timing all
 //! ```
 //!
 //! Sweep results are cached as CSV under `results/` (override with
@@ -67,7 +67,7 @@ fn main() {
     }
     if which.is_empty() {
         eprintln!(
-            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|racecheck|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|racecheck|profile|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -79,6 +79,7 @@ fn main() {
             "fig2",
             "deadlock",
             "racecheck",
+            "profile",
             "table1",
             "fig3",
             "fig6",
@@ -149,6 +150,7 @@ fn main() {
             "sweep-timing" => exp::sweep_timing(scale, limit),
             "deadlock" => exp::deadlock(),
             "racecheck" => exp::racecheck(),
+            "profile" => exp::profile(scale),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;

@@ -10,7 +10,7 @@ use capellini_sparse::gen::GenSpec;
 use capellini_sparse::{paper_example, LevelSets};
 
 use crate::runner::{make_problem, mean, run_grid, CellResult};
-use crate::tables::{bar_chart, fnum, TextTable};
+use crate::tables::{bar_chart, fnum, safe_div, stall_breakdown_table, write_csv, TextTable};
 
 /// The three platforms the harness simulates (scaled; see Table 3 output).
 pub fn platforms() -> Vec<DeviceConfig> {
@@ -650,10 +650,11 @@ pub fn fig7(cells: &[CellResult]) -> String {
             )
         })
         .collect();
-    let ratio = items[2].1 / items[0].1;
+    let ratio = safe_div(items[2].1, items[0].1);
     format!(
-        "Figure 7: bandwidth utilization, read+write (Pascal, suite mean)\n\n{}\nCapellini / SyncFree bandwidth ratio: {ratio:.2}x\n",
-        bar_chart(&items, 40, "GB/s")
+        "Figure 7: bandwidth utilization, read+write (Pascal, suite mean)\n\n{}\nCapellini / SyncFree bandwidth ratio: {}x\n",
+        bar_chart(&items, 40, "GB/s"),
+        fnum(ratio, 2)
     )
 }
 
@@ -680,10 +681,11 @@ pub fn fig8(cells: &[CellResult]) -> String {
         .iter()
         .map(|a| (a.to_string(), mean(sel(a, |c| c.dep_stall_pct).into_iter())))
         .collect();
-    let saved = 100.0 * (1.0 - instr[2].1 / instr[0].1);
+    let saved = 100.0 * (1.0 - safe_div(instr[2].1, instr[0].1));
     format!(
-        "Figure 8a: warp instructions executed (x 10^7, Pascal suite mean)\n\n{}\nCapellini saves {saved:.1}% instructions vs SyncFree\n\nFigure 8b: instruction dependency stalls (failed get_value polls / thread instructions)\n\n{}",
+        "Figure 8a: warp instructions executed (x 10^7, Pascal suite mean)\n\n{}\nCapellini saves {}% instructions vs SyncFree\n\nFigure 8b: instruction dependency stalls (failed get_value polls / thread instructions)\n\n{}",
         bar_chart(&instr, 40, "x10^7 instr"),
+        fnum(saved, 1),
         bar_chart(&stall, 40, "%")
     )
 }
@@ -1110,6 +1112,159 @@ pub fn deadlock() -> String {
     out
 }
 
+// --------------------------------------------------------------- Profiling
+
+/// The nvprof-style stall study behind Figures 8a/8b/9: runs the three
+/// profiled kernels (warp-level SyncFree, thread-level Writing-First, the
+/// cuSPARSE-like two-phase baseline) with the sampling profiler armed on
+/// every evaluation platform. Emits one per-SM stall-attribution CSV and one
+/// `chrome://tracing` JSON per (algorithm, platform) cell under
+/// `results/profile/`, and renders the issue-slot breakdown table.
+pub fn profile(scale: Scale) -> String {
+    use capellini_core::kernels::{cusparse_like, SimSolve};
+    use capellini_simt::trace::chrome;
+    use capellini_simt::{ProfileMode, StallBucket, StallReason};
+    use capellini_sparse::LowerTriangularCsr;
+
+    type SolveFn = fn(&mut GpuDevice, &LowerTriangularCsr, &[f64]) -> Result<SimSolve, SimtError>;
+    let algos: [(&str, SolveFn); 3] = [
+        ("syncfree", syncfree::solve as SolveFn),
+        ("writing_first", writing_first::solve as SolveFn),
+        ("cusparse_like", cusparse_like::solve as SolveFn),
+    ];
+    let interval: u64 = match scale {
+        Scale::Small => 64,
+        Scale::Medium => 256,
+        Scale::Full => 1024,
+    };
+
+    let entry = dataset::rajat29_like(scale);
+    let (l, mstats) = entry.build_with_stats();
+    let (b, x_ref) = make_problem(&l);
+    let dir = crate::runner::results_dir().join("profile");
+
+    // Multi-launch algorithms produce one profile per launch; fold them into
+    // a single whole-solve profile for the summary table (the timeline CSV
+    // and Chrome trace keep the per-launch resolution).
+    let merged = |profiles: &[capellini_simt::Profile]| -> capellini_simt::Profile {
+        let mut m = profiles[0].clone();
+        if profiles.len() > 1 {
+            let mut slots = [0u64; capellini_simt::N_STALL_REASONS];
+            let mut issued = 0u64;
+            let mut cycles = 0u64;
+            for p in profiles {
+                for (s, v) in slots.iter_mut().zip(p.totals()) {
+                    *s = s.saturating_add(v);
+                }
+                issued = issued.saturating_add(p.issued_slots);
+                cycles = cycles.saturating_add(p.total_cycles);
+            }
+            m.total_cycles = cycles;
+            m.issued_slots = issued;
+            m.interval_cycles = cycles.max(1);
+            m.buckets = vec![StallBucket {
+                cycle_start: 0,
+                sm: 0,
+                slots,
+            }];
+        }
+        m
+    };
+
+    let mut out = format!(
+        "Profiling study (nvprof-style issue-slot attribution)\n\
+         matrix {} (n = {}, nnz = {}), sample interval {interval} cycles\n\
+         artifacts: {}/profile_<algo>_<platform>.{{csv,trace.json}}\n\n",
+        entry.name,
+        mstats.n,
+        mstats.nnz,
+        dir.display()
+    );
+
+    let mut table_rows: Vec<(String, capellini_simt::Profile)> = Vec::new();
+    let mut fig8a: Vec<(String, f64)> = Vec::new();
+    let mut fig8b: Vec<(String, f64)> = Vec::new();
+    let mut fig9: Vec<(String, f64)> = Vec::new();
+
+    for cfg in platforms() {
+        let cfg = cfg.with_profile(ProfileMode::sampled(interval));
+        let plat = cfg.name.to_ascii_lowercase();
+        for (algo, solve) in &algos {
+            let label = format!("{}/{algo}", cfg.name);
+            let mut dev = GpuDevice::new(cfg.clone());
+            let sol = match solve(&mut dev, &l, &b) {
+                Ok(sol) => sol,
+                Err(e) => {
+                    out.push_str(&format!("{label}: FAILED ({e})\n"));
+                    continue;
+                }
+            };
+            let err = capellini_sparse::linalg::rel_error_inf(&sol.x, &x_ref);
+            let profiles = dev.take_profiles();
+            assert!(
+                !profiles.is_empty(),
+                "profiling was armed but no profile came back for {label}"
+            );
+
+            // Per-SM stall-attribution timeline CSV (one row per sampled
+            // bucket; `launch` disambiguates multi-launch algorithms).
+            let mut header = vec!["launch", "cycle_start", "sm"];
+            header.extend(StallReason::ALL.iter().map(|r| r.label()));
+            let mut rows = Vec::new();
+            for (launch, p) in profiles.iter().enumerate() {
+                for bkt in &p.buckets {
+                    let mut row = vec![
+                        launch.to_string(),
+                        bkt.cycle_start.to_string(),
+                        bkt.sm.to_string(),
+                    ];
+                    row.extend(bkt.slots.iter().map(|s| s.to_string()));
+                    rows.push(row);
+                }
+            }
+            let csv_path = dir.join(format!("profile_{algo}_{plat}.csv"));
+            write_csv(&csv_path, &header, &rows).expect("write profile csv");
+
+            // Chrome trace (load via chrome://tracing or Perfetto).
+            let json = chrome::trace_json(&profiles);
+            std::fs::write(dir.join(format!("profile_{algo}_{plat}.trace.json")), json)
+                .expect("write chrome trace");
+
+            let whole = merged(&profiles);
+            if cfg.name == "Pascal" {
+                fig8a.push((algo.to_string(), whole.issued_slots as f64 / 1e3));
+                fig8b.push((algo.to_string(), whole.reason_pct(StallReason::SpinPoll)));
+                fig9.push((algo.to_string(), sol.stats.bandwidth_utilization_pct(&cfg)));
+            }
+            out.push_str(&format!(
+                "{label}: {} launches, rel err {err:.1e}\n",
+                profiles.len()
+            ));
+            table_rows.push((label, whole));
+        }
+    }
+
+    let refs: Vec<(String, &capellini_simt::Profile)> = table_rows
+        .iter()
+        .map(|(label, p)| (label.clone(), p))
+        .collect();
+    out.push_str("\nIssue-slot breakdown (% of SM issue slots per stall reason):\n\n");
+    out.push_str(&stall_breakdown_table(&refs));
+    out.push_str(&format!(
+        "\nFigure 8a companion: issued warp instructions (x10^3, Pascal)\n\n{}",
+        bar_chart(&fig8a, 40, "x10^3 slots")
+    ));
+    out.push_str(&format!(
+        "\nFigure 8b companion: spin-poll share of issue slots (Pascal)\n\n{}",
+        bar_chart(&fig8b, 40, "%")
+    ));
+    out.push_str(&format!(
+        "\nFigure 9 companion: DRAM bandwidth utilization (Pascal)\n\n{}",
+        bar_chart(&fig9, 40, "% of peak")
+    ));
+    out
+}
+
 // --------------------------------------------------------------- Racecheck
 
 /// Demonstrates the relaxed-visibility memory model and the race checker:
@@ -1174,9 +1329,15 @@ pub fn racecheck() -> String {
 mod tests {
     use super::*;
 
-    fn isolated_results_dir(tag: &str) {
+    /// Serializes the tests that redirect `CAPELLINI_RESULTS_DIR`: the env
+    /// var is process-global, so concurrent tests would race on it.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn isolated_results_dir(tag: &str) -> std::sync::MutexGuard<'static, ()> {
+        let guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join(format!("capellini-exp-{tag}-{}", std::process::id()));
         std::env::set_var("CAPELLINI_RESULTS_DIR", dir);
+        guard
     }
 
     #[test]
@@ -1212,8 +1373,35 @@ mod tests {
     }
 
     #[test]
+    fn profile_emits_csv_and_chrome_trace() {
+        let _guard = isolated_results_dir("profile");
+        let s = profile(Scale::Small);
+        assert!(s.contains("Issue-slot breakdown"), "{s}");
+        assert!(s.contains("Pascal/syncfree"), "{s}");
+        assert!(s.contains("Turing/cusparse_like"), "{s}");
+        assert!(s.contains("executing"), "{s}");
+        let dir = crate::runner::results_dir().join("profile");
+        for algo in ["syncfree", "writing_first", "cusparse_like"] {
+            for plat in ["pascal", "volta", "turing"] {
+                let (h, rows) =
+                    crate::tables::read_csv(&dir.join(format!("profile_{algo}_{plat}.csv")))
+                        .unwrap();
+                assert_eq!(h[..3], ["launch", "cycle_start", "sm"]);
+                assert!(h.iter().any(|c| c == "spin_poll"));
+                assert!(!rows.is_empty());
+                let json =
+                    std::fs::read_to_string(dir.join(format!("profile_{algo}_{plat}.trace.json")))
+                        .unwrap();
+                assert!(json.starts_with("{\"traceEvents\":["));
+                assert!(json.contains("\"ph\":\"C\""));
+            }
+        }
+        std::env::remove_var("CAPELLINI_RESULTS_DIR");
+    }
+
+    #[test]
     fn small_scale_suite_aggregations_render() {
-        isolated_results_dir("suite");
+        let _guard = isolated_results_dir("suite");
         let cells = suite_cells(Scale::Small, 6);
         assert!(!cells.is_empty());
         let named = named_cells(Scale::Small);

@@ -62,13 +62,30 @@ impl TextTable {
     }
 }
 
-/// Formats a float with the given precision, using `-` for NaN.
+/// Formats a float with the given precision, using `-` for any non-finite
+/// value (NaN or ±inf — both arise from degenerate ratios upstream).
 pub fn fnum(v: f64, prec: usize) -> String {
-    if v.is_nan() {
+    if !v.is_finite() {
         "-".to_string()
     } else {
         format!("{v:.prec$}")
     }
+}
+
+/// Zero-safe division: `a / b`, or 0.0 whenever the quotient would be
+/// non-finite (zero or non-finite denominator, non-finite numerator).
+pub fn safe_div(a: f64, b: f64) -> f64 {
+    let q = a / b;
+    if q.is_finite() {
+        q
+    } else {
+        0.0
+    }
+}
+
+/// Zero-safe percentage: `100 * part / whole`, 0.0 for degenerate inputs.
+pub fn pct(part: f64, whole: f64) -> f64 {
+    100.0 * safe_div(part, whole)
 }
 
 /// Writes rows as CSV (no quoting — the harness never emits commas in
@@ -109,23 +126,51 @@ pub fn read_csv(path: &Path) -> io::Result<(Vec<String>, Vec<Vec<String>>)> {
 }
 
 /// Renders a horizontal ASCII bar chart for (label, value) pairs.
+/// Non-finite values render as zero-length bars labelled `-`.
 pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
     let max = items
         .iter()
         .map(|(_, v)| *v)
+        .filter(|v| v.is_finite())
         .fold(f64::MIN, f64::max)
         .max(1e-12);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, v) in items {
-        let bars = ((v / max) * width as f64).round().max(0.0) as usize;
+        let frac = if v.is_finite() { v / max } else { 0.0 };
+        let bars = (frac * width as f64).round().max(0.0) as usize;
         let _ = writeln!(
             out,
-            "{label:<label_w$}  {:<width$}  {v:.2} {unit}",
-            "#".repeat(bars)
+            "{label:<label_w$}  {:<width$}  {} {unit}",
+            "#".repeat(bars),
+            fnum(*v, 2)
         );
     }
     out
+}
+
+/// Renders the per-kernel stall-reason breakdown of one or more profiles as
+/// an aligned table: one row per (label, profile), one percentage column per
+/// [`StallReason`](capellini_simt::StallReason), plus issued-slot totals.
+pub fn stall_breakdown_table(rows: &[(String, &capellini_simt::Profile)]) -> String {
+    use capellini_simt::StallReason;
+    let mut header: Vec<&str> = vec!["run"];
+    header.extend(StallReason::ALL.iter().map(|r| r.label()));
+    header.push("issued_slots");
+    header.push("cycles");
+    let mut t = TextTable::new(&header);
+    for (label, p) in rows {
+        let mut cells = vec![label.clone()];
+        cells.extend(
+            StallReason::ALL
+                .iter()
+                .map(|&r| format!("{}%", fnum(p.reason_pct(r), 1))),
+        );
+        cells.push(p.issued_slots.to_string());
+        cells.push(p.total_cycles.to_string());
+        t.row(cells);
+    }
+    t.render()
 }
 
 #[cfg(test)]
@@ -171,6 +216,74 @@ mod tests {
     #[test]
     fn fnum_handles_nan() {
         assert_eq!(fnum(f64::NAN, 2), "-");
+        assert_eq!(fnum(f64::INFINITY, 2), "-");
+        assert_eq!(fnum(f64::NEG_INFINITY, 3), "-");
         assert_eq!(fnum(1.234, 2), "1.23");
+    }
+
+    #[test]
+    fn safe_div_and_pct_never_return_non_finite() {
+        assert_eq!(safe_div(1.0, 2.0), 0.5);
+        assert_eq!(safe_div(1.0, 0.0), 0.0);
+        assert_eq!(safe_div(0.0, 0.0), 0.0);
+        assert_eq!(safe_div(f64::NAN, 1.0), 0.0);
+        assert_eq!(safe_div(1.0, f64::INFINITY), 0.0);
+        assert_eq!(pct(1.0, 4.0), 25.0);
+        assert_eq!(pct(5.0, 0.0), 0.0);
+        assert!(pct(f64::NAN, f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn bar_chart_tolerates_non_finite_values() {
+        let c = bar_chart(
+            &[
+                ("good".into(), 4.0),
+                ("nan".into(), f64::NAN),
+                ("inf".into(), f64::INFINITY),
+            ],
+            8,
+            "u",
+        );
+        assert!(c.contains("########"));
+        // Non-finite rows render with a `-` value and an empty bar.
+        for line in c.lines().skip(1) {
+            assert!(line.contains("- u"));
+            assert_eq!(line.matches('#').count(), 0);
+        }
+    }
+
+    #[test]
+    fn stall_breakdown_renders_percentages() {
+        use capellini_simt::{Profile, StallBucket, StallReason};
+        let p = Profile {
+            kernel: "syncfree",
+            interval_cycles: 4,
+            sm_count: 1,
+            schedulers_per_sm: 1,
+            total_cycles: 8,
+            issued_slots: 2,
+            buckets: vec![StallBucket {
+                cycle_start: 0,
+                sm: 0,
+                slots: [2, 6, 0, 0, 0, 0, 0],
+            }],
+            warp_spans: vec![],
+            phases: vec![],
+        };
+        let out = stall_breakdown_table(&[("pascal/syncfree".into(), &p)]);
+        assert!(out.contains("executing"));
+        assert!(out.contains("25.0%"));
+        assert!(out.contains("75.0%"));
+        assert!(out.contains("pascal/syncfree"));
+        // An empty profile renders finite zeros, not NaN.
+        let empty = Profile {
+            buckets: vec![],
+            issued_slots: 0,
+            ..p
+        };
+        let out = stall_breakdown_table(&[("empty".into(), &empty)]);
+        assert!(!out.contains("-%"), "no non-finite cells: {out}");
+        assert!(out.contains("0.0%"));
+        let _ = StallReason::ALL;
     }
 }

@@ -2,7 +2,7 @@
 //! device, accounts host-side preprocessing, and derives the
 //! paper's reporting metrics (GFLOPS, bandwidth, instructions, stalls).
 
-use capellini_simt::{DeviceConfig, GpuDevice, HostCostModel, LaunchStats, SimtError};
+use capellini_simt::{DeviceConfig, GpuDevice, HostCostModel, LaunchStats, Profile, SimtError};
 use capellini_sparse::{LevelSets, LowerTriangularCsr, MatrixStats};
 
 use crate::kernels;
@@ -26,6 +26,10 @@ pub struct SolveReport {
     pub gflops: f64,
     /// DRAM read+write bandwidth in GB/s (Figure 7).
     pub bandwidth_gbs: f64,
+    /// Per-launch profiles, in launch order — empty unless the device
+    /// config armed profiling (`DeviceConfig::with_profile`). Multi-launch
+    /// algorithms (Level-Set) produce one profile per level launch.
+    pub profiles: Vec<Profile>,
 }
 
 /// Runs `algorithm` on a fresh simulated device of the given configuration.
@@ -97,6 +101,7 @@ pub fn solve_simulated(
         x: sim.x,
         stats: sim.stats,
         preprocessing_ms,
+        profiles: dev.take_profiles(),
     })
 }
 

@@ -47,6 +47,42 @@ pub enum MemoryModel {
     },
 }
 
+/// Whether (and how densely) the engine records a time-resolved
+/// [`Profile`](crate::Profile) during launches.
+///
+/// `Off` (the default) is guaranteed zero-overhead and bit-exact: the
+/// engine records nothing and the simulated schedule, results, and
+/// [`LaunchStats`](crate::LaunchStats) are identical to a build without the
+/// profiling subsystem. `Sampled` buckets per-SM issue-slot attribution on
+/// the given interval; `Sampled { interval_cycles: 1 }` is a per-cycle
+/// timeline. Profiling is observational only — it never changes timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// No profiling (default).
+    #[default]
+    Off,
+    /// Record a profile, aggregating issue slots per SM over buckets of
+    /// `interval_cycles` cycles.
+    Sampled {
+        /// Bucket width in cycles (clamped to at least 1).
+        interval_cycles: u64,
+    },
+}
+
+impl ProfileMode {
+    /// Sampled profiling with the given bucket width in cycles.
+    pub fn sampled(interval_cycles: u64) -> Self {
+        ProfileMode::Sampled {
+            interval_cycles: interval_cycles.max(1),
+        }
+    }
+
+    /// True for any mode that records a profile.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, ProfileMode::Off)
+    }
+}
+
 impl MemoryModel {
     /// Relaxed visibility with the given drain delay, per-warp buffers,
     /// and no racecheck: missing fences show up as wrong results.
@@ -117,6 +153,9 @@ pub struct DeviceConfig {
     pub max_cycles: u64,
     /// Global-memory visibility model (see [`MemoryModel`]).
     pub memory_model: MemoryModel,
+    /// Profiling mode (see [`ProfileMode`]). `Off` by default; purely
+    /// observational, never changes simulated results.
+    pub profile: ProfileMode,
 }
 
 impl DeviceConfig {
@@ -142,6 +181,7 @@ impl DeviceConfig {
             deadlock_window: 2_000_000,
             max_cycles: 2_000_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
+            profile: ProfileMode::Off,
         }
     }
 
@@ -167,6 +207,7 @@ impl DeviceConfig {
             deadlock_window: 2_000_000,
             max_cycles: 2_000_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
+            profile: ProfileMode::Off,
         }
     }
 
@@ -192,6 +233,7 @@ impl DeviceConfig {
             deadlock_window: 2_000_000,
             max_cycles: 2_000_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
+            profile: ProfileMode::Off,
         }
     }
 
@@ -221,6 +263,7 @@ impl DeviceConfig {
             deadlock_window: 100_000,
             max_cycles: 10_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
+            profile: ProfileMode::Off,
         }
     }
 
@@ -243,6 +286,13 @@ impl DeviceConfig {
     /// style, for `DeviceConfig::toy().with_memory_model(...)` chains).
     pub fn with_memory_model(mut self, model: MemoryModel) -> Self {
         self.memory_model = model;
+        self
+    }
+
+    /// Returns this configuration with the given profiling mode (builder
+    /// style, like [`DeviceConfig::with_memory_model`]).
+    pub fn with_profile(mut self, profile: ProfileMode) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -333,6 +383,19 @@ mod tests {
             }
             other => panic!("expected relaxed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profiling_defaults_to_off() {
+        for cfg in DeviceConfig::evaluation_platforms() {
+            assert_eq!(cfg.profile, ProfileMode::Off);
+            assert!(!cfg.profile.is_on());
+        }
+        assert_eq!(DeviceConfig::toy().profile, ProfileMode::default());
+        let on = DeviceConfig::toy().with_profile(ProfileMode::sampled(0));
+        assert!(on.profile.is_on());
+        // The interval clamps to >= 1 so a zero request cannot divide by 0.
+        assert_eq!(on.profile, ProfileMode::Sampled { interval_cycles: 1 });
     }
 
     #[test]

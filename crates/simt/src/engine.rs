@@ -21,11 +21,12 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::config::{DeviceConfig, MemoryModel, StoreScope};
+use crate::config::{DeviceConfig, MemoryModel, ProfileMode, StoreScope};
 use crate::error::{SimtError, WarpSnapshot};
 use crate::kernel::{Pc, WarpKernel, PC_EXIT};
 use crate::mem::{AccessKind, DeviceMemory, LaneMem, RawAccess, SECTOR_BYTES};
 use crate::metrics::LaunchStats;
+use crate::profile::{LaunchResult, Profile, Profiler, StallReason};
 use crate::trace::{Trace, TraceEvent};
 
 /// A simulated GPU: a configuration plus device memory that persists across
@@ -41,6 +42,10 @@ pub struct GpuDevice {
     /// per-instruction coalescing buffers) — every kernel-independent
     /// allocation of `launch_inner`, reused across launches.
     launch_scratch: LaunchScratch,
+    /// Profiles collected by launches run with profiling armed (see
+    /// [`ProfileMode`]), in launch order. Drained by
+    /// [`GpuDevice::take_profiles`].
+    profiles: Vec<Profile>,
 }
 
 /// Kernel-independent per-launch allocations, pooled on the device.
@@ -120,6 +125,11 @@ struct StepOutcome {
     cost_ticks: u64,
     stored: bool,
     retired: u64,
+    /// Profiling: what the issue slot was spent on (always computed — a
+    /// couple of flag tests — but only read when profiling is armed).
+    issue: StallReason,
+    /// Profiling: what blocks the warp until `t + cost_ticks`.
+    wait: StallReason,
 }
 
 /// Warps included in a hang diagnostic (keep errors readable on big grids).
@@ -153,7 +163,20 @@ impl GpuDevice {
             mem: DeviceMemory::new(),
             warp_scratch: Vec::new(),
             launch_scratch: LaunchScratch::default(),
+            profiles: Vec::new(),
         }
+    }
+
+    /// Drains and returns the profiles accumulated by profiled launches,
+    /// in launch order. Empty unless the device config armed profiling via
+    /// [`DeviceConfig::with_profile`].
+    pub fn take_profiles(&mut self) -> Vec<Profile> {
+        std::mem::take(&mut self.profiles)
+    }
+
+    /// The profiles accumulated so far by profiled launches (not drained).
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
     }
 
     /// The device configuration.
@@ -180,6 +203,26 @@ impl GpuDevice {
         self.launch_inner(kernel, n_warps, None)
     }
 
+    /// Launches like [`GpuDevice::launch`] but returns the launch's
+    /// [`Profile`] alongside the stats. The profile is `None` when the
+    /// device config runs with [`ProfileMode::Off`] or the launch was a
+    /// zero-warp no-op; otherwise it is moved into the result instead of
+    /// accumulating on the device.
+    pub fn launch_profiled<K: WarpKernel>(
+        &mut self,
+        kernel: &K,
+        n_warps: usize,
+    ) -> Result<LaunchResult, SimtError> {
+        let before = self.profiles.len();
+        let stats = self.launch_inner(kernel, n_warps, None)?;
+        let profile = if self.profiles.len() > before {
+            self.profiles.pop()
+        } else {
+            None
+        };
+        Ok(LaunchResult { stats, profile })
+    }
+
     /// Launches with an instruction trace (intended for the toy device).
     pub fn launch_traced<K: WarpKernel>(
         &mut self,
@@ -197,11 +240,27 @@ impl GpuDevice {
         mut trace: Option<&mut Trace>,
     ) -> Result<LaunchStats, SimtError> {
         if n_warps == 0 {
-            return Err(SimtError::Launch("zero warps".into()));
+            // A zero-warp grid is a legal no-op launch: no kernel body ever
+            // runs, so report well-formed zeroed stats (plus the fixed
+            // launch overhead) instead of erroring or producing a bogus
+            // deadlock snapshot downstream.
+            return Ok(LaunchStats {
+                launches: 1,
+                cycles: self.config.launch_overhead_cycles,
+                ..Default::default()
+            });
         }
         let cfg = &self.config;
         if cfg.warp_size > 64 {
             return Err(SimtError::Launch("warp size exceeds 64 lanes".into()));
+        }
+        if n_warps
+            .checked_mul(cfg.warp_size)
+            .is_none_or(|threads| threads > u32::MAX as usize)
+        {
+            return Err(SimtError::Launch(format!(
+                "grid of {n_warps} warps exceeds the 32-bit thread-id space"
+            )));
         }
         let tpc = cfg.schedulers_per_sm.max(1) as u64; // ticks per cycle
         let dram_lat = cfg.dram_latency * tpc;
@@ -305,6 +364,19 @@ impl GpuDevice {
             launches: 1,
             ..Default::default()
         };
+        // Profiling is opt-in: `prof` stays `None` under `ProfileMode::Off`
+        // and every hook below is a skipped `if let`, keeping the default
+        // path byte-identical (golden traces stay bit-exact).
+        let mut prof = match cfg.profile {
+            ProfileMode::Off => None,
+            ProfileMode::Sampled { interval_cycles } => Some(Profiler::new(
+                kernel.name(),
+                sm_count,
+                n_warps,
+                interval_cycles,
+                tpc,
+            )),
+        };
         let mut dram_busy: f64 = 0.0;
         let mut last_progress: u64 = 0;
         let mut end_tick: u64 = 0;
@@ -350,9 +422,14 @@ impl GpuDevice {
             // Issue accounting.
             stats.issue_ticks += 1;
             let gap = t.saturating_sub(sm_last_issue[sm]).saturating_sub(1);
-            stats.stall_ticks += gap;
+            stats.stall_ticks = stats.stall_ticks.saturating_add(gap);
             sm_last_issue[sm] = t;
             sm_next_free[sm] = t + 1;
+            let prof_pc = if prof.is_some() {
+                w.stack.last().map_or(PC_EXIT, |e| e.pc)
+            } else {
+                PC_EXIT
+            };
 
             // Execute one warp instruction.
             let owner = match store_scope {
@@ -401,6 +478,19 @@ impl GpuDevice {
             stats.lanes_retired += out.retired;
             let t_done = t + out.cost_ticks;
             end_tick = end_tick.max(t_done);
+            if let Some(p) = prof.as_mut() {
+                p.on_issue(
+                    sm,
+                    t,
+                    gap,
+                    wid as usize,
+                    prof_pc,
+                    kernel.pc_name(prof_pc),
+                    out.issue,
+                    out.wait,
+                    t_done,
+                );
+            }
 
             if warps[wid as usize].as_ref().is_some_and(|w| w.done()) {
                 let done = warps[wid as usize].take().expect("done warp exists");
@@ -462,6 +552,9 @@ impl GpuDevice {
         // (fire-and-forget stores still occupy bandwidth).
         let end_tick = end_tick.max(dram_busy.ceil() as u64);
         stats.cycles = end_tick.div_ceil(tpc) + cfg.launch_overhead_cycles;
+        if let Some(p) = prof {
+            self.profiles.push(p.finish(end_tick));
+        }
         Ok(stats)
     }
 
@@ -541,6 +634,20 @@ impl GpuDevice {
         stats.shared_ops += shared_ops as u64;
         stats.failed_polls += failed_polls as u64;
 
+        // Profiling: classify what this issue slot was spent on. Evaluated
+        // unconditionally (a few flag tests) but only consumed when
+        // profiling is armed. Checked before control resolution so the
+        // stack still reflects the issuing instruction's divergence state.
+        let issue = if failed_polls > 0 {
+            StallReason::SpinPoll
+        } else if fence {
+            StallReason::StoreDrain
+        } else if !uniform || w.stack.len() > 1 {
+            StallReason::Divergence
+        } else {
+            StallReason::Executing
+        };
+
         if let Some(tr) = trace.as_deref_mut() {
             tr.events.push(TraceEvent {
                 cycle: t / tpc,
@@ -554,6 +661,7 @@ impl GpuDevice {
 
         // --- Timing of this instruction ---------------------------------
         let cost_ticks;
+        let wait;
         let mut stored = false;
         if !accesses.is_empty() {
             let kind = accesses[0].kind;
@@ -571,6 +679,7 @@ impl GpuDevice {
             }
             accesses.dedup();
             let mut worst = l2_lat;
+            let mut bw_limited = false;
             for &a in accesses.iter() {
                 let miss = mem.touch(a);
                 if miss {
@@ -582,6 +691,10 @@ impl GpuDevice {
                     }
                     *dram_busy = dram_busy.max(t as f64) + sector_service_ticks;
                     let ready = (*dram_busy as u64).max(t + dram_lat);
+                    // The DRAM queue pushed this sector past the raw
+                    // latency: the warp is bandwidth-throttled, not merely
+                    // latency-bound.
+                    bw_limited |= ready > t + dram_lat;
                     worst = worst.max(ready - t);
                 } else {
                     stats.l2_hits += 1;
@@ -590,19 +703,29 @@ impl GpuDevice {
             // Plain stores are fire-and-forget; loads and atomics block the
             // warp until the L2/DRAM responds.
             cost_ticks = if is_store { store_ticks } else { worst };
+            wait = if is_store {
+                StallReason::Executing
+            } else if bw_limited {
+                StallReason::Bandwidth
+            } else {
+                StallReason::MemLatency
+            };
             if kind == AccessKind::Atomic {
                 stats.atomic_ops += accesses.len() as u64;
             }
         } else if fence {
             stats.fences += 1;
             cost_ticks = fence_ticks;
+            wait = StallReason::StoreDrain;
             // Under the relaxed model the fence is load-bearing: it drains
             // and publishes this owner's store buffer (no-op under SC).
             mem.fence_drain(owner);
         } else if shared_ops > 0 {
             cost_ticks = shared_lat;
+            wait = StallReason::MemLatency;
         } else {
             cost_ticks = alu_ticks;
+            wait = StallReason::Executing;
         }
 
         // --- Control resolution ------------------------------------------
@@ -658,6 +781,8 @@ impl GpuDevice {
             cost_ticks: cost_ticks.max(1),
             stored,
             retired: retired_ct,
+            issue,
+            wait,
         }
     }
 }
@@ -1021,11 +1146,71 @@ mod tests {
     }
 
     #[test]
-    fn zero_warps_is_a_launch_error() {
+    fn zero_warps_is_a_wellformed_noop_launch() {
         let mut dev = GpuDevice::new(DeviceConfig::toy());
         let flag = dev.mem().alloc_flags(1);
-        let err = dev.launch(&CrossWarpSpin { flag }, 0).unwrap_err();
+        let stats = dev.launch(&CrossWarpSpin { flag }, 0).unwrap();
+        assert_eq!(stats.launches, 1);
+        assert_eq!(stats.warps_launched, 0);
+        assert_eq!(stats.warp_instructions, 0);
+        assert_eq!(stats.lanes_retired, 0);
+        assert_eq!(stats.cycles, dev.config().launch_overhead_cycles);
+        // Memory is untouched and no profile is emitted even when armed.
+        assert_eq!(dev.mem_ref().read_flags(flag), &[0]);
+        let mut dev = GpuDevice::new(DeviceConfig::toy().with_profile(ProfileMode::sampled(8)));
+        let flag = dev.mem().alloc_flags(1);
+        let out = dev.launch_profiled(&CrossWarpSpin { flag }, 0).unwrap();
+        assert!(out.profile.is_none());
+        assert_eq!(out.stats.warps_launched, 0);
+    }
+
+    #[test]
+    fn oversized_grid_is_a_launch_error() {
+        let mut dev = GpuDevice::new(DeviceConfig::toy());
+        let flag = dev.mem().alloc_flags(1);
+        let too_many = u32::MAX as usize / dev.config().warp_size + 1;
+        let err = dev.launch(&CrossWarpSpin { flag }, too_many).unwrap_err();
         assert!(matches!(err, SimtError::Launch(_)));
+    }
+
+    #[test]
+    fn profiled_launch_matches_unprofiled_stats_and_accounts_all_slots() {
+        let n = 3000usize;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let run = |profile: ProfileMode| {
+            let cfg = DeviceConfig::pascal_like().with_profile(profile);
+            let mut dev = GpuDevice::new(cfg);
+            let x = dev.mem().alloc_f64(&xs);
+            let y = dev.mem().alloc_f64_zeroed(n);
+            let out = dev
+                .launch_profiled(&DoubleKernel { n, x, y }, n.div_ceil(32))
+                .unwrap();
+            (out, dev.mem_ref().read_f64(y).to_vec())
+        };
+        let (plain, y_plain) = run(ProfileMode::Off);
+        let (profiled, y_prof) = run(ProfileMode::sampled(64));
+        assert!(plain.profile.is_none());
+        assert_eq!(plain.stats, profiled.stats, "profiling must not perturb");
+        assert_eq!(y_plain, y_prof);
+        let p = profiled.profile.expect("sampled mode yields a profile");
+        assert_eq!(p.kernel, "double");
+        assert_eq!(p.interval_cycles, 64);
+        // Every issue slot the stats counted appears in the timeline.
+        assert_eq!(p.issued_slots, profiled.stats.warp_instructions);
+        // Buckets account for every SM issue slot of the whole run: one
+        // slot per SM per tick, so the total is within one cycle's worth of
+        // total_cycles × slot capacity.
+        let cap = p.sm_count as u64 * p.schedulers_per_sm as u64;
+        let slots = p.total_slots();
+        assert!(slots > p.total_cycles.saturating_sub(1) * cap);
+        assert!(slots <= p.total_cycles * cap + p.sm_count as u64);
+        // No bucket exceeds its per-interval capacity.
+        let per_bucket_cap = p.interval_cycles * p.schedulers_per_sm as u64;
+        for b in &p.buckets {
+            assert!(b.slots.iter().sum::<u64>() <= per_bucket_cap);
+        }
+        assert!(!p.warp_spans.is_empty());
+        assert!(p.phases.iter().any(|ph| ph.warp_instructions > 0));
     }
 
     #[test]

@@ -56,25 +56,30 @@ pub mod host;
 pub mod kernel;
 pub mod mem;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
-pub use config::{DeviceConfig, MemoryModel, StoreScope};
+pub use config::{DeviceConfig, MemoryModel, ProfileMode, StoreScope};
 pub use engine::GpuDevice;
 pub use error::{SimtError, WarpSnapshot};
 pub use host::HostCostModel;
 pub use kernel::{Effect, Pc, WarpKernel, PC_EXIT};
 pub use mem::{BufF64, BufFlag, BufU32, LaneMem, SECTOR_BYTES};
 pub use metrics::LaunchStats;
+pub use profile::{
+    LaunchResult, PhaseCount, Profile, StallBucket, StallReason, WarpSpan, N_STALL_REASONS,
+};
 pub use trace::{Trace, TraceEvent};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::config::{DeviceConfig, MemoryModel, StoreScope};
+    pub use crate::config::{DeviceConfig, MemoryModel, ProfileMode, StoreScope};
     pub use crate::engine::GpuDevice;
     pub use crate::error::{SimtError, WarpSnapshot};
     pub use crate::host::HostCostModel;
     pub use crate::kernel::{Effect, Pc, WarpKernel, PC_EXIT};
     pub use crate::mem::{BufF64, BufFlag, BufU32, LaneMem};
     pub use crate::metrics::LaunchStats;
+    pub use crate::profile::{LaunchResult, Profile, StallReason};
     pub use crate::trace::Trace;
 }

@@ -312,7 +312,7 @@ impl DeviceMemory {
         rs.pending.retain(|ps| {
             if ps.due <= now {
                 apply_store(bufs, ps);
-                rs.drained_stores += 1;
+                rs.drained_stores = rs.drained_stores.saturating_add(1);
                 *rs.owner_counts.get_mut(&ps.owner).expect("owner count") -= 1;
                 if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
                     m.undrained = m.undrained.saturating_sub(1);
@@ -335,7 +335,7 @@ impl DeviceMemory {
         rs.pending.retain(|ps| {
             if ps.owner == owner {
                 apply_store(bufs, ps);
-                rs.drained_stores += 1;
+                rs.drained_stores = rs.drained_stores.saturating_add(1);
                 if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
                     m.undrained = m.undrained.saturating_sub(1);
                 }
@@ -364,7 +364,7 @@ impl DeviceMemory {
         };
         for ps in &rs.pending {
             apply_store(&mut self.bufs, ps);
-            rs.drained_stores += 1;
+            rs.drained_stores = rs.drained_stores.saturating_add(1);
         }
         (rs.stale_reads, rs.drained_stores)
     }
@@ -396,7 +396,7 @@ impl DeviceMemory {
                 .expect("owner count says an entry exists");
             let ps = rs.pending.remove(pos);
             apply_store(&mut self.bufs, &ps);
-            rs.drained_stores += 1;
+            rs.drained_stores = rs.drained_stores.saturating_add(1);
             if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
                 m.undrained = m.undrained.saturating_sub(1);
             }
@@ -460,7 +460,7 @@ impl DeviceMemory {
         }
         if !sync {
             if m.undrained > 0 {
-                rs.stale_reads += 1;
+                rs.stale_reads = rs.stale_reads.saturating_add(1);
             }
             if rs.racecheck && m.epoch >= rs.fence_epoch(m.owner) && rs.race.is_none() {
                 rs.race = Some(RaceInfo {
@@ -485,7 +485,7 @@ impl DeviceMemory {
         rs.pending.retain(|ps| {
             if ps.buf == buf && ps.idx == idx {
                 apply_store(bufs, ps);
-                rs.drained_stores += 1;
+                rs.drained_stores = rs.drained_stores.saturating_add(1);
                 *rs.owner_counts.get_mut(&ps.owner).expect("owner count") -= 1;
                 false
             } else {
@@ -640,7 +640,7 @@ impl<'a> LaneMem<'a> {
     pub fn poll_flag(&mut self, h: BufFlag, idx: usize) -> bool {
         let v = self.load_flag(h, idx);
         if !v {
-            *self.failed_polls += 1;
+            *self.failed_polls = self.failed_polls.saturating_add(1);
         }
         v
     }
@@ -673,7 +673,7 @@ impl<'a> LaneMem<'a> {
     pub fn poll_zero_u32(&mut self, h: BufU32, idx: usize) -> bool {
         let v = self.load_u32_inner(h, idx, true);
         if v != 0 {
-            *self.failed_polls += 1;
+            *self.failed_polls = self.failed_polls.saturating_add(1);
         }
         v == 0
     }

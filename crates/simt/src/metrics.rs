@@ -56,26 +56,34 @@ pub struct LaunchStats {
 
 impl LaunchStats {
     /// Accumulates another launch (used by multi-launch algorithms).
+    /// Saturating: a Level-Set solve accumulates thousands of launches and
+    /// an overflow must clamp, not wrap into a bogus small counter.
     pub fn accumulate(&mut self, other: &LaunchStats) {
-        self.cycles += other.cycles;
-        self.warp_instructions += other.warp_instructions;
-        self.thread_instructions += other.thread_instructions;
-        self.flops += other.flops;
-        self.dram_read_bytes += other.dram_read_bytes;
-        self.dram_write_bytes += other.dram_write_bytes;
-        self.dram_transactions += other.dram_transactions;
-        self.l2_hits += other.l2_hits;
-        self.shared_ops += other.shared_ops;
-        self.atomic_ops += other.atomic_ops;
-        self.fences += other.fences;
-        self.issue_ticks += other.issue_ticks;
-        self.stall_ticks += other.stall_ticks;
-        self.failed_polls += other.failed_polls;
-        self.warps_launched += other.warps_launched;
-        self.lanes_retired += other.lanes_retired;
-        self.launches += other.launches;
-        self.stale_reads += other.stale_reads;
-        self.drained_stores += other.drained_stores;
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.warp_instructions = self
+            .warp_instructions
+            .saturating_add(other.warp_instructions);
+        self.thread_instructions = self
+            .thread_instructions
+            .saturating_add(other.thread_instructions);
+        self.flops = self.flops.saturating_add(other.flops);
+        self.dram_read_bytes = self.dram_read_bytes.saturating_add(other.dram_read_bytes);
+        self.dram_write_bytes = self.dram_write_bytes.saturating_add(other.dram_write_bytes);
+        self.dram_transactions = self
+            .dram_transactions
+            .saturating_add(other.dram_transactions);
+        self.l2_hits = self.l2_hits.saturating_add(other.l2_hits);
+        self.shared_ops = self.shared_ops.saturating_add(other.shared_ops);
+        self.atomic_ops = self.atomic_ops.saturating_add(other.atomic_ops);
+        self.fences = self.fences.saturating_add(other.fences);
+        self.issue_ticks = self.issue_ticks.saturating_add(other.issue_ticks);
+        self.stall_ticks = self.stall_ticks.saturating_add(other.stall_ticks);
+        self.failed_polls = self.failed_polls.saturating_add(other.failed_polls);
+        self.warps_launched = self.warps_launched.saturating_add(other.warps_launched);
+        self.lanes_retired = self.lanes_retired.saturating_add(other.lanes_retired);
+        self.launches = self.launches.saturating_add(other.launches);
+        self.stale_reads = self.stale_reads.saturating_add(other.stale_reads);
+        self.drained_stores = self.drained_stores.saturating_add(other.drained_stores);
     }
 
     /// Execution time in seconds at the given device's clock.
@@ -89,19 +97,55 @@ impl LaunchStats {
     }
 
     /// GFLOPS/s for a solve of `useful_flops` (the paper's 2·nnz convention).
+    /// Returns 0.0 (never inf/NaN) when no cycles elapsed.
     pub fn gflops(&self, config: &DeviceConfig, useful_flops: u64) -> f64 {
-        useful_flops as f64 / self.time_seconds(config) / 1e9
+        let t = self.time_seconds(config);
+        if t <= 0.0 {
+            0.0
+        } else {
+            useful_flops as f64 / t / 1e9
+        }
     }
 
     /// DRAM read+write bandwidth in GB/s (Figure 7's metric).
+    /// Returns 0.0 (never inf/NaN) when no cycles elapsed.
     pub fn bandwidth_gbs(&self, config: &DeviceConfig) -> f64 {
-        (self.dram_read_bytes + self.dram_write_bytes) as f64 / self.time_seconds(config) / 1e9
+        let t = self.time_seconds(config);
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.dram_read_bytes.saturating_add(self.dram_write_bytes) as f64 / t / 1e9
+        }
+    }
+
+    /// DRAM bandwidth utilization: achieved read+write bandwidth as a
+    /// percentage of the device's peak (Figure 9's metric). Returns 0.0
+    /// when no cycles elapsed or the config declares no bandwidth.
+    pub fn bandwidth_utilization_pct(&self, config: &DeviceConfig) -> f64 {
+        let peak = config.dram_bw_gbps;
+        if peak <= 0.0 || !peak.is_finite() {
+            0.0
+        } else {
+            100.0 * self.bandwidth_gbs(config) / peak
+        }
+    }
+
+    /// Occupancy proxy: average resident-issue utilization — issue slots
+    /// actually used over all issue opportunities (used + stalled).
+    /// Returns 0.0 on an empty launch.
+    pub fn issue_utilization_pct(&self) -> f64 {
+        let total = self.issue_ticks.saturating_add(self.stall_ticks);
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.issue_ticks as f64 / total as f64
+        }
     }
 
     /// Issue-slot stall percentage: the share of issue opportunities lost
     /// while resident warps wait on memory (supplementary metric).
     pub fn issue_stall_pct(&self) -> f64 {
-        let total = self.issue_ticks + self.stall_ticks;
+        let total = self.issue_ticks.saturating_add(self.stall_ticks);
         if total == 0 {
             0.0
         } else {
@@ -122,7 +166,7 @@ impl LaunchStats {
 
     /// L2 hit rate over all memory transactions.
     pub fn l2_hit_rate(&self) -> f64 {
-        let total = self.dram_transactions + self.l2_hits;
+        let total = self.dram_transactions.saturating_add(self.l2_hits);
         if total == 0 {
             0.0
         } else {
@@ -177,8 +221,50 @@ mod tests {
 
     #[test]
     fn zero_division_guards() {
+        // Every ratio helper must return finite 0.0 on an all-zero launch
+        // (cycles == 0 makes time 0, dram counters 0, etc.) — never NaN or
+        // infinity.
+        let cfg = DeviceConfig::pascal_like();
         let s = LaunchStats::default();
         assert_eq!(s.stall_pct(), 0.0);
         assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.issue_stall_pct(), 0.0);
+        assert_eq!(s.issue_utilization_pct(), 0.0);
+        assert_eq!(s.gflops(&cfg, 2_000_000), 0.0);
+        assert_eq!(s.bandwidth_gbs(&cfg), 0.0);
+        assert_eq!(s.bandwidth_utilization_pct(&cfg), 0.0);
+        // A degenerate config (no declared bandwidth) is also guarded.
+        let mut no_bw = cfg.clone();
+        no_bw.dram_bw_gbps = 0.0;
+        let busy = LaunchStats {
+            cycles: 100,
+            dram_read_bytes: 640,
+            ..Default::default()
+        };
+        assert_eq!(busy.bandwidth_utilization_pct(&no_bw), 0.0);
+        assert!(busy.bandwidth_utilization_pct(&cfg).is_finite());
+    }
+
+    #[test]
+    fn accumulate_saturates_instead_of_wrapping() {
+        let mut a = LaunchStats {
+            cycles: u64::MAX - 1,
+            failed_polls: u64::MAX,
+            stall_ticks: u64::MAX,
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            cycles: 10,
+            failed_polls: 3,
+            stall_ticks: 1,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.cycles, u64::MAX);
+        assert_eq!(a.failed_polls, u64::MAX);
+        assert_eq!(a.stall_ticks, u64::MAX);
+        // Saturated counters still yield finite ratios.
+        assert!(a.issue_stall_pct().is_finite());
+        assert!(a.stall_pct().is_finite());
     }
 }

@@ -1,6 +1,9 @@
 //! Execution traces: a per-instruction record of which warp executed what,
 //! when — used to regenerate the paper's Figure 2 schedule comparison on the
-//! toy device.
+//! toy device. The [`chrome`] submodule exports [`Profile`](crate::Profile)
+//! timelines as `chrome://tracing` JSON.
+
+pub mod chrome;
 
 /// One issued warp instruction.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,168 @@
+//! Chrome-trace export: renders [`Profile`] timelines as the JSON object
+//! format understood by `chrome://tracing` and <https://ui.perfetto.dev>.
+//!
+//! Layout: each SM becomes a *process* (`pid`), each warp a *thread*
+//! (`tid`). Warp lifetimes are complete (`"ph":"X"`) duration events, and
+//! each SM carries a counter (`"ph":"C"`) track with its per-interval
+//! stall-reason breakdown, so the stacked counter area chart in the viewer
+//! is exactly the per-SM issue-slot attribution. Timestamps are simulated
+//! **cycles** (the `ts` unit the viewer labels "us" — read it as cycles).
+//! Multiple launches are laid out back-to-back on a shared cycle axis.
+//!
+//! The writer is dependency-free: the JSON is assembled by hand and kept
+//! deliberately simple (one event object per line) so it stays easy to
+//! diff and to parse back in tests.
+
+use std::fmt::Write as _;
+
+use crate::profile::{Profile, StallReason};
+
+/// Renders `profiles` (one per launch, in launch order) as a Chrome-trace
+/// JSON document. Returns a valid JSON object even for an empty slice.
+pub fn trace_json(profiles: &[Profile]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let mut offset: u64 = 0;
+    for (launch, p) in profiles.iter().enumerate() {
+        // Launch marker: one complete event spanning the launch on a
+        // dedicated "kernel" process so the viewer shows launch boundaries.
+        events.push(format!(
+            r#"{{"name":{name},"cat":"kernel","ph":"X","pid":"kernels","tid":"launch","ts":{ts},"dur":{dur},"args":{{"launch":{launch},"interval_cycles":{iv},"issued_slots":{issued}}}}}"#,
+            name = json_str(p.kernel),
+            ts = offset,
+            dur = p.total_cycles.max(1),
+            iv = p.interval_cycles,
+            issued = p.issued_slots,
+        ));
+        for sm in 0..p.sm_count {
+            events.push(format!(
+                r#"{{"name":"process_name","ph":"M","pid":{sm},"args":{{"name":"SM {sm}"}}}}"#
+            ));
+        }
+        for s in &p.warp_spans {
+            events.push(format!(
+                r#"{{"name":{name},"cat":"warp","ph":"X","pid":{pid},"tid":{tid},"ts":{ts},"dur":{dur},"args":{{"launch":{launch},"instructions":{instr}}}}}"#,
+                name = json_str(&format!("warp {}", s.warp)),
+                pid = s.sm,
+                tid = s.warp,
+                ts = offset + s.start_cycle,
+                dur = s.end_cycle.saturating_sub(s.start_cycle).max(1),
+                instr = s.instructions,
+            ));
+        }
+        for b in &p.buckets {
+            let mut args = String::new();
+            for (i, r) in StallReason::ALL.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                let _ = write!(args, r#""{}":{}"#, r.label(), b.slots[i]);
+            }
+            events.push(format!(
+                r#"{{"name":{name},"cat":"stalls","ph":"C","pid":{pid},"ts":{ts},"args":{{{args}}}}}"#,
+                name = json_str(&format!("issue slots (SM {})", b.sm)),
+                pid = b.sm,
+                ts = offset + b.cycle_start,
+            ));
+        }
+        offset += p.total_cycles.max(1);
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    if !events.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"ts_unit\":\"cycles\",\"launches\":",
+    );
+    let _ = write!(out, "{}", profiles.len());
+    out.push_str("}}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{StallBucket, WarpSpan, N_STALL_REASONS};
+
+    fn tiny_profile() -> Profile {
+        Profile {
+            kernel: "syncfree",
+            interval_cycles: 4,
+            sm_count: 1,
+            schedulers_per_sm: 2,
+            total_cycles: 8,
+            issued_slots: 3,
+            buckets: vec![
+                StallBucket {
+                    cycle_start: 0,
+                    sm: 0,
+                    slots: [3, 5, 0, 0, 0, 0, 0],
+                },
+                StallBucket {
+                    cycle_start: 4,
+                    sm: 0,
+                    slots: [0, 0, 0, 0, 0, 0, 8],
+                },
+            ],
+            warp_spans: vec![WarpSpan {
+                warp: 0,
+                sm: 0,
+                start_cycle: 0,
+                end_cycle: 6,
+                instructions: 3,
+            }],
+            phases: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_valid_document() {
+        let j = trace_json(&[]);
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\"launches\":0"));
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn events_cover_launch_spans_and_counters() {
+        let j = trace_json(&[tiny_profile(), tiny_profile()]);
+        // One kernel marker per launch, X span per warp, C row per bucket.
+        assert_eq!(j.matches("\"cat\":\"kernel\"").count(), 2);
+        assert_eq!(j.matches("\"cat\":\"warp\"").count(), 2);
+        assert_eq!(j.matches("\"cat\":\"stalls\"").count(), 4);
+        // The second launch is offset by the first launch's cycles.
+        assert!(j.contains("\"ts\":8"));
+        // All stall-reason keys appear.
+        for r in StallReason::ALL {
+            assert!(j.contains(r.label()), "missing counter key {}", r.label());
+        }
+        assert_eq!(N_STALL_REASONS, 7);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+}

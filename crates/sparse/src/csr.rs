@@ -35,6 +35,19 @@ impl CsrMatrix {
                 n_rows + 1
             )));
         }
+        // Indices are u32 throughout: dimensions or nnz beyond that space
+        // cannot be addressed by `row_ptr`/`col_idx` and must be rejected at
+        // this boundary rather than silently truncated downstream.
+        if u32::try_from(n_rows).is_err()
+            || u32::try_from(n_cols).is_err()
+            || u32::try_from(col_idx.len()).is_err()
+        {
+            return Err(SparseError::InvalidStructure(format!(
+                "matrix of {n_rows}x{n_cols} with {} nonzeros exceeds the \
+                 u32 index space",
+                col_idx.len()
+            )));
+        }
         if col_idx.len() != values.len() {
             return Err(SparseError::InvalidStructure(format!(
                 "col_idx length {} != values length {}",

@@ -89,6 +89,14 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, SparseErro
         };
         break (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
     };
+    // Checked narrowing: COO/CSR indices are u32, so dimensions beyond that
+    // space must fail the parse (not panic in the constructor downstream).
+    if u32::try_from(n_rows).is_err() || u32::try_from(n_cols).is_err() {
+        return Err(SparseError::Parse {
+            line: line_no,
+            message: format!("matrix of {n_rows}x{n_cols} exceeds the u32 index space"),
+        });
+    }
 
     let mut coo = CooMatrix::with_capacity(
         n_rows,
@@ -141,7 +149,16 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, SparseErro
         } else {
             1.0
         };
-        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        // Checked narrowing: headers may declare dimensions beyond the u32
+        // index space; fail the parse instead of wrapping indices.
+        let r0 = u32::try_from(r - 1).map_err(|_| SparseError::Parse {
+            line: line_no,
+            message: format!("row index {r} exceeds the u32 index space"),
+        })?;
+        let c0 = u32::try_from(c - 1).map_err(|_| SparseError::Parse {
+            line: line_no,
+            message: format!("column index {c} exceeds the u32 index space"),
+        })?;
         coo.push(r0, c0, v);
         if symmetry == "symmetric" && r0 != c0 {
             coo.push(c0, r0, v);
@@ -232,6 +249,16 @@ mod tests {
             parse_matrix_market(short),
             Err(SparseError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_indices_beyond_u32() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    5000000000 5000000000 1\n\
+                    5000000000 1 1.0\n";
+        let err = parse_matrix_market(text).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+        assert!(err.to_string().contains("u32"));
     }
 
     #[test]

@@ -87,13 +87,20 @@ impl MatrixStats {
         let nnz = l.nnz();
         let nnz_row = nnz as f64 / n.max(1) as f64;
         let n_level = levels.avg_components_per_level();
+        // Equation 1 is undefined on an empty system (log of 0): report a
+        // finite zero granularity instead of NaN/-inf.
+        let granularity = if n == 0 {
+            0.0
+        } else {
+            parallel_granularity(n_level, nnz_row)
+        };
         MatrixStats {
             n,
             nnz,
             n_levels: levels.n_levels(),
             nnz_row,
             n_level,
-            granularity: parallel_granularity(n_level, nnz_row),
+            granularity,
             max_level_width: levels.max_level_width(),
         }
     }
@@ -155,6 +162,18 @@ mod tests {
         // Same sign/ordering trend.
         let b2 = parallel_granularity_with(100_000.0, 3.0, p);
         assert!(b2 > b);
+    }
+
+    #[test]
+    fn empty_system_stats_are_finite() {
+        let l = LowerTriangularCsr::try_new(CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap())
+            .unwrap();
+        let s = MatrixStats::compute(&l);
+        assert_eq!((s.n, s.nnz, s.n_levels, s.max_level_width), (0, 0, 0, 0));
+        assert!(s.nnz_row.is_finite());
+        assert!(s.n_level.is_finite());
+        assert_eq!(s.granularity, 0.0);
+        assert_eq!(s.solve_flops(), 0);
     }
 
     #[test]

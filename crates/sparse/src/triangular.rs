@@ -58,6 +58,19 @@ impl LowerTriangularCsr {
             ));
         }
         let n = m.n_rows();
+        // The output gains up to `n` diagonal entries over the input, and
+        // CSR row pointers are u32: reject inputs whose unit-lower factor
+        // would overflow the 32-bit index space instead of truncating.
+        if m.nnz()
+            .checked_add(n)
+            .is_none_or(|worst| u32::try_from(worst).is_err())
+        {
+            return Err(SparseError::InvalidStructure(format!(
+                "unit-lower factor of an {n}x{n} matrix with {} nonzeros \
+                 exceeds the u32 index space",
+                m.nnz()
+            )));
+        }
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::with_capacity(m.nnz() + n);
         let mut values = Vec::with_capacity(m.nnz() + n);

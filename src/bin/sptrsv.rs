@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|auto]
-//!                [--device pascal|volta|turing] [--cpu [THREADS]] [--out x.txt]
+//!                [--device pascal|volta|turing] [--profile trace.json [--profile-interval N]]
+//!                [--cpu [THREADS]] [--out x.txt]
 //! sptrsv stats   --matrix L.mtx
 //! sptrsv gen     --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]
 //! ```
@@ -40,7 +41,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]"
     );
 }
 
@@ -149,7 +150,7 @@ fn cmd_solve(args: &[String]) {
                 exit(2);
             }),
         };
-        let device = match flag_value(args, "--device").unwrap_or("pascal") {
+        let mut device = match flag_value(args, "--device").unwrap_or("pascal") {
             "pascal" => DeviceConfig::pascal_like(),
             "volta" => DeviceConfig::volta_like(),
             "turing" => DeviceConfig::turing_like(),
@@ -159,10 +160,28 @@ fn cmd_solve(args: &[String]) {
             }
         }
         .scaled_down(4);
+        let trace_path = flag_value(args, "--profile");
+        if trace_path.is_some() {
+            let interval = flag_value(args, "--profile-interval")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            device.profile = ProfileMode::sampled(interval);
+        }
         let rep = solve_simulated(&device, solver.matrix(), &b, algo).unwrap_or_else(|e| {
             eprintln!("solve failed: {e}");
             exit(1);
         });
+        if let Some(path) = trace_path {
+            let json = capellini_sptrsv::simt::trace::chrome::trace_json(&rep.profiles);
+            fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "profile: {} launch(es) traced to {path} (open in chrome://tracing or Perfetto)",
+                rep.profiles.len()
+            );
+        }
         eprintln!(
             "{} on simulated {}: {:.3} ms exec (+{:.3} ms preprocessing), {:.2} GFLOPS, {:.1} GB/s",
             algo.label(),

@@ -192,3 +192,52 @@ fn metrics_are_internally_consistent() {
     let bw = (s.dram_read_bytes + s.dram_write_bytes) as f64 / t / 1e9;
     assert!((bw - rep.bandwidth_gbs).abs() < 1e-9);
 }
+
+#[test]
+fn empty_system_is_a_wellformed_noop_for_every_live_algorithm() {
+    // n == 0 must not panic, divide by zero, or launch phantom warps: every
+    // live algorithm returns an empty solution with finite metrics.
+    let l = LowerTriangularCsr::try_new(
+        capellini_sptrsv::sparse::CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap(),
+    )
+    .unwrap();
+    let b: Vec<f64> = vec![];
+    for cfg in DeviceConfig::evaluation_platforms_scaled() {
+        for algo in Algorithm::all_live() {
+            let rep = solve_simulated(&cfg, &l, &b, algo)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.label(), cfg.name));
+            assert!(rep.x.is_empty(), "{}: phantom solution", algo.label());
+            assert_eq!(rep.stats.warps_launched, 0, "{}", algo.label());
+            assert_eq!(rep.stats.lanes_retired, 0, "{}", algo.label());
+            assert_eq!(rep.stats.thread_instructions, 0, "{}", algo.label());
+            assert_eq!(rep.stats.dram_read_bytes + rep.stats.dram_write_bytes, 0);
+            for v in [
+                rep.exec_ms,
+                rep.gflops,
+                rep.bandwidth_gbs,
+                rep.preprocessing_ms,
+                rep.stats.issue_stall_pct(),
+                rep.stats.l2_hit_rate(),
+            ] {
+                assert!(v.is_finite(), "{}: non-finite metric", algo.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_system_zero_warp_kernel_launch_is_accounted() {
+    // The naive kernel is not in `all_live`; drive it directly to cover the
+    // zero-warp grid path of the raw launch API too.
+    let l = LowerTriangularCsr::try_new(
+        capellini_sptrsv::sparse::CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap(),
+    )
+    .unwrap();
+    let cfg = scaled(DeviceConfig::pascal_like());
+    let mut dev = capellini_sptrsv::simt::GpuDevice::new(cfg.clone());
+    let sol = naive::solve(&mut dev, &l, &[]).expect("zero-warp launch must succeed");
+    assert!(sol.x.is_empty());
+    assert_eq!(sol.stats.warps_launched, 0);
+    assert!(sol.stats.launches >= 1, "launch overhead still accounted");
+    assert_eq!(sol.stats.cycles % cfg.launch_overhead_cycles, 0);
+}
