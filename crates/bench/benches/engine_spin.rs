@@ -1,0 +1,100 @@
+//! Spin fast-forwarding bench: scheduler heap events per solve and host
+//! ns per solve, `SpinModel::Replay` vs `SpinModel::FastForward`.
+//!
+//! Two workloads bracket the spin spectrum:
+//!
+//! * `chain` — a serial bidiagonal chain, the worst case for busy-wait
+//!   polling: every component spins on its predecessor, so almost all of
+//!   Replay's heap traffic is failed polls;
+//! * `rajat29_like` — the Table 6 stand-in (shallow layered DAG), a
+//!   realistic mix of spin and compute.
+//!
+//! During calibration each (kernel, matrix) pair is solved once under both
+//! models; the run aborts if their `LaunchStats` differ (the same
+//! observational-equivalence contract `tests/spin_fastforward.rs` pins),
+//! and the heap-event counts plus their ratio are printed. Criterion then
+//! times ns/solve for each model, so the FastForward speedup is the ratio
+//! of the two printed means.
+//!
+//! `--quick` shrinks matrices and time budgets to a CI smoke run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::kernels::{syncfree, writing_first, SimSolve};
+use capellini_simt::{DeviceConfig, GpuDevice, SimtError, SpinModel};
+use capellini_sparse::dataset::{rajat29_like, Scale};
+use capellini_sparse::gen;
+use capellini_sparse::LowerTriangularCsr;
+
+type Solve = fn(&mut GpuDevice, &LowerTriangularCsr, &[f64]) -> Result<SimSolve, SimtError>;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn cases() -> Vec<(&'static str, LowerTriangularCsr)> {
+    let chain_n = if quick() { 512 } else { 4096 };
+    let rajat = rajat29_like(Scale::Small);
+    vec![
+        ("chain", gen::chain(chain_n, 1, 7)),
+        ("rajat29_like", rajat.spec.build(rajat.seed)),
+    ]
+}
+
+fn kernels() -> Vec<(&'static str, Solve)> {
+    vec![
+        ("syncfree", syncfree::solve as Solve),
+        ("writing_first", writing_first::solve as Solve),
+    ]
+}
+
+fn bench_engine_spin(c: &mut Criterion) {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let (warm, meas) = if quick() {
+        (Duration::from_millis(100), Duration::from_millis(300))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    };
+    for (mname, l) in cases() {
+        let b = vec![1.0; l.n()];
+        for (kname, solve) in kernels() {
+            // Calibration doubles as the divergence check: both models must
+            // produce bit-identical stats, or the fast-forward accounting
+            // is wrong and timing it would be meaningless.
+            let run = |model: SpinModel| {
+                let mut dev = GpuDevice::new(cfg.clone().with_spin_model(model));
+                let out = solve(&mut dev, &l, &b).expect("solve succeeds");
+                (dev.last_launch_heap_events(), format!("{:?}", out.stats))
+            };
+            let (replay_events, replay_stats) = run(SpinModel::Replay);
+            let (ff_events, ff_stats) = run(SpinModel::FastForward);
+            assert_eq!(
+                replay_stats, ff_stats,
+                "{kname}/{mname}: Replay and FastForward stats diverged"
+            );
+            println!(
+                "[engine_spin] {kname}/{mname}: heap events {replay_events} (replay) -> \
+                 {ff_events} (fast-forward), {:.1}x fewer",
+                replay_events as f64 / ff_events.max(1) as f64
+            );
+            let mut g = c.benchmark_group("engine_spin");
+            g.warm_up_time(warm);
+            g.measurement_time(meas);
+            for model in [SpinModel::Replay, SpinModel::FastForward] {
+                let id = BenchmarkId::new(format!("{kname}/{mname}"), format!("{model:?}"));
+                g.bench_with_input(id, &l, |bch, l| {
+                    bch.iter(|| {
+                        let mut dev = GpuDevice::new(cfg.clone().with_spin_model(model));
+                        solve(&mut dev, l, &b).unwrap()
+                    })
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_engine_spin);
+criterion_main!(benches);

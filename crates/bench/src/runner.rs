@@ -316,10 +316,19 @@ impl Runner {
                 progress(cache_name, mi + 1, n_entries, &t0);
             }
         } else {
-            // Shared work queue: workers claim the next unclaimed entry
-            // index, keep (index, cells) locally, and the results are
-            // merged into the slots after the scope joins. A worker panic
-            // (e.g. a failed verification) propagates through `join`.
+            // Shared work queue: workers claim entries through a shared
+            // atomic cursor over a cost-descending permutation, keep
+            // (index, cells) locally, and the results are merged into the
+            // entry-ordered slots after the scope joins — so the claim
+            // order affects wall-clock only, never the CSV bytes. Claiming
+            // most-expensive-first keeps the sweep tail short: with the
+            // natural order, one big matrix claimed last serializes the
+            // whole end of the sweep while every other worker idles.
+            // A worker panic (e.g. a failed verification) propagates
+            // through `join`.
+            let mut order: Vec<usize> = (0..n_entries).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(expected_cost(&entries[i].spec)));
+            let order = &order;
             let next = AtomicUsize::new(0);
             let done = AtomicUsize::new(0);
             let results: Vec<(usize, Vec<CellResult>)> = std::thread::scope(|s| {
@@ -328,10 +337,11 @@ impl Runner {
                         s.spawn(|| {
                             let mut local = Vec::new();
                             loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= n_entries {
+                                let claim = next.fetch_add(1, Ordering::Relaxed);
+                                if claim >= n_entries {
                                     break;
                                 }
+                                let i = order[claim];
                                 local.push((i, run_entry(entries[i], algorithms, platforms)));
                                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                                 progress(cache_name, finished, n_entries, &t0);
@@ -351,6 +361,33 @@ impl Runner {
         }
 
         slots.into_iter().flatten().flatten().collect()
+    }
+}
+
+/// Rough relative solve cost of one dataset entry, used only to pick the
+/// parallel claim order (most expensive first). Simulated cycles scale
+/// with rows and stored entries far more than with anything else the spec
+/// exposes, so an nnz-flavoured estimate is enough to sort on — it never
+/// influences the results themselves.
+fn expected_cost(spec: &capellini_sparse::gen::GenSpec) -> u64 {
+    use capellini_sparse::gen::GenSpec;
+    match spec {
+        GenSpec::RandomK { n, k, .. } => (n * (k + 2)) as u64,
+        GenSpec::Banded { n, bandwidth, fill } => {
+            (*n as f64 * (2.0 + *bandwidth as f64 * fill)) as u64
+        }
+        // Chains are serial: every row spins on the previous one, so the
+        // simulated schedule is depth-bound, not just nnz-bound.
+        GenSpec::Chain { n, k } => (n * (k + 2) * 4) as u64,
+        GenSpec::DenseBand { n, band } => (n * (band + 2)) as u64,
+        GenSpec::Diagonal { n } => *n as u64,
+        GenSpec::Layered { n, k, .. } => (n * (k + 2)) as u64,
+        GenSpec::PowerLaw { n, avg_deg } => (*n as f64 * (avg_deg + 2.0)) as u64,
+        GenSpec::Circuit { n, rails, .. } => (n * (rails + 2)) as u64,
+        GenSpec::UltraSparseWide { n, deps, .. } => (n + deps * 4) as u64,
+        GenSpec::Stencil2D { nx, ny } => (nx * ny * 4) as u64,
+        GenSpec::Stencil3D { nx, ny, nz } => (nx * ny * nz * 5) as u64,
+        GenSpec::Shuffled { inner } => expected_cost(inner),
     }
 }
 
@@ -540,6 +577,28 @@ mod tests {
         assert_eq!(back.matrix, "m");
         assert_eq!(back.warp_instr, 1234);
         assert!((back.granularity - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_cost_orders_heavy_entries_first() {
+        let light = GenSpec::Diagonal { n: 1_000 };
+        let heavy = GenSpec::Shuffled {
+            inner: Box::new(GenSpec::Stencil3D {
+                nx: 40,
+                ny: 40,
+                nz: 40,
+            }),
+        };
+        assert!(expected_cost(&heavy) > expected_cost(&light));
+        // Shuffling relabels rows but does not change the work.
+        assert_eq!(
+            expected_cost(&heavy),
+            expected_cost(&GenSpec::Stencil3D {
+                nx: 40,
+                ny: 40,
+                nz: 40
+            })
+        );
     }
 
     #[test]

@@ -253,6 +253,11 @@ impl WarpKernel for CusparseLikeKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): the poll/branch/backoff cycle touches no register but `ready`.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P_POLL
+    }
 }
 
 /// Runs the cuSPARSE-like solver (analysis info built host-side).

@@ -439,6 +439,11 @@ impl WarpKernel for HybridKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): both sub-kernel poll cycles re-read the same words each trip.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == T_POLL || pc == W_POLL
+    }
 }
 
 /// Runs the hybrid solver with the given threshold.

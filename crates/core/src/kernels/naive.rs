@@ -195,6 +195,11 @@ impl WarpKernel for NaiveThreadKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): the poll/ld-col/branch cycle re-reads the same words each trip.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P_POLL
+    }
 }
 
 /// Runs the naive thread-level solver; deadlocks on intra-warp dependencies.

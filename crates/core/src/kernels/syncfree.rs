@@ -284,6 +284,11 @@ impl WarpKernel for SyncFreeKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): the poll/ld-col/branch cycle re-reads the same words each trip.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P_POLL
+    }
 }
 
 /// Runs warp-level SyncFree on the device: one warp per row.

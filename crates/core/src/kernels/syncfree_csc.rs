@@ -222,6 +222,11 @@ impl WarpKernel for SyncFreeCscKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): the in-degree poll loop is a bare poll/branch cycle.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P_POLL_INDEG
+    }
 }
 
 /// Host preprocessing: CSC conversion (done by the caller) plus in-degree

@@ -309,6 +309,11 @@ impl WarpKernel for TwoPhaseKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): phase-1 polls purely; P2_POLL counts iterations (`l.k`) and must replay.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P1_POLL
+    }
 }
 
 /// Runs Two-Phase CapelliniSpTRSV on the device (buffers pre-uploaded).

@@ -327,6 +327,11 @@ impl WarpKernel for WritingFirstKernel {
             _ => "?",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): the poll/ld-col/branch cycle re-reads the same words each trip.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P_POLL
+    }
 }
 
 /// Number of warps needed for one thread per row.

@@ -217,6 +217,11 @@ impl WarpKernel for WritingFirstMultiKernel {
             _ => "writing-first-multi",
         }
     }
+
+    /// Busy-wait purity (spin fast-forwarding): the poll/ld-col/branch cycle re-reads the same words each trip.
+    fn spin_pure(&self, pc: Pc) -> bool {
+        pc == P_POLL
+    }
 }
 
 /// Solves `L X = B` for `nrhs` right-hand sides stored row-major in `bs`

@@ -83,6 +83,27 @@ impl ProfileMode {
     }
 }
 
+/// How the engine simulates busy-wait spin loops (the `get_value` polls of
+/// every synchronization-free SpTRSV variant).
+///
+/// Both models produce **bit-exact** `LaunchStats`, traces, and profiles;
+/// they differ only in how many scheduler heap events it takes to get
+/// there. [`SpinModel::Replay`] re-enqueues the warp for every poll
+/// round-trip — the reference semantics. [`SpinModel::FastForward`] (the
+/// default) parks a warp whose poll loop is declared pure
+/// ([`crate::WarpKernel::spin_pure`]) on a per-word waiter list, wakes it
+/// at the exact tick the satisfying store becomes visible, and
+/// reconstructs the skipped iterations' accounting in closed form.
+/// `tests/spin_fastforward.rs` pins the equivalence differentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpinModel {
+    /// Execute every spin-poll iteration as its own scheduler event.
+    Replay,
+    /// Park spinning warps and fast-forward their accounting (default).
+    #[default]
+    FastForward,
+}
+
 impl MemoryModel {
     /// Relaxed visibility with the given drain delay, per-warp buffers,
     /// and no racecheck: missing fences show up as wrong results.
@@ -156,6 +177,9 @@ pub struct DeviceConfig {
     /// Profiling mode (see [`ProfileMode`]). `Off` by default; purely
     /// observational, never changes simulated results.
     pub profile: ProfileMode,
+    /// Spin-loop simulation strategy (see [`SpinModel`]). `FastForward` by
+    /// default; `Replay` is the differential reference.
+    pub spin_model: SpinModel,
 }
 
 impl DeviceConfig {
@@ -182,6 +206,7 @@ impl DeviceConfig {
             max_cycles: 2_000_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
+            spin_model: SpinModel::FastForward,
         }
     }
 
@@ -208,6 +233,7 @@ impl DeviceConfig {
             max_cycles: 2_000_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
+            spin_model: SpinModel::FastForward,
         }
     }
 
@@ -234,6 +260,7 @@ impl DeviceConfig {
             max_cycles: 2_000_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
+            spin_model: SpinModel::FastForward,
         }
     }
 
@@ -264,6 +291,7 @@ impl DeviceConfig {
             max_cycles: 10_000_000,
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
+            spin_model: SpinModel::FastForward,
         }
     }
 
@@ -293,6 +321,13 @@ impl DeviceConfig {
     /// style, like [`DeviceConfig::with_memory_model`]).
     pub fn with_profile(mut self, profile: ProfileMode) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Returns this configuration with the given spin-loop model (builder
+    /// style, like [`DeviceConfig::with_memory_model`]).
+    pub fn with_spin_model(mut self, spin_model: SpinModel) -> Self {
+        self.spin_model = spin_model;
         self
     }
 
@@ -396,6 +431,16 @@ mod tests {
         assert!(on.profile.is_on());
         // The interval clamps to >= 1 so a zero request cannot divide by 0.
         assert_eq!(on.profile, ProfileMode::Sampled { interval_cycles: 1 });
+    }
+
+    #[test]
+    fn spin_model_defaults_to_fast_forward() {
+        for cfg in DeviceConfig::evaluation_platforms() {
+            assert_eq!(cfg.spin_model, SpinModel::FastForward);
+        }
+        assert_eq!(DeviceConfig::toy().spin_model, SpinModel::default());
+        let replay = DeviceConfig::toy().with_spin_model(SpinModel::Replay);
+        assert_eq!(replay.spin_model, SpinModel::Replay);
     }
 
     #[test]

@@ -21,10 +21,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::config::{DeviceConfig, MemoryModel, ProfileMode, StoreScope};
+use crate::config::{DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope};
 use crate::error::{SimtError, WarpSnapshot};
 use crate::kernel::{Pc, WarpKernel, PC_EXIT};
-use crate::mem::{AccessKind, DeviceMemory, LaneMem, RawAccess, SECTOR_BYTES};
+use crate::mem::{AccessKind, DeviceMemory, LaneMem, RawAccess, SpinRec, SECTOR_BYTES};
 use crate::metrics::LaunchStats;
 use crate::profile::{LaunchResult, Profile, Profiler, StallReason};
 use crate::trace::{Trace, TraceEvent};
@@ -46,18 +46,41 @@ pub struct GpuDevice {
     /// [`ProfileMode`]), in launch order. Drained by
     /// [`GpuDevice::take_profiles`].
     profiles: Vec<Profile>,
+    /// Scheduler heap events processed by the most recent launch (see
+    /// [`GpuDevice::last_launch_heap_events`]).
+    last_heap_events: u64,
 }
 
 /// Kernel-independent per-launch allocations, pooled on the device.
 #[derive(Default)]
 struct LaunchScratch {
     resident: Vec<usize>,
-    heap: Vec<Reverse<(u64, u32)>>,
+    heap: Vec<Reverse<(u64, u32, u32)>>,
     sm_next_free: Vec<u64>,
     sm_last_issue: Vec<u64>,
     accesses: Vec<RawAccess>,
     targets: Vec<(u32, Pc)>,
     groups: Vec<(Pc, u64)>,
+    seq: Vec<u32>,
+    spin: Vec<SpinState>,
+    sm_parked: Vec<Vec<u32>>,
+    /// Per-SM min-heap of `(next_tick, warp)` keys for parked warps, so
+    /// `ff_advance` selects its next virtual visit in O(log parked) instead
+    /// of rescanning the SM's parked list. Keys go stale when a warp
+    /// advances or unparks; since `next_tick` is strictly increasing per
+    /// warp, a key is live iff it equals the warp's current projection, and
+    /// stale keys are lazily dropped on peek.
+    sm_visit: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    /// Per-SM ready row: parked warps whose visit fell at or below the SM
+    /// issue cursor, sorted by warp id (the replay heap's same-tick tie
+    /// order). See [`SpinFf::ready`].
+    sm_ready: Vec<Vec<u32>>,
+    /// Reusable buffers for [`ff_mw_batch`]'s planning passes, so the
+    /// (usually bailing) attempt never allocates on the advance hot path.
+    mw_plans: Vec<MwPlan>,
+    mw_res: Vec<u64>,
+    wakes: Vec<(u32, u64, u32)>,
+    spin_rec: SpinRec,
 }
 
 /// The kernel-independent allocations of a retired warp, kept for reuse by
@@ -130,29 +153,708 @@ struct StepOutcome {
     issue: StallReason,
     /// Profiling: what blocks the warp until `t + cost_ticks`.
     wait: StallReason,
+    /// Flops performed by this instruction (already added to the stats;
+    /// echoed here so spin capture can replay them).
+    flops: u64,
+    /// L2 sector hits this instruction contributed.
+    l2_hits: u32,
+    /// Spin capture: the step was uniform, straight-line (the
+    /// `top.pc = first_target` fast path) and side-effect free with all
+    /// memory traffic hitting L2 — repeating it against unchanged memory
+    /// reproduces identical accounting.
+    pure: bool,
 }
 
 /// Warps included in a hang diagnostic (keep errors readable on big grids).
 const MAX_SNAPSHOT_WARPS: usize = 8;
 
-/// Captures where the live warps currently are, for hang diagnostics.
-fn snapshot_warps<L>(warps: &[Option<WarpRt<L>>]) -> Vec<WarpSnapshot> {
+/// Captures where the live warps currently are, for hang diagnostics. A
+/// parked warp reports its anchor-poll pc and the words it is parked on.
+fn snapshot_warps<L>(warps: &[Option<WarpRt<L>>], spin: &[SpinState]) -> Vec<WarpSnapshot> {
     warps
         .iter()
         .enumerate()
         .filter_map(|(i, w)| {
             w.as_ref().map(|w| {
                 let top = w.stack.last();
+                let (pc, active_mask, waiting_on) = match spin.get(i) {
+                    Some(SpinState::Parked(p)) => (p.anchor_pc, p.mask, p.watch.clone()),
+                    _ => (
+                        top.map_or(PC_EXIT, |e| e.pc),
+                        top.map_or(0, |e| e.mask),
+                        Vec::new(),
+                    ),
+                };
                 WarpSnapshot {
                     warp: i as u32,
                     sm: w.sm,
-                    pc: top.map_or(PC_EXIT, |e| e.pc),
-                    active_mask: top.map_or(0, |e| e.mask),
+                    pc,
+                    active_mask,
+                    waiting_on,
                 }
             })
         })
         .take(MAX_SNAPSHOT_WARPS)
         .collect()
+}
+
+// --- Spin fast-forwarding (wake-on-write) --------------------------------
+//
+// Under `SpinModel::FastForward`, a warp caught in a *pure* busy-wait loop
+// (kernel-declared via `WarpKernel::spin_pure`, engine-verified per
+// iteration) is parked: it leaves the scheduler heap and its would-be poll
+// iterations are reconstructed arithmetically — same instructions, issue
+// slots, stalls, L2 hits, and profiler attribution the replayed loop would
+// have produced, at O(1) cost per *wake* instead of per iteration. Stores,
+// atomics, fences, and store-buffer drains to watched words queue wakes
+// keyed by the scheduler slot `(tick, min_warp)` at which the write has
+// executed; the parked warp re-polls at its first anchor visit at or after
+// that key. Waking early is safe (the poll fails and the warp re-parks);
+// waking late cannot happen, which is what keeps the model exact.
+
+/// Longest pure spin-loop body (in warp instructions, anchor poll
+/// included) the capture tracks; longer loops simply replay.
+const MAX_SIG: usize = 16;
+
+/// One instruction of a captured spin iteration: exactly the accounting
+/// the replayed step would generate.
+#[derive(Clone, Copy)]
+struct SigStep {
+    pc: Pc,
+    cost: u64,
+    l2_hits: u32,
+    flops: u64,
+    poll_fails: u32,
+    issue: StallReason,
+    wait: StallReason,
+}
+
+/// A captured (or capture-in-progress) pure spin loop of one warp.
+struct SpinFf {
+    sm: usize,
+    anchor_pc: Pc,
+    mask: u64,
+    /// Active lanes (popcount of `mask`).
+    lanes: u64,
+    /// The loop in execution order; `sig[0]` is the anchor poll.
+    sig: Vec<SigStep>,
+    /// Ticks per whole iteration (sum of `sig` costs).
+    period: u64,
+    /// Global words whose writes must wake this warp: the polled words
+    /// plus every word the loop body reads.
+    watch: Vec<(u32, u32)>,
+    /// Virtual cursor: next `sig` index to issue...
+    idx: usize,
+    /// ...and the earliest tick it can issue at (pre-displacement). For a
+    /// warp on its SM's ready row (`ready`) this value is allowed to go
+    /// stale below the SM cursor; readers must use [`eff_next`].
+    next_tick: u64,
+    /// On the SM's ready row: `next_tick` fell at or below the SM's issue
+    /// cursor, so the warp issues as soon as a slot frees, in warp-id
+    /// order. Kept out of the visit heap so the crowd is displaced once,
+    /// not re-sorted on every slot the cursor advances past.
+    ready: bool,
+    /// Tick of the earliest scheduled wake kick, if one is in the heap.
+    kick: Option<u64>,
+}
+
+/// The tick the warp's virtual cursor can really issue at: its stored
+/// projection, except that a ready-row warp is gated by the SM issue
+/// cursor `free` (= `sm_next_free[p.sm]`), which its stored value may
+/// trail. Projections (wake kicks, conversion) must use this, never raw
+/// `next_tick`, or a kick can land in the scheduler's past.
+#[inline]
+fn eff_next(p: &SpinFf, free: u64) -> u64 {
+    if p.ready {
+        p.next_tick.max(free)
+    } else {
+        p.next_tick
+    }
+}
+
+/// Consecutive all-lanes-failed anchor visits required before a capture
+/// starts. Starting a capture allocates (`Box<SpinFf>` plus its vectors),
+/// which is pure overhead for the short spins that dominate shallow DAGs —
+/// most polls there succeed within a couple of iterations, long before the
+/// warp could park. Arming costs long spins `ARM_VISITS - 1` extra replayed
+/// iterations, which is noise against the thousands they skip.
+const ARM_VISITS: u8 = 3;
+
+/// Per-warp spin fast-forward state.
+enum SpinState {
+    /// Not in a recognized spin loop.
+    Idle,
+    /// Counting consecutive all-lanes-failed visits to one anchor poll;
+    /// allocation-free until the streak reaches [`ARM_VISITS`].
+    Arming { anchor_pc: Pc, mask: u64, fails: u8 },
+    /// An all-lanes-failed pure poll was seen; recording one iteration.
+    Capturing(Box<SpinFf>),
+    /// Off the heap; iterations are reconstructed virtually.
+    Parked(Box<SpinFf>),
+    /// A wake kick rewound the warp to its anchor poll; the next real step
+    /// re-polls and either proceeds or re-captures.
+    Waking(Box<SpinFf>),
+}
+
+/// Hang detected while fast-forwarding parked warps.
+struct FfHang {
+    /// True: cycle budget exceeded. False: deadlock window expired.
+    timeout: bool,
+    /// Tick of the virtual issue that crossed the threshold.
+    tick: u64,
+}
+
+/// Bumps and returns `warp`'s heap-event sequence number. Only the entry
+/// carrying the current number is valid; superseded entries (re-kicked or
+/// displaced warps) are skipped on pop.
+#[inline]
+fn bump(seq: &mut [u32], warp: u32) -> u32 {
+    let s = &mut seq[warp as usize];
+    *s = s.wrapping_add(1);
+    *s
+}
+
+/// Starts a capture at an all-lanes-failed pure poll.
+fn new_capture(
+    sm: usize,
+    pc: Pc,
+    mask: u64,
+    out: &StepOutcome,
+    polled: &[(u32, u32)],
+) -> Box<SpinFf> {
+    let mut watch: Vec<(u32, u32)> = Vec::with_capacity(polled.len());
+    for &wd in polled {
+        if !watch.contains(&wd) {
+            watch.push(wd);
+        }
+    }
+    Box::new(SpinFf {
+        sm,
+        anchor_pc: pc,
+        mask,
+        lanes: mask.count_ones() as u64,
+        sig: vec![SigStep {
+            pc,
+            cost: out.cost_ticks,
+            l2_hits: out.l2_hits,
+            flops: out.flops,
+            poll_fails: polled.len() as u32,
+            issue: out.issue,
+            wait: out.wait,
+        }],
+        period: 0,
+        watch,
+        idx: 0,
+        next_tick: 0,
+        ready: false,
+        kick: None,
+    })
+}
+
+/// Issue tick of the parked warp's next anchor-poll visit at or after the
+/// scheduler key `(tick, min_warp)` — the first poll that can observe a
+/// write which executes at that key. `next_tick` is the caller's effective
+/// cursor tick ([`eff_next`]). Future displacement can only push the poll
+/// later; the conversion path re-kicks in that case.
+fn poll_at_or_after(p: &SpinFf, next_tick: u64, tick: u64, min_warp: u32, wid: u32) -> u64 {
+    let base = if p.idx == 0 {
+        next_tick
+    } else {
+        let suffix: u64 = p.sig[p.idx..].iter().map(|s| s.cost).sum();
+        next_tick + suffix
+    };
+    let mut u = if base >= tick {
+        base
+    } else {
+        base + (tick - base).div_ceil(p.period) * p.period
+    };
+    if u == tick && wid < min_warp {
+        // Within one tick the heap runs lower warp ids first, so the write
+        // would land after this poll: wait one more iteration.
+        u += p.period;
+    }
+    u
+}
+
+/// One warp's share of a [`ff_mw_batch`] window, planned before anything
+/// mutates so any bail leaves the advance state untouched.
+struct MwPlan {
+    wid: u32,
+    steps: u64,
+    flops: u64,
+    l2: u64,
+    polls: u64,
+    threads: u64,
+    u_last: u64,
+    end: u64,
+    new_tick: u64,
+    new_idx: usize,
+}
+
+/// Attempts to advance *all* parked warps of one SM below `bound_tick` in
+/// one closed form. This is the crowd analogue of the single-warp batch in
+/// [`ff_advance`]: that batch dies whenever another parked warp's visit is
+/// near (the runner-up horizon), which on a crowded SM is every iteration,
+/// so the advance degenerates to one heap round-trip per virtual
+/// instruction. But if every parked warp spins with the *same* period and
+/// their issue slots are pairwise disjoint modulo it, the whole window is
+/// displacement-free — each visit lands exactly at its projected slot, no
+/// slot is contested — and two facts make the merged schedule computable
+/// without interleaving: each warp's slots are an arithmetic progression
+/// of its own signature, and the stall gaps of the *merged* issue sequence
+/// still telescope (for issues at `u_1 < … < u_n` after an issue at `L`,
+/// the gaps sum to `(u_n − L) − n` no matter which warp owns which slot).
+/// Residue disjointness is not a lucky accident: a slot collision makes
+/// replay displace the higher-id warp by one slot, permanently shifting
+/// its phase, so colliding crowds self-heal into disjointness and stay
+/// there. Transients (a pending displacement, unequal periods, a collision)
+/// bail to the caller's per-visit path before anything is mutated.
+///
+/// Returns true if any virtual instruction was accounted.
+#[allow(clippy::too_many_arguments)]
+fn ff_mw_batch(
+    spin: &mut [SpinState],
+    parked: &[u32],
+    visit: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    ready: &mut Vec<u32>,
+    plans: &mut Vec<MwPlan>,
+    res: &mut Vec<u64>,
+    bound_tick: u64,
+    stats: &mut LaunchStats,
+    sm_next_free: &mut u64,
+    sm_last_issue: &mut u64,
+    end_tick: &mut u64,
+    last_progress: u64,
+    max_ticks: u64,
+    deadlock_ticks: u64,
+) -> bool {
+    let free = *sm_next_free;
+    // Hang thresholds cap the window exactly like the per-visit path: the
+    // first visit at or past a threshold is left for that path to turn
+    // into the error at the same tick replay would report.
+    let lim = bound_tick.min(max_ticks.saturating_add(1)).min(
+        last_progress
+            .saturating_add(deadlock_ticks)
+            .saturating_add(1),
+    );
+    if lim <= free {
+        return false;
+    }
+    // Cheap qualifying pass: the crowd form needs at least two parked
+    // warps, one shared period, and no pending displacement (a stored
+    // projection below the cursor; ready-row staleness is exactly that).
+    // Bailing here costs a few field reads per parked warp.
+    let mut period = 0u64;
+    let mut m = 0usize;
+    for &wid in parked {
+        let SpinState::Parked(p) = &spin[wid as usize] else {
+            continue;
+        };
+        m += 1;
+        if p.next_tick < free {
+            return false;
+        }
+        if period == 0 {
+            period = p.period;
+        } else if p.period != period {
+            return false;
+        }
+    }
+    if m < 2 || period == 0 {
+        return false;
+    }
+    // A window shorter than one iteration holds a handful of visits at
+    // most; planning costs more than letting the per-visit path run them.
+    if lim - free < period {
+        return false;
+    }
+    plans.clear();
+    res.clear();
+    for &wid in parked {
+        let SpinState::Parked(p) = &spin[wid as usize] else {
+            continue;
+        };
+        let l = p.sig.len();
+        let v = p.next_tick;
+        // Cycle aggregates, slot residues, and the relative offsets of the
+        // last issue (`off_last`) and latest completion (`moff`) per cycle.
+        let (mut off, mut cyc_fl, mut cyc_l2, mut cyc_pf) = (0u64, 0u64, 0u64, 0u64);
+        let mut moff = 0u64;
+        for i in 0..l {
+            let s = &p.sig[(p.idx + i) % l];
+            res.push((v + off) % period);
+            moff = moff.max(off + s.cost);
+            cyc_fl += s.flops;
+            cyc_l2 += s.l2_hits as u64;
+            cyc_pf += s.poll_fails as u64;
+            off += s.cost;
+        }
+        if off != period {
+            return false;
+        }
+        let off_last = period - p.sig[(p.idx + l - 1) % l].cost;
+        // Whole cycles strictly below the window, then the partial tail.
+        let q = if lim > v.saturating_add(off_last) {
+            (lim - 1 - off_last - v) / period + 1
+        } else {
+            0
+        };
+        let mut steps = q * l as u64;
+        let mut fl = cyc_fl * q;
+        let mut l2 = cyc_l2 * q;
+        let mut pf = cyc_pf * q;
+        let (mut u_last, mut end) = if q > 0 {
+            (v + (q - 1) * period + off_last, v + (q - 1) * period + moff)
+        } else {
+            (0, 0)
+        };
+        let mut slot = v + q * period;
+        let mut i = p.idx;
+        let mut cnt = 0;
+        while slot < lim && cnt < l {
+            let s = &p.sig[i];
+            u_last = slot;
+            end = end.max(slot + s.cost);
+            steps += 1;
+            fl += s.flops;
+            l2 += s.l2_hits as u64;
+            pf += s.poll_fails as u64;
+            slot += s.cost;
+            i = (i + 1) % l;
+            cnt += 1;
+        }
+        if slot < lim {
+            // Zero-cost signature steps; replay it rather than loop.
+            return false;
+        }
+        plans.push(MwPlan {
+            wid,
+            steps,
+            flops: fl,
+            l2,
+            polls: pf,
+            threads: steps * p.lanes,
+            u_last,
+            end,
+            new_tick: slot,
+            new_idx: i,
+        });
+    }
+    res.sort_unstable();
+    if res.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let n: u64 = plans.iter().map(|pl| pl.steps).sum();
+    if n == 0 {
+        return false;
+    }
+    let mut u_last = 0u64;
+    for pl in plans.iter() {
+        if pl.steps == 0 {
+            continue;
+        }
+        u_last = u_last.max(pl.u_last);
+        *end_tick = (*end_tick).max(pl.end);
+        stats.issue_ticks += pl.steps;
+        stats.warp_instructions += pl.steps;
+        stats.thread_instructions += pl.threads;
+        stats.flops += pl.flops;
+        stats.l2_hits += pl.l2;
+        stats.failed_polls += pl.polls;
+        let SpinState::Parked(p) = &mut spin[pl.wid as usize] else {
+            unreachable!("planned warp is parked");
+        };
+        p.next_tick = pl.new_tick;
+        p.idx = pl.new_idx;
+        if p.ready {
+            p.ready = false;
+            if let Ok(pos) = ready.binary_search(&pl.wid) {
+                ready.remove(pos);
+            }
+        }
+        visit.push(Reverse((pl.new_tick, pl.wid)));
+    }
+    stats.stall_ticks = stats
+        .stall_ticks
+        .saturating_add((u_last - *sm_last_issue).saturating_sub(n));
+    *sm_last_issue = u_last;
+    *sm_next_free = u_last + 1;
+    true
+}
+
+/// Advances parked warps' virtual execution up to (excluding) the
+/// scheduler key `bound`, reproducing exactly the accounting their
+/// replayed spin iterations would have generated. `sm_filter` restricts
+/// the advance to one SM (valid whenever no global ordering is observed:
+/// all reconstructed quantities commute across SMs); traced launches pass
+/// `None` so `TraceEvent`s come out in schedule order. When `batch_ok`
+/// (neither profiling nor tracing wants per-instruction events), whole
+/// iterations are accounted in closed form: the stall gaps of consecutive
+/// issues telescope — for issues at `u_1 < … < u_n` on one SM following an
+/// issue at `L`, the gaps sum to `(u_n − L) − n`.
+#[allow(clippy::too_many_arguments)]
+fn ff_advance<K: WarpKernel>(
+    kernel: &K,
+    spin: &mut [SpinState],
+    sm_parked: &[Vec<u32>],
+    sm_visit: &mut [BinaryHeap<Reverse<(u64, u32)>>],
+    sm_ready: &mut [Vec<u32>],
+    mw_plans: &mut Vec<MwPlan>,
+    mw_res: &mut Vec<u64>,
+    sm_filter: Option<usize>,
+    bound: (u64, u32),
+    batch_ok: bool,
+    stats: &mut LaunchStats,
+    prof: &mut Option<Profiler>,
+    trace: &mut Option<&mut Trace>,
+    sm_next_free: &mut [u64],
+    sm_last_issue: &mut [u64],
+    end_tick: &mut u64,
+    last_progress: u64,
+    max_ticks: u64,
+    deadlock_ticks: u64,
+    tpc: u64,
+) -> Result<(), FfHang> {
+    // A visit-heap key is live iff the warp is still parked and the key
+    // matches its current projection (`next_tick` is strictly increasing
+    // per warp, so every superseded key compares stale).
+    fn live(spin: &[SpinState], tk: u64, w: u32) -> bool {
+        matches!(&spin[w as usize], SpinState::Parked(p) if p.next_tick == tk)
+    }
+    // Try the whole-crowd closed form once per advance; transients fall
+    // back to the per-visit loop below and re-qualify on the next call.
+    if batch_ok {
+        if let Some(s) = sm_filter {
+            if sm_parked[s].len() >= 2 {
+                ff_mw_batch(
+                    spin,
+                    &sm_parked[s],
+                    &mut sm_visit[s],
+                    &mut sm_ready[s],
+                    mw_plans,
+                    mw_res,
+                    bound.0,
+                    stats,
+                    &mut sm_next_free[s],
+                    &mut sm_last_issue[s],
+                    end_tick,
+                    last_progress,
+                    max_ticks,
+                    deadlock_ticks,
+                );
+            }
+        }
+    }
+    loop {
+        // Lex-least (next_tick, warp) among candidate parked warps, plus
+        // the runner-up tick (the batching horizon).
+        let (u0, wid, runner_up) = match sm_filter {
+            Some(s) => {
+                // Single-SM advance. Visit keys due at or below the SM
+                // issue cursor move onto the ready row, where the crowd
+                // issues in warp-id order — the order the replay heap
+                // produces for same-tick displaced entries — without being
+                // re-keyed every slot the cursor advances past.
+                let h = &mut sm_visit[s];
+                let r = &mut sm_ready[s];
+                let free = sm_next_free[s];
+                while let Some(&Reverse((tk, w))) = h.peek() {
+                    if !live(spin, tk, w) {
+                        h.pop();
+                        continue;
+                    }
+                    if tk > free {
+                        break;
+                    }
+                    h.pop();
+                    let SpinState::Parked(p) = &mut spin[w as usize] else {
+                        unreachable!("live key is parked");
+                    };
+                    p.ready = true;
+                    if let Err(pos) = r.binary_search(&w) {
+                        r.insert(pos, w);
+                    }
+                }
+                // A ready-row warp issues at the cursor; every remaining
+                // visit key is strictly later, so the row front (lowest
+                // warp id) wins whenever the row is non-empty. Another
+                // ready warp caps the batching horizon at the pick itself
+                // (it issues in the very next slot); otherwise the next
+                // timed visit does. A timed pick consumes its key — the
+                // advance below pushes the successor.
+                if let Some(&w0) = r.first() {
+                    if (free, w0) >= bound {
+                        return Ok(());
+                    }
+                    let runner_up = if r.len() > 1 {
+                        free
+                    } else {
+                        h.peek().map_or(u64::MAX, |&Reverse((tk, _))| tk)
+                    };
+                    (free, w0, runner_up)
+                } else if let Some(&Reverse((tk0, w0))) = h.peek() {
+                    if (tk0, w0) >= bound {
+                        return Ok(());
+                    }
+                    h.pop();
+                    while let Some(&Reverse((tk, w))) = h.peek() {
+                        if live(spin, tk, w) {
+                            break;
+                        }
+                        h.pop();
+                    }
+                    let runner_up = h.peek().map_or(u64::MAX, |&Reverse((tk, _))| tk);
+                    (tk0, w0, runner_up)
+                } else {
+                    return Ok(());
+                }
+            }
+            None => {
+                // Global (traced) advance: scan every SM's parked list so
+                // events come out in schedule order. The candidate's stale
+                // key stays in its visit heap and is dropped lazily.
+                let mut pick: Option<(u64, u32)> = None;
+                let mut runner_up = u64::MAX;
+                for lst in sm_parked {
+                    for &wid in lst {
+                        if let SpinState::Parked(p) = &spin[wid as usize] {
+                            let p_next = p.next_tick;
+                            match pick {
+                                None => pick = Some((p_next, wid)),
+                                Some(cur) => {
+                                    if (p_next, wid) < cur {
+                                        runner_up = runner_up.min(cur.0);
+                                        pick = Some((p_next, wid));
+                                    } else {
+                                        runner_up = runner_up.min(p_next);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let Some((u0, wid)) = pick else {
+                    return Ok(());
+                };
+                if (u0, wid) >= bound {
+                    return Ok(());
+                }
+                (u0, wid, runner_up)
+            }
+        };
+        let SpinState::Parked(p) = &mut spin[wid as usize] else {
+            unreachable!("candidate is parked");
+        };
+        let sm = p.sm;
+        // Same displacement rule as a popped heap event.
+        if sm_next_free[sm] > u0 {
+            p.next_tick = sm_next_free[sm];
+            sm_visit[sm].push(Reverse((p.next_tick, wid)));
+            continue;
+        }
+        // Hang thresholds, checked at the issue tick like the real loop.
+        if u0 > max_ticks {
+            return Err(FfHang {
+                timeout: true,
+                tick: u0,
+            });
+        }
+        if u0.saturating_sub(last_progress) > deadlock_ticks {
+            return Err(FfHang {
+                timeout: false,
+                tick: u0,
+            });
+        }
+        // Committed to issuing: a ready-row warp leaves the row (the
+        // successor visit key re-enters through the heap).
+        if p.ready {
+            p.ready = false;
+            let r = &mut sm_ready[sm];
+            if let Ok(pos) = r.binary_search(&wid) {
+                r.remove(pos);
+            }
+        }
+        let len = p.sig.len();
+        if batch_ok {
+            // Closed form: as many whole iterations as fit strictly below
+            // the horizon. Below `bound` this SM is exclusively ours (the
+            // heap has no earlier event), so the telescoped stall formula
+            // applies verbatim.
+            let last_i = (p.idx + len - 1) % len;
+            let off_last = p.period - p.sig[last_i].cost;
+            let lim = bound.0.min(runner_up).min(max_ticks.saturating_add(1)).min(
+                last_progress
+                    .saturating_add(deadlock_ticks)
+                    .saturating_add(1),
+            );
+            if lim > u0.saturating_add(off_last) {
+                let k = (lim - 1 - off_last - u0) / p.period + 1;
+                let n = k * len as u64;
+                let u_last = u0 + (k - 1) * p.period + off_last;
+                stats.issue_ticks += n;
+                stats.warp_instructions += n;
+                stats.thread_instructions += n * p.lanes;
+                let (mut fl, mut l2, mut pf) = (0u64, 0u64, 0u64);
+                for s in &p.sig {
+                    fl += s.flops;
+                    l2 += s.l2_hits as u64;
+                    pf += s.poll_fails as u64;
+                }
+                stats.flops += fl * k;
+                stats.l2_hits += l2 * k;
+                stats.failed_polls += pf * k;
+                stats.stall_ticks = stats
+                    .stall_ticks
+                    .saturating_add((u_last - sm_last_issue[sm]).saturating_sub(n));
+                sm_last_issue[sm] = u_last;
+                sm_next_free[sm] = u_last + 1;
+                *end_tick = (*end_tick).max(u_last + p.sig[last_i].cost);
+                p.next_tick = u0 + k * p.period;
+                sm_visit[sm].push(Reverse((p.next_tick, wid)));
+                continue;
+            }
+        }
+        // One virtual instruction, mirroring the real issue path.
+        let s = p.sig[p.idx];
+        stats.issue_ticks += 1;
+        let gap = u0.saturating_sub(sm_last_issue[sm]).saturating_sub(1);
+        stats.stall_ticks = stats.stall_ticks.saturating_add(gap);
+        sm_last_issue[sm] = u0;
+        sm_next_free[sm] = u0 + 1;
+        stats.warp_instructions += 1;
+        stats.thread_instructions += p.lanes;
+        stats.flops += s.flops;
+        stats.l2_hits += s.l2_hits as u64;
+        stats.failed_polls += s.poll_fails as u64;
+        let t_done = u0 + s.cost;
+        *end_tick = (*end_tick).max(t_done);
+        if let Some(pr) = prof.as_mut() {
+            pr.on_issue(
+                sm,
+                u0,
+                gap,
+                wid as usize,
+                s.pc,
+                kernel.pc_name(s.pc),
+                s.issue,
+                s.wait,
+                t_done,
+            );
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.events.push(TraceEvent {
+                cycle: u0 / tpc,
+                sm,
+                warp: wid,
+                pc: s.pc,
+                label: kernel.pc_name(s.pc),
+                mask: p.mask,
+            });
+        }
+        p.idx = (p.idx + 1) % len;
+        p.next_tick = t_done;
+        sm_visit[sm].push(Reverse((t_done, wid)));
+    }
 }
 
 impl GpuDevice {
@@ -164,7 +866,17 @@ impl GpuDevice {
             warp_scratch: Vec::new(),
             launch_scratch: LaunchScratch::default(),
             profiles: Vec::new(),
+            last_heap_events: 0,
         }
+    }
+
+    /// Scheduler heap events processed by the most recent launch — the
+    /// event count [`crate::SpinModel::FastForward`] minimizes (identical
+    /// stats, far fewer events on spin-heavy kernels). Diagnostic only;
+    /// deliberately not part of [`LaunchStats`] so Replay and FastForward
+    /// stats stay directly comparable.
+    pub fn last_launch_heap_events(&self) -> u64 {
+        self.last_heap_events
     }
 
     /// Drains and returns the profiles accumulated by profiled launches,
@@ -244,6 +956,7 @@ impl GpuDevice {
             // runs, so report well-formed zeroed stats (plus the fixed
             // launch overhead) instead of erroring or producing a bogus
             // deadlock snapshot downstream.
+            self.last_heap_events = 0;
             return Ok(LaunchStats {
                 launches: 1,
                 cycles: self.config.launch_overhead_cycles,
@@ -337,7 +1050,48 @@ impl GpuDevice {
         scratch.resident.resize(sm_count, 0);
         let mut resident = scratch.resident;
         scratch.heap.clear();
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::from(scratch.heap);
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::from(scratch.heap);
+
+        // Spin fast-forwarding (wake-on-write): parked warps leave the heap
+        // and are reconstructed virtually — see the module-level comment at
+        // `SpinFf`. Always clear the waiter registry first so an errored
+        // previous launch cannot leak parked-warp registrations.
+        self.mem.spin_clear();
+        let ff_on = cfg.spin_model == SpinModel::FastForward;
+        scratch.seq.clear();
+        scratch.seq.resize(n_warps, 0);
+        let mut seq = scratch.seq;
+        scratch.spin.clear();
+        let mut spin = scratch.spin;
+        let mut sm_parked = scratch.sm_parked;
+        for lst in &mut sm_parked {
+            lst.clear();
+        }
+        let mut sm_visit = scratch.sm_visit;
+        for h in &mut sm_visit {
+            h.clear();
+        }
+        let mut sm_ready = scratch.sm_ready;
+        for r in &mut sm_ready {
+            r.clear();
+        }
+        let mut mw_plans = scratch.mw_plans;
+        mw_plans.clear();
+        let mut mw_res = scratch.mw_res;
+        mw_res.clear();
+        let mut wakes = scratch.wakes;
+        let mut spin_rec = scratch.spin_rec;
+        spin_rec.reads.clear();
+        spin_rec.record_reads = false;
+        if ff_on {
+            spin.resize_with(n_warps, || SpinState::Idle);
+            sm_parked.resize(sm_count, Vec::new());
+            sm_visit.resize_with(sm_count, BinaryHeap::new);
+            sm_ready.resize(sm_count, Vec::new());
+        }
+        let mut n_parked: usize = 0;
+        let mut heap_events: u64 = 0;
+
         let mut next_pending = 0usize;
         'fill: for sm in (0..sm_count).cycle() {
             if next_pending >= n_warps {
@@ -346,7 +1100,8 @@ impl GpuDevice {
             if resident[sm] < max_resident {
                 warps[next_pending] = Some(make_warp(&mut pool, kernel, next_pending, sm));
                 resident[sm] += 1;
-                heap.push(Reverse((0, next_pending as u32)));
+                let s = bump(&mut seq, next_pending as u32);
+                heap.push(Reverse((0, next_pending as u32, s)));
                 next_pending += 1;
             } else if resident.iter().all(|&r| r >= max_resident) {
                 break 'fill;
@@ -386,36 +1141,139 @@ impl GpuDevice {
         let mut targets = scratch.targets;
         let mut groups = scratch.groups;
 
-        while let Some(Reverse((t, wid))) = heap.pop() {
+        let batch_ok = prof.is_none() && trace.is_none();
+        while let Some(Reverse((t, wid, sq))) = heap.pop() {
+            heap_events += 1;
+            if sq != seq[wid as usize] {
+                // Superseded event: the warp was re-kicked or re-scheduled
+                // after this entry was pushed.
+                continue;
+            }
             if relaxed_on {
                 // Heap pops are monotone in t, so due-expired stores drain
                 // exactly once, in program order.
                 self.mem.drain_due(t);
             }
+            let sm = warps[wid as usize]
+                .as_ref()
+                .expect("scheduled warp exists")
+                .sm;
+            if ff_on && n_parked > 0 {
+                // Bring parked warps' virtual execution up to this event.
+                // Traced launches advance every SM so events stay globally
+                // ordered; otherwise only this SM's parked warps can
+                // matter before the issue below.
+                let sm_filter = if trace.is_some() { None } else { Some(sm) };
+                if let Err(h) = ff_advance(
+                    kernel,
+                    &mut spin,
+                    &sm_parked,
+                    &mut sm_visit,
+                    &mut sm_ready,
+                    &mut mw_plans,
+                    &mut mw_res,
+                    sm_filter,
+                    (t, wid),
+                    batch_ok,
+                    &mut stats,
+                    &mut prof,
+                    &mut trace,
+                    &mut sm_next_free,
+                    &mut sm_last_issue,
+                    &mut end_tick,
+                    last_progress,
+                    max_ticks,
+                    deadlock_ticks,
+                    tpc,
+                ) {
+                    self.mem.finish_relaxed();
+                    self.mem.spin_clear();
+                    self.last_heap_events = heap_events;
+                    let live_warps = warps.iter().filter(|w| w.is_some()).count();
+                    return Err(if h.timeout {
+                        SimtError::Timeout {
+                            kernel: kernel.name(),
+                            max_cycles: cfg.max_cycles,
+                            live_warps,
+                            last_progress_cycle: last_progress / tpc,
+                            warps: snapshot_warps(&warps, &spin),
+                        }
+                    } else {
+                        SimtError::Deadlock {
+                            kernel: kernel.name(),
+                            cycle: h.tick / tpc,
+                            live_warps,
+                            last_progress_cycle: last_progress / tpc,
+                            warps: snapshot_warps(&warps, &spin),
+                        }
+                    });
+                }
+                // A parked warp's own event is its wake kick: convert it
+                // to a real poll if the virtual cursor sits exactly on the
+                // anchor now, else re-kick at the next anchor visit.
+                if matches!(&spin[wid as usize], SpinState::Parked(_)) {
+                    let slot = &mut spin[wid as usize];
+                    let SpinState::Parked(mut p) = std::mem::replace(slot, SpinState::Idle) else {
+                        unreachable!()
+                    };
+                    let eff = eff_next(&p, sm_next_free[sm]);
+                    if p.idx == 0 && eff == t {
+                        // Rewind the warp to its anchor poll and run it for
+                        // real: registers at the anchor are
+                        // iteration-invariant for a pure loop.
+                        let w = warps[wid as usize].as_mut().expect("parked warp exists");
+                        w.stack.last_mut().expect("parked warp has stack").pc = p.anchor_pc;
+                        sm_parked[sm].retain(|&x| x != wid);
+                        if p.ready {
+                            p.ready = false;
+                            if let Ok(pos) = sm_ready[sm].binary_search(&wid) {
+                                sm_ready[sm].remove(pos);
+                            }
+                        }
+                        n_parked -= 1;
+                        p.kick = None;
+                        *slot = SpinState::Waking(p);
+                        // Fall through: the poll issues at t like any event.
+                    } else {
+                        // Displacement (or a later projection) moved the
+                        // anchor past this kick: re-kick there.
+                        let kt = poll_at_or_after(&p, eff, 0, 0, wid);
+                        p.kick = Some(kt);
+                        *slot = SpinState::Parked(p);
+                        let s = bump(&mut seq, wid);
+                        heap.push(Reverse((kt, wid, s)));
+                        continue;
+                    }
+                }
+            }
             let w = warps[wid as usize].as_mut().expect("scheduled warp exists");
-            let sm = w.sm;
             if sm_next_free[sm] > t {
-                heap.push(Reverse((sm_next_free[sm], wid)));
+                let s = bump(&mut seq, wid);
+                heap.push(Reverse((sm_next_free[sm], wid, s)));
                 continue;
             }
             if t > max_ticks {
                 self.mem.finish_relaxed();
+                self.mem.spin_clear();
+                self.last_heap_events = heap_events;
                 return Err(SimtError::Timeout {
                     kernel: kernel.name(),
                     max_cycles: cfg.max_cycles,
                     live_warps: warps.iter().filter(|w| w.is_some()).count(),
                     last_progress_cycle: last_progress / tpc,
-                    warps: snapshot_warps(&warps),
+                    warps: snapshot_warps(&warps, &spin),
                 });
             }
             if t.saturating_sub(last_progress) > deadlock_ticks {
                 self.mem.finish_relaxed();
+                self.mem.spin_clear();
+                self.last_heap_events = heap_events;
                 return Err(SimtError::Deadlock {
                     kernel: kernel.name(),
                     cycle: t / tpc,
                     live_warps: warps.iter().filter(|w| w.is_some()).count(),
                     last_progress_cycle: last_progress / tpc,
-                    warps: snapshot_warps(&warps),
+                    warps: snapshot_warps(&warps, &spin),
                 });
             }
 
@@ -425,10 +1283,9 @@ impl GpuDevice {
             stats.stall_ticks = stats.stall_ticks.saturating_add(gap);
             sm_last_issue[sm] = t;
             sm_next_free[sm] = t + 1;
-            let prof_pc = if prof.is_some() {
-                w.stack.last().map_or(PC_EXIT, |e| e.pc)
-            } else {
-                PC_EXIT
+            let (pre_pc, pre_mask) = {
+                let top = w.stack.last().expect("non-done warp has stack");
+                (top.pc, top.mask)
             };
 
             // Execute one warp instruction.
@@ -436,6 +1293,15 @@ impl GpuDevice {
                 StoreScope::Warp => wid,
                 StoreScope::Sm => sm as u32,
             };
+            let stale_before = if ff_on && relaxed_on {
+                self.mem.stale_count()
+            } else {
+                0
+            };
+            if ff_on {
+                spin_rec.begin_instr();
+                spin_rec.record_reads = matches!(&spin[wid as usize], SpinState::Capturing(_));
+            }
             let out = Self::step_warp(
                 kernel,
                 w,
@@ -447,6 +1313,7 @@ impl GpuDevice {
                 &mut accesses,
                 &mut targets,
                 &mut groups,
+                if ff_on { Some(&mut spin_rec) } else { None },
                 &mut trace,
                 t,
                 tpc,
@@ -462,6 +1329,8 @@ impl GpuDevice {
             if racecheck {
                 if let Some(r) = self.mem.take_race() {
                     self.mem.finish_relaxed();
+                    self.mem.spin_clear();
+                    self.last_heap_events = heap_events;
                     return Err(SimtError::RaceDetected {
                         kernel: kernel.name(),
                         buffer: r.buf,
@@ -484,12 +1353,165 @@ impl GpuDevice {
                     t,
                     gap,
                     wid as usize,
-                    prof_pc,
-                    kernel.pc_name(prof_pc),
+                    pre_pc,
+                    kernel.pc_name(pre_pc),
                     out.issue,
                     out.wait,
                     t_done,
                 );
+            }
+
+            // --- Spin capture state machine ------------------------------
+            // Recognize a pure busy-wait loop: an all-lanes-failed poll
+            // (the anchor) followed by pure steps that return to the same
+            // anchor with the same mask. On the second anchor visit the
+            // warp parks: it leaves the heap and waits for a write to its
+            // watch set.
+            let mut parked_now = false;
+            if ff_on {
+                let stale_delta = if relaxed_on {
+                    self.mem.stale_count() - stale_before
+                } else {
+                    0
+                };
+                let is_poll = !spin_rec.polled.is_empty() || spin_rec.polled_ok > 0;
+                let anchor_ok = !spin_rec.polled.is_empty()
+                    && spin_rec.polled_ok == 0
+                    && out.pure
+                    && stale_delta == 0
+                    && kernel.spin_pure(pre_pc);
+                let slot = &mut spin[wid as usize];
+                if let SpinState::Waking(old) = slot {
+                    // The woken warp just re-executed its poll for real;
+                    // drop the stale watch registration (re-parking below
+                    // re-registers a freshly captured set, so changed
+                    // read-set values are re-observed).
+                    self.mem.spin_unpark(wid, &old.watch);
+                    *slot = SpinState::Idle;
+                }
+                match std::mem::replace(slot, SpinState::Idle) {
+                    SpinState::Idle => {
+                        if anchor_ok {
+                            *slot = SpinState::Arming {
+                                anchor_pc: pre_pc,
+                                mask: pre_mask,
+                                fails: 1,
+                            };
+                        }
+                    }
+                    SpinState::Arming {
+                        anchor_pc,
+                        mask,
+                        fails,
+                    } => {
+                        if anchor_ok {
+                            if pre_pc == anchor_pc && pre_mask == mask {
+                                if fails + 1 >= ARM_VISITS {
+                                    *slot = SpinState::Capturing(new_capture(
+                                        sm,
+                                        pre_pc,
+                                        pre_mask,
+                                        &out,
+                                        &spin_rec.polled,
+                                    ));
+                                } else {
+                                    *slot = SpinState::Arming {
+                                        anchor_pc,
+                                        mask,
+                                        fails: fails + 1,
+                                    };
+                                }
+                            } else {
+                                *slot = SpinState::Arming {
+                                    anchor_pc: pre_pc,
+                                    mask: pre_mask,
+                                    fails: 1,
+                                };
+                            }
+                        } else if !is_poll {
+                            // Loop-body steps between anchor visits keep the
+                            // streak; a progressing or impure poll drops it
+                            // (the implicit fall-through to `Idle`).
+                            *slot = SpinState::Arming {
+                                anchor_pc,
+                                mask,
+                                fails,
+                            };
+                        }
+                    }
+                    SpinState::Capturing(mut c) => {
+                        if is_poll {
+                            if anchor_ok
+                                && pre_pc == c.anchor_pc
+                                && pre_mask == c.mask
+                                && spin_rec.polled.len() == c.sig[0].poll_fails as usize
+                                && spin_rec.polled.iter().all(|wd| c.watch.contains(wd))
+                            {
+                                // The loop closed on its anchor: park.
+                                debug_assert_eq!(out.cost_ticks, c.sig[0].cost);
+                                for &r in spin_rec.reads.iter() {
+                                    if !c.watch.contains(&r) {
+                                        c.watch.push(r);
+                                    }
+                                }
+                                spin_rec.reads.clear();
+                                c.period = c.sig.iter().map(|s| s.cost).sum();
+                                c.idx = if c.sig.len() > 1 { 1 } else { 0 };
+                                c.next_tick = t_done;
+                                c.kick = None;
+                                if let Some(due) = self.mem.spin_park(wid, &c.watch) {
+                                    // A buffered store to a watched word
+                                    // drains no later than `due`; schedule
+                                    // the corresponding no-later-than wake.
+                                    let kt = poll_at_or_after(&c, c.next_tick, due, 0, wid);
+                                    c.kick = Some(kt);
+                                    let s = bump(&mut seq, wid);
+                                    heap.push(Reverse((kt, wid, s)));
+                                }
+                                sm_parked[sm].push(wid);
+                                sm_visit[sm].push(Reverse((c.next_tick, wid)));
+                                n_parked += 1;
+                                parked_now = true;
+                                *slot = SpinState::Parked(c);
+                            } else if anchor_ok {
+                                // A different all-fail pure poll: restart
+                                // the capture from this new anchor.
+                                spin_rec.reads.clear();
+                                *slot = SpinState::Capturing(new_capture(
+                                    sm,
+                                    pre_pc,
+                                    pre_mask,
+                                    &out,
+                                    &spin_rec.polled,
+                                ));
+                            } else {
+                                // The poll (partially) succeeded or went
+                                // impure: the loop is making progress.
+                                spin_rec.reads.clear();
+                            }
+                        } else if out.pure
+                            && stale_delta == 0
+                            && pre_mask == c.mask
+                            && c.sig.len() < MAX_SIG
+                        {
+                            c.sig.push(SigStep {
+                                pc: pre_pc,
+                                cost: out.cost_ticks,
+                                l2_hits: out.l2_hits,
+                                flops: out.flops,
+                                poll_fails: 0,
+                                issue: out.issue,
+                                wait: out.wait,
+                            });
+                            *slot = SpinState::Capturing(c);
+                        } else {
+                            spin_rec.reads.clear();
+                        }
+                    }
+                    SpinState::Parked(_) | SpinState::Waking(_) => {
+                        unreachable!("parked warps do not execute")
+                    }
+                }
             }
 
             if warps[wid as usize].as_ref().is_some_and(|w| w.done()) {
@@ -516,7 +1538,8 @@ impl GpuDevice {
                     );
                     warps[next_pending] = Some(w);
                     resident[sm] += 1;
-                    heap.push(Reverse((t + 1, next_pending as u32)));
+                    let s = bump(&mut seq, next_pending as u32);
+                    heap.push(Reverse((t + 1, next_pending as u32, s)));
                     next_pending += 1;
                 } else if pool.len() < pool_cap {
                     pool.push(WarpScratch {
@@ -524,11 +1547,105 @@ impl GpuDevice {
                         shared: done.shared,
                     });
                 }
-            } else {
-                heap.push(Reverse((t_done, wid)));
+            } else if !parked_now {
+                let s = bump(&mut seq, wid);
+                heap.push(Reverse((t_done, wid, s)));
+            }
+
+            // Deliver wakes produced by this instruction's stores, atomics,
+            // fences, or evictions to parked warps.
+            if ff_on && n_parked > 0 {
+                self.mem.take_spin_wakes(&mut wakes);
+                for &(wwid, wtick, wmin) in &wakes {
+                    let wsm = match &spin[wwid as usize] {
+                        SpinState::Parked(p) => p.sm,
+                        _ => continue,
+                    };
+                    // The target warp's SM may be lazily behind this event
+                    // (untraced launches advance one SM per pop), in which
+                    // case the anchor-visit projection below would miss
+                    // displacement already decided: a lattice visit just
+                    // before the store can really issue at-or-after it.
+                    // Bring the SM up to this event first — every visit the
+                    // advance consumes precedes the storing instruction in
+                    // schedule order, so it fails in replay too.
+                    if let Err(h) = ff_advance(
+                        kernel,
+                        &mut spin,
+                        &sm_parked,
+                        &mut sm_visit,
+                        &mut sm_ready,
+                        &mut mw_plans,
+                        &mut mw_res,
+                        Some(wsm),
+                        (t, wid),
+                        batch_ok,
+                        &mut stats,
+                        &mut prof,
+                        &mut trace,
+                        &mut sm_next_free,
+                        &mut sm_last_issue,
+                        &mut end_tick,
+                        last_progress,
+                        max_ticks,
+                        deadlock_ticks,
+                        tpc,
+                    ) {
+                        self.mem.finish_relaxed();
+                        self.mem.spin_clear();
+                        self.last_heap_events = heap_events;
+                        let live_warps = warps.iter().filter(|w| w.is_some()).count();
+                        return Err(if h.timeout {
+                            SimtError::Timeout {
+                                kernel: kernel.name(),
+                                max_cycles: cfg.max_cycles,
+                                live_warps,
+                                last_progress_cycle: last_progress / tpc,
+                                warps: snapshot_warps(&warps, &spin),
+                            }
+                        } else {
+                            SimtError::Deadlock {
+                                kernel: kernel.name(),
+                                cycle: h.tick / tpc,
+                                live_warps,
+                                last_progress_cycle: last_progress / tpc,
+                                warps: snapshot_warps(&warps, &spin),
+                            }
+                        });
+                    }
+                    if let SpinState::Parked(p) = &mut spin[wwid as usize] {
+                        let eff = eff_next(p, sm_next_free[wsm]);
+                        let kt = poll_at_or_after(p, eff, wtick, wmin, wwid);
+                        if p.kick.is_none_or(|old| kt < old) {
+                            p.kick = Some(kt);
+                            let s = bump(&mut seq, wwid);
+                            heap.push(Reverse((kt, wwid, s)));
+                        }
+                    }
+                }
             }
         }
+
+        // The heap drained. Every pending wake for a parked warp keeps a
+        // kick in the heap, so parked warps remaining here can never run
+        // again: report the deadlock *now*, waiter graph attached, instead
+        // of burning the deadlock window on an empty schedule.
+        if ff_on && n_parked > 0 {
+            self.mem.finish_relaxed();
+            self.mem.spin_clear();
+            self.last_heap_events = heap_events;
+            return Err(SimtError::Deadlock {
+                kernel: kernel.name(),
+                cycle: end_tick / tpc + 1,
+                live_warps: warps.iter().filter(|w| w.is_some()).count(),
+                last_progress_cycle: last_progress / tpc,
+                warps: snapshot_warps(&warps, &spin),
+            });
+        }
+
         self.warp_scratch = pool;
+        self.last_heap_events = heap_events;
+        spin.clear();
         self.launch_scratch = LaunchScratch {
             resident,
             heap: heap.into_vec(),
@@ -537,6 +1654,15 @@ impl GpuDevice {
             accesses,
             targets,
             groups,
+            seq,
+            spin,
+            sm_parked,
+            sm_visit,
+            sm_ready,
+            mw_plans,
+            mw_res,
+            wakes,
+            spin_rec,
         };
 
         // Kernel completion is a device-wide sync point: under the relaxed
@@ -570,6 +1696,7 @@ impl GpuDevice {
         accesses: &mut Vec<RawAccess>,
         targets: &mut Vec<(u32, Pc)>,
         groups: &mut Vec<(Pc, u64)>,
+        mut spin_rec: Option<&mut SpinRec>,
         trace: &mut Option<&mut Trace>,
         t: u64,
         tpc: u64,
@@ -610,6 +1737,7 @@ impl GpuDevice {
                 accesses,
                 shared_ops: &mut shared_ops,
                 failed_polls: &mut failed_polls,
+                spin: spin_rec.as_deref_mut(),
                 owner,
                 warp: wid,
                 now: t,
@@ -663,6 +1791,8 @@ impl GpuDevice {
         let cost_ticks;
         let wait;
         let mut stored = false;
+        let mut pure_mem = true;
+        let mut l2_here: u32 = 0;
         if !accesses.is_empty() {
             let kind = accesses[0].kind;
             debug_assert!(
@@ -696,8 +1826,10 @@ impl GpuDevice {
                     // latency-bound.
                     bw_limited |= ready > t + dram_lat;
                     worst = worst.max(ready - t);
+                    pure_mem = false;
                 } else {
                     stats.l2_hits += 1;
+                    l2_here += 1;
                 }
             }
             // Plain stores are fire-and-forget; loads and atomics block the
@@ -719,7 +1851,7 @@ impl GpuDevice {
             wait = StallReason::StoreDrain;
             // Under the relaxed model the fence is load-bearing: it drains
             // and publishes this owner's store buffer (no-op under SC).
-            mem.fence_drain(owner);
+            mem.fence_drain(owner, wid, t);
         } else if shared_ops > 0 {
             cost_ticks = shared_lat;
             wait = StallReason::MemLatency;
@@ -730,6 +1862,7 @@ impl GpuDevice {
 
         // --- Control resolution ------------------------------------------
         let mut retired_ct: u64 = 0;
+        let mut straight = false;
         if uniform {
             let top = w.stack.last_mut().expect("stack non-empty");
             if first_target == PC_EXIT {
@@ -744,6 +1877,7 @@ impl GpuDevice {
                 // top-of-stack pc and cannot break a stack invariant, so
                 // `normalize` would return immediately — skip it.
                 top.pc = first_target;
+                straight = true;
             }
         } else {
             let rpc = kernel.reconv(pc);
@@ -783,6 +1917,9 @@ impl GpuDevice {
             retired: retired_ct,
             issue,
             wait,
+            flops,
+            l2_hits: l2_here,
+            pure: straight && !stored && !fence && shared_ops == 0 && pure_mem,
         }
     }
 }

@@ -16,6 +16,11 @@ pub struct WarpSnapshot {
     pub pc: Pc,
     /// Active-lane mask at that stack entry (bit `i` = lane `i` live).
     pub active_mask: u64,
+    /// Global words `(buffer handle, element index)` the warp is parked on
+    /// under [`crate::SpinModel::FastForward`] — the waiter graph of an
+    /// immediately-detected deadlock. Empty for running warps and under
+    /// [`crate::SpinModel::Replay`].
+    pub waiting_on: Vec<(u32, u32)>,
 }
 
 impl fmt::Display for WarpSnapshot {
@@ -27,7 +32,15 @@ impl fmt::Display for WarpSnapshot {
                 f,
                 "warp {} (sm {}) at pc {} mask {:#x}",
                 self.warp, self.sm, self.pc, self.active_mask
-            )
+            )?;
+            if !self.waiting_on.is_empty() {
+                write!(f, " waiting on")?;
+                for (i, (buf, idx)) in self.waiting_on.iter().enumerate() {
+                    let sep = if i == 0 { ' ' } else { ',' };
+                    write!(f, "{sep}buffer {buf}[{idx}]")?;
+                }
+            }
+            Ok(())
         }
     }
 }
@@ -159,12 +172,16 @@ mod tests {
                 sm: 0,
                 pc: 7,
                 active_mask: 0b101,
+                waiting_on: vec![(2, 9)],
             }],
         };
         let s = e.to_string();
         assert!(s.contains("`naive`"), "{s}");
         assert!(s.contains("cycle 400"), "{s}");
-        assert!(s.contains("warp 1 (sm 0) at pc 7 mask 0x5"), "{s}");
+        assert!(
+            s.contains("warp 1 (sm 0) at pc 7 mask 0x5 waiting on buffer 2[9]"),
+            "{s}"
+        );
 
         let r = SimtError::RaceDetected {
             kernel: "stripped",

@@ -125,6 +125,28 @@ pub trait WarpKernel: Sync {
     fn pc_name(&self, _pc: Pc) -> &'static str {
         "?"
     }
+
+    /// Declares the busy-wait loop anchored at the poll instruction `pc`
+    /// *pure*, opting it into [`crate::SpinModel::FastForward`] parking.
+    ///
+    /// Returning `true` for a poll `pc` is a contract: as long as every
+    /// global word the loop reads (including the polled words themselves)
+    /// is unchanged and no store to them becomes visible, re-executing the
+    /// loop from `pc` performs exactly the same instruction sequence with
+    /// the same memory accesses and no architectural side effects — no
+    /// stores, atomics, fences, shared-memory traffic, lane retirement, or
+    /// per-iteration register mutation (a bounded spin that counts
+    /// iterations is *not* pure). The poll itself must be idempotent:
+    /// re-polling early is allowed to fail and try again.
+    ///
+    /// The engine still verifies each captured iteration structurally
+    /// (uniform control, L2-resident accesses, no side effects) and falls
+    /// back to replaying when a loop misbehaves, but it cannot detect
+    /// hidden register mutation — hence the opt-in. The default `false`
+    /// replays every spin iteration, which is always safe.
+    fn spin_pure(&self, _pc: Pc) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,72 @@ struct WordMeta {
     epoch: u64,
     undrained: u32,
     last_val: PendingVal,
+    /// Earliest autonomous-drain deadline among this word's undrained
+    /// stores. Maintained as a lower bound only (drains do not re-raise
+    /// it), which is safe for its single use: scheduling a *no-later-than*
+    /// wake for warps parking on the word. A premature wake re-polls and
+    /// re-parks; a late wake would be a missed store, so lateness is never
+    /// allowed.
+    earliest_due: u64,
+}
+
+/// Per-instruction spin observations, recorded by [`LaneMem`] for the
+/// engine's fast-forward capture (see [`crate::SpinModel::FastForward`]).
+#[derive(Default)]
+pub(crate) struct SpinRec {
+    /// Words polled not-ready this instruction (one entry per failed lane
+    /// poll, so `polled.len()` is the instruction's failed-poll count).
+    pub(crate) polled: Vec<(u32, u32)>,
+    /// Lane polls that succeeded this instruction.
+    pub(crate) polled_ok: u32,
+    /// Words read by data loads while `record_reads` is set (the rest of a
+    /// captured spin iteration's read set).
+    pub(crate) reads: Vec<(u32, u32)>,
+    /// Armed by the engine only while capturing a spin-loop iteration.
+    pub(crate) record_reads: bool,
+}
+
+impl SpinRec {
+    /// Clears the per-instruction fields (`reads` persists across a
+    /// captured iteration and is drained by the engine).
+    pub(crate) fn begin_instr(&mut self) {
+        self.polled.clear();
+        self.polled_ok = 0;
+    }
+}
+
+/// Wake scheduled for a parked warp: the waiter and the earliest scheduler
+/// key `(tick, min_warp)` at which a poll by that warp can observe the
+/// satisfying value — a poll at `tick` sees it only if the polling warp id
+/// is `>= min_warp` (heap pop order within a tick is by warp id).
+type SpinWake = (u32, u64, u32);
+
+/// Registry of warps parked on global words under
+/// [`crate::SpinModel::FastForward`]. Empty (and O(1) to consult) whenever
+/// no warp is parked.
+#[derive(Default)]
+struct SpinWaiters {
+    /// `(buffer, element index)` → parked warp ids.
+    map: HashMap<(u32, u32), Vec<u32>>,
+    /// Wakes produced by stores/fences/atomics, drained by the engine
+    /// after every executed instruction.
+    wakes: Vec<SpinWake>,
+}
+
+/// Queues a wake for every waiter of `(buf, idx)`. The key names the first
+/// scheduler slot at which the *initiating instruction* has executed; a
+/// woken warp whose poll still cannot observe the value (e.g. the store is
+/// buffered and unpublished) simply fails the poll and re-parks, so waking
+/// early is safe while waking late never happens.
+fn wake_waiters(spin: &mut SpinWaiters, buf: u32, idx: usize, tick: u64, min_warp: u32) {
+    if spin.map.is_empty() {
+        return;
+    }
+    if let Some(ws) = spin.map.get(&(buf, idx as u32)) {
+        for &wid in ws {
+            spin.wakes.push((wid, tick, min_warp));
+        }
+    }
 }
 
 /// A detected unpublished cross-owner read, reported by the engine as
@@ -197,6 +263,8 @@ pub struct DeviceMemory {
     bufs: Vec<Buffer>,
     /// `Some` while a launch runs under [`crate::MemoryModel::Relaxed`].
     relaxed: Option<RelaxedState>,
+    /// Parked-warp waiter lists (fast-forward spin model).
+    spin: SpinWaiters,
 }
 
 impl DeviceMemory {
@@ -326,11 +394,14 @@ impl DeviceMemory {
         rs.min_due = min_due;
     }
 
-    /// `__threadfence` by `owner`: drains its store buffer and bumps its
-    /// fence epoch, publishing everything it stored so far.
-    pub(crate) fn fence_drain(&mut self, owner: u32) {
+    /// `__threadfence` by `owner` (executed by `warp` at tick `now`):
+    /// drains its store buffer and bumps its fence epoch, publishing
+    /// everything it stored so far. Warps parked on a published word are
+    /// woken with the fence's visibility key.
+    pub(crate) fn fence_drain(&mut self, owner: u32, warp: u32, now: u64) {
         let Some(rs) = &mut self.relaxed else { return };
         let bufs = &mut self.bufs;
+        let spin = &mut self.spin;
         let mut min_due = u64::MAX;
         rs.pending.retain(|ps| {
             if ps.owner == owner {
@@ -339,6 +410,7 @@ impl DeviceMemory {
                 if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
                     m.undrained = m.undrained.saturating_sub(1);
                 }
+                wake_waiters(spin, ps.buf, ps.idx, now, warp.saturating_add(1));
                 false
             } else {
                 min_due = min_due.min(ps.due);
@@ -374,6 +446,60 @@ impl DeviceMemory {
         self.relaxed.as_mut().and_then(|rs| rs.race.take())
     }
 
+    // ---- spin fast-forward waiter registry (engine-internal) ------------
+
+    /// Parks `warp` on every word in `watch`. Returns the earliest
+    /// autonomous-drain deadline among stores already pending to a watched
+    /// word, if any — the no-later-than tick at which a buffered store
+    /// could become visible without any further instruction executing,
+    /// which the engine must schedule a wake for.
+    pub(crate) fn spin_park(&mut self, warp: u32, watch: &[(u32, u32)]) -> Option<u64> {
+        let mut due = None;
+        for &(buf, idx) in watch {
+            self.spin.map.entry((buf, idx)).or_default().push(warp);
+            if let Some(rs) = &self.relaxed {
+                if let Some(m) = rs.words.get(&(buf, idx as usize)) {
+                    if m.undrained > 0 {
+                        due = Some(due.map_or(m.earliest_due, |d: u64| d.min(m.earliest_due)));
+                    }
+                }
+            }
+        }
+        due
+    }
+
+    /// Removes `warp` from the waiter lists of every word in `watch`.
+    pub(crate) fn spin_unpark(&mut self, warp: u32, watch: &[(u32, u32)]) {
+        for &(buf, idx) in watch {
+            if let Some(ws) = self.spin.map.get_mut(&(buf, idx)) {
+                ws.retain(|&w| w != warp);
+                if ws.is_empty() {
+                    self.spin.map.remove(&(buf, idx));
+                }
+            }
+        }
+    }
+
+    /// Drains queued wakes into `out` (cleared first).
+    pub(crate) fn take_spin_wakes(&mut self, out: &mut Vec<SpinWake>) {
+        out.clear();
+        out.append(&mut self.spin.wakes);
+    }
+
+    /// Clears all waiter state (launch start, and error paths that leave
+    /// warps parked).
+    pub(crate) fn spin_clear(&mut self) {
+        self.spin.map.clear();
+        self.spin.wakes.clear();
+    }
+
+    /// Stale data reads observed so far this launch (relaxed model only).
+    /// The engine compares this across an instruction to detect that a
+    /// candidate spin iteration touched stale data and must not be parked.
+    pub(crate) fn stale_count(&self) -> u64 {
+        self.relaxed.as_ref().map_or(0, |rs| rs.stale_reads)
+    }
+
     /// Buffers a store by `owner`/`warp` instead of writing DRAM.
     fn relaxed_store(
         &mut self,
@@ -386,6 +512,7 @@ impl DeviceMemory {
     ) {
         let rs = self.relaxed.as_mut().expect("relaxed model armed");
         let count = rs.owner_counts.entry(owner).or_insert(0);
+        let mut evicted = None;
         if *count >= STORE_BUFFER_CAP {
             // Capacity eviction: force-drain the owner's oldest store.
             // The value reaches DRAM but is NOT published (no fence ran).
@@ -402,6 +529,7 @@ impl DeviceMemory {
             }
             let count = rs.owner_counts.get_mut(&owner).expect("owner count");
             *count -= 1;
+            evicted = Some((ps.buf, ps.idx));
         }
         let seq = rs.next_seq;
         rs.next_seq += 1;
@@ -421,6 +549,11 @@ impl DeviceMemory {
                 m.owner = owner;
                 m.warp = warp;
                 m.epoch = seq;
+                m.earliest_due = if m.undrained == 0 {
+                    due
+                } else {
+                    m.earliest_due.min(due)
+                };
                 m.undrained += 1;
                 m.last_val = val;
             }
@@ -431,9 +564,20 @@ impl DeviceMemory {
                     epoch: seq,
                     undrained: 1,
                     last_val: val,
+                    earliest_due: due,
                 });
             }
         }
+        if let Some((ebuf, eidx)) = evicted {
+            wake_waiters(&mut self.spin, ebuf, eidx, now, warp.saturating_add(1));
+        }
+        // Wake warps parked on this word as soon as the store *executes*,
+        // not when it drains: a co-owner forwards the value immediately,
+        // and anyone else re-polls, fails, and re-parks — at which point
+        // `spin_park` reports the drain deadline for the no-later-than
+        // wake. Waking at execution keeps relaxed-model staleness
+        // accounting exact for loops whose bodies read racy words.
+        wake_waiters(&mut self.spin, buf, idx, now, warp.saturating_add(1));
     }
 
     /// Relaxed-model load path. Forwards the reader's own newest buffered
@@ -529,11 +673,34 @@ pub struct LaneMem<'a> {
     pub(crate) now: u64,
     /// Program counter of the executing instruction (race attribution).
     pub(crate) pc: Pc,
+    /// Spin observations for the engine's fast-forward capture (`None`
+    /// under [`crate::SpinModel::Replay`]).
+    pub(crate) spin: Option<&'a mut SpinRec>,
     #[cfg(debug_assertions)]
     pub(crate) ops_this_exec: u32,
 }
 
 impl<'a> LaneMem<'a> {
+    #[inline]
+    fn note_read(&mut self, buf: u32, idx: usize) {
+        if let Some(s) = self.spin.as_deref_mut() {
+            if s.record_reads {
+                s.reads.push((buf, idx as u32));
+            }
+        }
+    }
+
+    #[inline]
+    fn note_poll(&mut self, buf: u32, idx: usize, ready: bool) {
+        if let Some(s) = self.spin.as_deref_mut() {
+            if ready {
+                s.polled_ok += 1;
+            } else {
+                s.polled.push((buf, idx as u32));
+            }
+        }
+    }
+
     #[inline]
     fn record(&mut self, buf: u32, byte_off: usize, kind: AccessKind) {
         #[cfg(debug_assertions)]
@@ -555,6 +722,7 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn load_f64(&mut self, h: BufF64, idx: usize) -> f64 {
         self.record(h.0, idx * 8, AccessKind::Load);
+        self.note_read(h.0, idx);
         if self.dev.relaxed.is_some() {
             if let Some(PendingVal::F64(v)) = self
                 .dev
@@ -585,6 +753,13 @@ impl<'a> LaneMem<'a> {
             BufData::F64(vec) => vec[idx] = v,
             _ => panic!("buffer {} is not f64", h.0),
         }
+        wake_waiters(
+            &mut self.dev.spin,
+            h.0,
+            idx,
+            self.now,
+            self.warp.saturating_add(1),
+        );
     }
 
     /// Global load of a `u32` (data load: racechecked under the relaxed
@@ -597,6 +772,7 @@ impl<'a> LaneMem<'a> {
     #[inline]
     fn load_u32_inner(&mut self, h: BufU32, idx: usize, sync: bool) -> u32 {
         self.record(h.0, idx * 4, AccessKind::Load);
+        self.note_read(h.0, idx);
         if self.dev.relaxed.is_some() {
             // No u32 store instruction exists, so forwarding never hits;
             // this only performs the stale/race accounting.
@@ -618,6 +794,7 @@ impl<'a> LaneMem<'a> {
     #[inline]
     pub fn load_flag(&mut self, h: BufFlag, idx: usize) -> bool {
         self.record(h.0, idx, AccessKind::Load);
+        self.note_read(h.0, idx);
         if self.dev.relaxed.is_some() {
             if let Some(PendingVal::Flag(v)) = self
                 .dev
@@ -642,6 +819,7 @@ impl<'a> LaneMem<'a> {
         if !v {
             *self.failed_polls = self.failed_polls.saturating_add(1);
         }
+        self.note_poll(h.0, idx, v);
         v
     }
 
@@ -664,6 +842,13 @@ impl<'a> LaneMem<'a> {
             BufData::Flag(vec) => vec[idx] = v as u8,
             _ => panic!("buffer {} is not flags", h.0),
         }
+        wake_waiters(
+            &mut self.dev.spin,
+            h.0,
+            idx,
+            self.now,
+            self.warp.saturating_add(1),
+        );
     }
 
     /// Volatile poll of a `u32` counter against zero, counting non-zero
@@ -675,6 +860,7 @@ impl<'a> LaneMem<'a> {
         if v != 0 {
             *self.failed_polls = self.failed_polls.saturating_add(1);
         }
+        self.note_poll(h.0, idx, v == 0);
         v == 0
     }
 
@@ -686,14 +872,22 @@ impl<'a> LaneMem<'a> {
         if self.dev.relaxed.is_some() {
             self.dev.atomic_sync(h.0, idx);
         }
-        match &mut self.dev.bufs[h.0 as usize].data {
+        let old = match &mut self.dev.bufs[h.0 as usize].data {
             BufData::F64(vec) => {
                 let old = vec[idx];
                 vec[idx] = old + v;
                 old
             }
             _ => panic!("buffer {} is not f64", h.0),
-        }
+        };
+        wake_waiters(
+            &mut self.dev.spin,
+            h.0,
+            idx,
+            self.now,
+            self.warp.saturating_add(1),
+        );
+        old
     }
 
     /// Atomic `fetch_sub` on a `u32` (the in-degree countdown of CSC-based
@@ -704,14 +898,22 @@ impl<'a> LaneMem<'a> {
         if self.dev.relaxed.is_some() {
             self.dev.atomic_sync(h.0, idx);
         }
-        match &mut self.dev.bufs[h.0 as usize].data {
+        let old = match &mut self.dev.bufs[h.0 as usize].data {
             BufData::U32(vec) => {
                 let old = vec[idx];
                 vec[idx] = old.wrapping_sub(v);
                 old
             }
             _ => panic!("buffer {} is not u32", h.0),
-        }
+        };
+        wake_waiters(
+            &mut self.dev.spin,
+            h.0,
+            idx,
+            self.now,
+            self.warp.saturating_add(1),
+        );
+        old
     }
 
     /// Per-warp shared-memory load.
@@ -763,6 +965,7 @@ mod tests {
             warp: owner,
             now,
             pc: 0,
+            spin: None,
             #[cfg(debug_assertions)]
             ops_this_exec: 0,
         }
@@ -932,7 +1135,7 @@ mod tests {
             let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 1);
             assert_eq!(m.load_f64(f, 2), 7.0);
         }
-        dev.fence_drain(1);
+        dev.fence_drain(1, 1, 2);
         acc.clear();
         {
             let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 2);
@@ -1020,7 +1223,7 @@ mod tests {
             let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
             m.store_f64(f, 0, 3.0);
         }
-        dev.fence_drain(1);
+        dev.fence_drain(1, 1, 1);
         acc.clear();
         {
             let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 1);

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Measures the parallel-sweep speedup and records it as BENCH_1.json at the
-# repo root so future PRs can track the perf trajectory.
+# Measures the parallel-sweep speedup and records it as BENCH_<N>.json at
+# the repo root so future PRs can track the perf trajectory. N is the first
+# unused number, so successive runs append to the series instead of
+# clobbering earlier records.
 #
 # Runs `repro sweep-timing`, which times one serial pass and one N-thread
 # pass over the same sweep (verifying the cell results are identical), and
-# copies the resulting results/sweep_timing.json into BENCH_1.json.
+# copies the resulting results/sweep_timing.json into BENCH_<N>.json.
 #
 # Usage: scripts/bench_sweep.sh [threads] [scale] [limit]
 #   threads  worker threads for the parallel pass (default: nproc, min 2)
@@ -33,6 +35,9 @@ cargo build --release -q -p capellini-bench
 CAPELLINI_RESULTS_DIR="$TMPDIR" CAPELLINI_THREADS="$THREADS" \
     ./target/release/repro sweep-timing --scale "$SCALE" --limit "$LIMIT"
 
-cp "$TMPDIR/sweep_timing.json" BENCH_1.json
-echo "wrote BENCH_1.json:"
-cat BENCH_1.json
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/sweep_timing.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -17,4 +17,10 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
 
+echo "==> spin fast-forward differential suite (Replay vs FastForward bit-exactness)"
+cargo test --release -q -p capellini-sptrsv --test spin_fastforward
+
+echo "==> engine_spin smoke (calibration asserts Replay/FastForward stats equality)"
+cargo bench -q -p capellini-bench --bench engine_spin -- --quick
+
 echo "==> all checks passed"
