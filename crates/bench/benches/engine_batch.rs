@@ -1,0 +1,133 @@
+//! Batched-solving bench: host ns per 8-RHS workload for the three ways of
+//! solving the same right-hand-side block with an evaluation-trio kernel:
+//!
+//! * `cold_single` — 8 independent `solve_simulated` calls, each paying
+//!   device construction, matrix upload, and analysis again;
+//! * `session_single` — 8 warm `SolverSession::solve` calls on one cached
+//!   session (analysis and upload amortized, grid plan reused);
+//! * `session_batched` — one warm `SolverSession::solve_multi` launch
+//!   covering all 8 right-hand sides (the per-component spin cost is paid
+//!   once for the whole block, not once per column).
+//!
+//! During calibration each algorithm's batched solve is checked
+//! **bit-identical** to its 8 looped single solves (the same contract
+//! `tests/batched.rs` pins); the run aborts on any mismatch. Criterion then
+//! times the three paths, so the amortization factor is the ratio of the
+//! printed means.
+//!
+//! `--quick` shrinks the matrix and time budgets to a CI smoke run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{solve_multi_simulated, solve_simulated, Algorithm, SolverSession};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::dataset::{wiki_talk_like, Scale};
+use capellini_sparse::gen;
+use capellini_sparse::LowerTriangularCsr;
+
+const NRHS: usize = 8;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn matrix() -> (&'static str, LowerTriangularCsr) {
+    if quick() {
+        ("powerlaw(600)", gen::powerlaw(600, 2.6, 2394))
+    } else {
+        let e = wiki_talk_like(Scale::Small);
+        ("wiki_talk_like(small)", e.spec.build(e.seed))
+    }
+}
+
+/// A row-major `n × NRHS` block of distinct right-hand sides, plus its
+/// columns.
+fn rhs_block(n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut bs = vec![0.0; n * NRHS];
+    let mut cols = Vec::new();
+    for r in 0..NRHS {
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * (2 * r + 3) + 5 * r + 1) % 23) as f64 - 11.0)
+            .collect();
+        for i in 0..n {
+            bs[i * NRHS + r] = b[i];
+        }
+        cols.push(b);
+    }
+    (bs, cols)
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let (warm, meas) = if quick() {
+        (Duration::from_millis(100), Duration::from_millis(300))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    };
+    let (mname, l) = matrix();
+    let n = l.n();
+    let (bs, cols) = rhs_block(n);
+
+    for algo in Algorithm::evaluation_trio() {
+        // Calibration doubles as the equivalence check: the batched solve
+        // must carry exactly the bits of the looped single solves, or the
+        // multi-RHS kernel is wrong and timing it would be meaningless.
+        let multi = solve_multi_simulated(&cfg, &l, &bs, NRHS, algo).expect("batched solve");
+        for (r, b) in cols.iter().enumerate() {
+            let single = solve_simulated(&cfg, &l, b, algo).expect("single solve");
+            for i in 0..n {
+                assert_eq!(
+                    multi.x[i * NRHS + r].to_bits(),
+                    single.x[i].to_bits(),
+                    "{}/{mname}: batched rhs {r} row {i} != looped solve",
+                    algo.label()
+                );
+            }
+        }
+        println!(
+            "[engine_batch] {}/{mname}: batched == looped over {NRHS} rhs (bit-exact)",
+            algo.label()
+        );
+
+        let mut g = c.benchmark_group("engine_batch");
+        g.warm_up_time(warm);
+        g.measurement_time(meas);
+        g.bench_with_input(
+            BenchmarkId::new(format!("{}/{mname}", algo.label()), "cold_single"),
+            &l,
+            |bch, l| {
+                bch.iter(|| {
+                    for b in &cols {
+                        solve_simulated(&cfg, l, b, algo).unwrap();
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("{}/{mname}", algo.label()), "session_single"),
+            &l,
+            |bch, l| {
+                let mut session = SolverSession::with_algorithm(&cfg, l.clone(), algo);
+                bch.iter(|| {
+                    for b in &cols {
+                        session.solve(b).unwrap();
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("{}/{mname}", algo.label()), "session_batched"),
+            &l,
+            |bch, l| {
+                let mut session = SolverSession::with_algorithm(&cfg, l.clone(), algo);
+                bch.iter(|| session.solve_multi(&bs, NRHS).unwrap())
+            },
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

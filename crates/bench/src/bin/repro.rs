@@ -4,7 +4,8 @@
 //! repro <experiment> [--scale small|medium|full] [--limit N] [--threads N]
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!              ablation hybrid deadlock racecheck profile sweep-timing all
+//!              ablation batch csc hybrid deadlock racecheck profile
+//!              sweep-timing all
 //! ```
 //!
 //! Sweep results are cached as CSV under `results/` (override with
@@ -67,7 +68,7 @@ fn main() {
     }
     if which.is_empty() {
         eprintln!(
-            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|hybrid|deadlock|racecheck|profile|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|batch|hybrid|deadlock|racecheck|profile|sweep-timing|all> [--scale small|medium|full] [--limit N] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -87,6 +88,7 @@ fn main() {
             "ablation",
             "hybrid",
             "csc",
+            "batch",
             "table4",
             "table5",
             "fig4",
@@ -145,6 +147,7 @@ fn main() {
                 exp::fig8(suite.as_ref().unwrap())
             }
             "ablation" => exp::ablation(scale),
+            "batch" => exp::batch(scale),
             "csc" => exp::csc(scale),
             "hybrid" => exp::hybrid(scale),
             "sweep-timing" => exp::sweep_timing(scale, limit),

@@ -1008,6 +1008,142 @@ of {} cycles):
     )
 }
 
+// ------------------------------------------------ Amortized batched runs
+
+/// Supplementary: amortized batched solving. For each evaluation-trio
+/// algorithm, compares the wall-clock of (a) `k` cold single-RHS
+/// [`solve_simulated`] calls — a fresh device, upload, and analysis per
+/// solve, (b) `k` warm single-RHS solves on a cached
+/// [`capellini_core::SolverSession`], and (c) one warm batched
+/// `solve_multi` covering all `k` right-hand sides, asserting along the way
+/// that the batched block carries exactly the bits of the cold solves.
+/// Writes `results/batch.json` with every timing and speedup.
+pub fn batch(scale: Scale) -> String {
+    batch_over(&[dataset::wiki_talk_like(scale), dataset::cant_like(scale)])
+}
+
+/// [`batch`] over an explicit entry list (the unit tests substitute tiny
+/// matrices so the timing harness stays fast in debug builds).
+pub fn batch_over(entries: &[DatasetEntry]) -> String {
+    use crate::runner::results_dir;
+    use capellini_core::SolverSession;
+    use std::time::Instant;
+
+    const NRHS: usize = 8;
+    const ROUNDS: usize = 2;
+    let cfg = pascal();
+    let mut t = TextTable::new(&[
+        "matrix",
+        "algorithm",
+        "cold x8 (s)",
+        "warm x8 (s)",
+        "batched (s)",
+        "warm speedup",
+        "batched speedup",
+    ]);
+    let mut cases_json = String::new();
+    let mut best: f64 = 0.0;
+    for e in entries {
+        let l = e.build();
+        let n = l.n();
+        let mut bs = vec![0.0; n * NRHS];
+        let mut cols: Vec<Vec<f64>> = Vec::new();
+        for r in 0..NRHS {
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * (2 * r + 3) + 5 * r + 1) % 23) as f64 - 11.0)
+                .collect();
+            for i in 0..n {
+                bs[i * NRHS + r] = b[i];
+            }
+            cols.push(b);
+        }
+        for algo in Algorithm::evaluation_trio() {
+            // (a) Cold: every right-hand side pays analysis, upload, and
+            // device construction again.
+            let t0 = Instant::now();
+            let mut cold = Vec::new();
+            for b in &cols {
+                cold.push(solve_simulated(&cfg, &l, b, algo).expect("cold solve"));
+            }
+            let cold_s = t0.elapsed().as_secs_f64();
+
+            // (b) Warm single solves on one session; the first solve builds
+            // the grid plan, so it is excluded from the steady-state timing.
+            let mut session = SolverSession::with_algorithm(&cfg, l.clone(), algo);
+            session.solve(&cols[0]).expect("warm-up solve");
+            let t1 = Instant::now();
+            for _ in 0..ROUNDS {
+                for b in &cols {
+                    session.solve(b).expect("warm solve");
+                }
+            }
+            let warm_s = t1.elapsed().as_secs_f64() / ROUNDS as f64;
+
+            // (c) Warm batched: one launch covers all k right-hand sides.
+            session
+                .solve_multi(&bs, NRHS)
+                .expect("warm-up batched solve");
+            let t2 = Instant::now();
+            let mut multi = None;
+            for _ in 0..ROUNDS {
+                multi = Some(session.solve_multi(&bs, NRHS).expect("batched solve"));
+            }
+            let batched_s = t2.elapsed().as_secs_f64() / ROUNDS as f64;
+            let multi = multi.expect("at least one batched round ran");
+
+            // The amortized paths must not trade away correctness: the
+            // batched block carries exactly the bits of the cold solves.
+            for (r, c) in cold.iter().enumerate() {
+                for i in 0..n {
+                    assert_eq!(
+                        multi.x[i * NRHS + r].to_bits(),
+                        c.x[i].to_bits(),
+                        "{}/{}: batched rhs {r} row {i} != cold solve",
+                        e.name,
+                        algo.label()
+                    );
+                }
+            }
+
+            let warm_speedup = safe_div(cold_s, warm_s);
+            let batched_speedup = safe_div(cold_s, batched_s);
+            best = best.max(batched_speedup);
+            t.row(vec![
+                e.name.clone(),
+                algo.label().to_string(),
+                fnum(cold_s, 3),
+                fnum(warm_s, 3),
+                fnum(batched_s, 3),
+                format!("{warm_speedup:.2}x"),
+                format!("{batched_speedup:.2}x"),
+            ]);
+            if !cases_json.is_empty() {
+                cases_json.push_str(",\n");
+            }
+            cases_json.push_str(&format!(
+                "    {{\n      \"matrix\": \"{}\",\n      \"algo\": \"{}\",\n      \"analysis_ms\": {:.6},\n      \"cold_single_s\": {cold_s:.6},\n      \"session_single_s\": {warm_s:.6},\n      \"session_batched_s\": {batched_s:.6},\n      \"speedup_session_single\": {warm_speedup:.3},\n      \"speedup_session_batched\": {batched_speedup:.3},\n      \"identical\": true\n    }}",
+                e.name,
+                algo.label(),
+                session.analysis_ms(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"nrhs\": {NRHS},\n  \"rounds\": {ROUNDS},\n  \"platform\": \"{}\",\n  \"cases\": [\n{cases_json}\n  ],\n  \"best_batched_speedup\": {best:.3},\n  \"identical\": true\n}}\n",
+        cfg.name
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("batch.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("[batch] could not write {}: {e}", path.display());
+    }
+    format!(
+        "Amortized batched solving: cached SolverSession + multi-RHS kernels\n({NRHS} right-hand sides, Pascal-like platform; every batched block verified\nbit-identical to the {NRHS} cold single-RHS solves)\n\n{}\nbest batched speedup over cold single-RHS: {best:.2}x\n",
+        t.render()
+    )
+}
+
 // ------------------------------------------------- Parallel sweep timing
 
 /// Supplementary: wall-clock of the evaluation sweep run serially vs on the
@@ -1396,6 +1532,27 @@ mod tests {
                 assert!(json.contains("\"ph\":\"C\""));
             }
         }
+        std::env::remove_var("CAPELLINI_RESULTS_DIR");
+    }
+
+    #[test]
+    fn batch_verifies_bit_identity_and_records_json() {
+        let _guard = isolated_results_dir("batch");
+        let s = batch_over(&[DatasetEntry {
+            name: "tiny-graph".into(),
+            spec: GenSpec::PowerLaw {
+                n: 400,
+                avg_deg: 2.6,
+            },
+            seed: 2394,
+        }]);
+        assert!(s.contains("bit-identical"), "{s}");
+        assert!(s.contains("best batched speedup"), "{s}");
+        let json =
+            std::fs::read_to_string(crate::runner::results_dir().join("batch.json")).unwrap();
+        assert!(json.contains("\"nrhs\": 8"), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+        assert!(json.contains("\"speedup_session_batched\""), "{json}");
         std::env::remove_var("CAPELLINI_RESULTS_DIR");
     }
 

@@ -60,6 +60,163 @@ impl SolveBuffers {
     }
 }
 
+/// Solve buffers for an `n × k` block of right-hand sides (SpTRSM): `b` and
+/// `x` hold `n*k` values row-major (`x[i*k + r]`), while the completion
+/// flags stay per *row* — one flag publishes all `k` components of a row.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiSolveBuffers {
+    /// Number of right-hand sides `k`.
+    pub nrhs: usize,
+    /// Right-hand sides, row-major `n × k`.
+    pub b: BufF64,
+    /// Solutions, row-major `n × k` (zero-initialised).
+    pub x: BufF64,
+    /// The paper's `get_value` array (`n` entries).
+    pub flags: BufFlag,
+}
+
+impl MultiSolveBuffers {
+    /// Allocates `b` from a row-major `n × k` block, plus zeroed `x` and
+    /// flag arrays.
+    ///
+    /// # Panics
+    /// If `bs.len()` is not `n * nrhs`.
+    pub fn upload(dev: &mut GpuDevice, bs: &[f64], n: usize, nrhs: usize) -> Self {
+        assert!(nrhs >= 1, "need at least one right-hand side");
+        assert_eq!(bs.len(), n * nrhs, "B must be n x nrhs row-major");
+        let mem = dev.mem();
+        MultiSolveBuffers {
+            nrhs,
+            b: mem.alloc_f64(bs),
+            x: mem.alloc_f64_zeroed(bs.len()),
+            flags: mem.alloc_flags(n),
+        }
+    }
+
+    /// Reads the row-major `n × k` solution block back to the host.
+    pub fn read_x(self, dev: &GpuDevice) -> Vec<f64> {
+        dev.mem_ref().read_f64(self.x).to_vec()
+    }
+}
+
+/// Pooled solve buffers: allocated once, reused across many launches on the
+/// same device (the session layer's `b`/`x`/`get_value` arrays).
+///
+/// Reuse is capacity-based: a solve smaller than the pooled capacity keeps
+/// the existing allocations. That makes stale-tail hygiene load-bearing —
+/// [`PooledSolveBuffers::prepare`] scrubs the *full* capacity of `x` and the
+/// flag array and zero-fills the unused tail of `b`, and
+/// [`PooledSolveBuffers::read_x`] returns only the active prefix, so values
+/// from an earlier, larger solve can never leak into (or be read back from)
+/// a later, smaller one.
+#[derive(Debug)]
+pub struct PooledSolveBuffers {
+    /// Capacity of `b`/`x` in elements.
+    cap: usize,
+    /// Capacity of the flag array in rows.
+    rows_cap: usize,
+    /// Active element count of the current solve (`n`, or `n*k` batched).
+    len: usize,
+    /// Active row count of the current solve.
+    rows: usize,
+    b: BufF64,
+    x: BufF64,
+    flags: BufFlag,
+}
+
+impl PooledSolveBuffers {
+    /// Allocates a pool sized for `cap` elements over `rows_cap` rows.
+    pub fn new(dev: &mut GpuDevice, cap: usize, rows_cap: usize) -> Self {
+        let mem = dev.mem();
+        PooledSolveBuffers {
+            cap,
+            rows_cap,
+            len: 0,
+            rows: 0,
+            b: mem.alloc_f64_zeroed(cap),
+            x: mem.alloc_f64_zeroed(cap),
+            flags: mem.alloc_flags(rows_cap),
+        }
+    }
+
+    /// Arms the pool for one solve of `rows` rows with the given packed
+    /// right-hand side(s): writes `b` (zero-filling any capacity tail),
+    /// zeroes all of `x`, and clears all flags. Grows the allocations if the
+    /// problem exceeds the pooled capacity (device memory is append-only, so
+    /// outgrown buffers are simply abandoned).
+    pub fn prepare(&mut self, dev: &mut GpuDevice, b: &[f64], rows: usize) {
+        let mem = dev.mem();
+        if b.len() > self.cap {
+            self.cap = b.len();
+            self.b = mem.alloc_f64(b);
+            self.x = mem.alloc_f64_zeroed(self.cap);
+        } else {
+            mem.write_f64_prefix(self.b, b);
+            mem.fill_f64(self.x, 0.0);
+        }
+        if rows > self.rows_cap {
+            self.rows_cap = rows;
+            self.flags = mem.alloc_flags(rows);
+        } else {
+            mem.clear_flags(self.flags);
+        }
+        self.len = b.len();
+        self.rows = rows;
+    }
+
+    /// The single-RHS buffer view kernels consume. The handles cover the
+    /// full pooled capacity; kernels index only `[0, n)`.
+    pub fn view(&self) -> SolveBuffers {
+        SolveBuffers {
+            b: self.b,
+            x: self.x,
+            flags: self.flags,
+        }
+    }
+
+    /// The multi-RHS buffer view for a batched launch over `nrhs` columns.
+    ///
+    /// # Panics
+    /// If the pool was not prepared with `rows * nrhs` elements.
+    pub fn view_multi(&self, nrhs: usize) -> MultiSolveBuffers {
+        assert_eq!(
+            self.len,
+            self.rows * nrhs,
+            "pool prepared for {} elements, not {} rows x {} rhs",
+            self.len,
+            self.rows,
+            nrhs
+        );
+        MultiSolveBuffers {
+            nrhs,
+            b: self.b,
+            x: self.x,
+            flags: self.flags,
+        }
+    }
+
+    /// Reads back only the active prefix of the solution — the pooled
+    /// capacity beyond the current solve is never observable.
+    pub fn read_x(&self, dev: &GpuDevice) -> Vec<f64> {
+        dev.mem_ref().read_f64(self.x)[..self.len].to_vec()
+    }
+
+    /// Element capacity of `b`/`x`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Active element count of the current solve.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True until the first [`PooledSolveBuffers::prepare`].
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +235,63 @@ mod tests {
         let sb = SolveBuffers::upload(&mut dev, &[1.0; 8]);
         assert_eq!(dev.mem_ref().read_f64(sb.x), &[0.0; 8]);
         assert_eq!(dev.mem_ref().read_flags(sb.flags), &[0; 8]);
+    }
+
+    #[test]
+    fn multi_upload_shapes_buffers_correctly() {
+        let mut dev = GpuDevice::new(DeviceConfig::pascal_like());
+        let bs: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let mb = MultiSolveBuffers::upload(&mut dev, &bs, 4, 3);
+        assert_eq!(dev.mem_ref().read_f64(mb.b), &bs[..]);
+        assert_eq!(dev.mem_ref().read_f64(mb.x), &[0.0; 12]);
+        assert_eq!(dev.mem_ref().read_flags(mb.flags), &[0; 4]);
+    }
+
+    /// The satellite bugfix scenario: a pooled buffer serves a large solve,
+    /// then a strictly smaller one. Without full-capacity scrubbing and
+    /// prefix-limited read-back, the second solve would observe the first
+    /// solve's tail values.
+    #[test]
+    fn shrink_then_solve_never_leaks_the_stale_tail() {
+        use crate::kernels::writing_first;
+        use capellini_sparse::gen;
+
+        let big = paper_example(); // n = 8
+        let small = gen::chain(3, 1, 5); // n = 3
+
+        let mut dev = GpuDevice::new(DeviceConfig::pascal_like());
+        let dm_big = DeviceCsr::upload(&mut dev, &big);
+        let dm_small = DeviceCsr::upload(&mut dev, &small);
+        let mut pool = PooledSolveBuffers::new(&mut dev, big.n(), big.n());
+
+        // Large solve: leaves 8 nonzero x values and 8 set flags behind.
+        let b_big: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
+        pool.prepare(&mut dev, &b_big, big.n());
+        writing_first::launch(&mut dev, dm_big, pool.view()).unwrap();
+        let x_big = pool.read_x(&dev);
+        assert_eq!(x_big.len(), 8);
+        assert!(x_big.iter().any(|&v| v != 0.0));
+
+        // Shrink: same pooled handles, smaller system.
+        let b_small = vec![2.0, 2.0, 2.0];
+        pool.prepare(&mut dev, &b_small, small.n());
+        // Pre-launch, nothing from the big solve may be observable.
+        assert_eq!(pool.read_x(&dev).len(), 3);
+        assert_eq!(pool.read_x(&dev), vec![0.0; 3]);
+        assert_eq!(&dev.mem_ref().read_flags(pool.view().flags)[..8], &[0; 8]);
+        // The capacity tail of x must be scrubbed too — kernels never read
+        // it, but read-back hygiene should not depend on that.
+        assert_eq!(dev.mem_ref().read_f64(pool.view().x), &[0.0; 8]);
+
+        writing_first::launch(&mut dev, dm_small, pool.view()).unwrap();
+        let x_small = pool.read_x(&dev);
+        assert_eq!(x_small.len(), 3, "read-back must stop at the active len");
+        let want = crate::reference::solve_serial_csr(&small, &b_small);
+        capellini_sparse::linalg::assert_solutions_close(&x_small, &want, 1e-12);
+
+        // Growing again re-allocates; the pool stays usable.
+        pool.prepare(&mut dev, &[1.0; 16], 16);
+        assert_eq!(pool.capacity(), 16);
+        assert_eq!(pool.read_x(&dev), vec![0.0; 16]);
     }
 }

@@ -266,11 +266,20 @@ pub fn launch(
     m: DeviceCsr,
     sb: SolveBuffers,
 ) -> Result<LaunchStats, SimtError> {
-    let ws = dev.config().warp_size;
     // The "analysis" output: per-row nonzero counts.
-    let row_ptr = dev.mem_ref().read_u32(m.row_ptr).to_vec();
-    let info: Vec<u32> = row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
-    let info = dev.mem().alloc_u32(&info);
+    let info = crate::kernels::cusparse_like_multi::build_info(dev, m);
+    launch_with_info(dev, m, sb, info)
+}
+
+/// Runs the cuSPARSE-like solver against a pre-built analysis info array —
+/// the session path, which amortizes the info build across solves.
+pub fn launch_with_info(
+    dev: &mut GpuDevice,
+    m: DeviceCsr,
+    sb: SolveBuffers,
+    info: BufU32,
+) -> Result<LaunchStats, SimtError> {
+    let ws = dev.config().warp_size;
     dev.launch(
         &CusparseLikeKernel {
             m,

@@ -446,6 +446,21 @@ impl WarpKernel for HybridKernel {
     }
 }
 
+/// Plans the task list on the host and uploads the encoded tasks, returning
+/// the device buffer and the task count (= grid warps). The session layer
+/// calls this once and replays the plan across solves.
+pub fn upload_tasks(
+    dev: &mut GpuDevice,
+    l: &LowerTriangularCsr,
+    threshold: f64,
+) -> (BufU32, usize) {
+    let ws = dev.config().warp_size;
+    let tasks = plan_tasks(l, ws, threshold);
+    let encoded: Vec<u32> = tasks.iter().map(|t| t.encode()).collect();
+    let n_tasks = encoded.len();
+    (dev.mem().alloc_u32(&encoded), n_tasks)
+}
+
 /// Runs the hybrid solver with the given threshold.
 pub fn launch_with_threshold(
     dev: &mut GpuDevice,
@@ -454,11 +469,21 @@ pub fn launch_with_threshold(
     l: &LowerTriangularCsr,
     threshold: f64,
 ) -> Result<LaunchStats, SimtError> {
+    let (tasks, n_tasks) = upload_tasks(dev, l, threshold);
+    launch_with_tasks(dev, m, sb, tasks, n_tasks)
+}
+
+/// Runs the hybrid kernel against an already-uploaded task plan — the
+/// session path, which plans once and reuses the encoded tasks across
+/// solves. `n_tasks` is the task count (= grid warps).
+pub fn launch_with_tasks(
+    dev: &mut GpuDevice,
+    m: DeviceCsr,
+    sb: SolveBuffers,
+    tasks: BufU32,
+    n_tasks: usize,
+) -> Result<LaunchStats, SimtError> {
     let ws = dev.config().warp_size;
-    let tasks = plan_tasks(l, ws, threshold);
-    let encoded: Vec<u32> = tasks.iter().map(|t| t.encode()).collect();
-    let n_warps = encoded.len();
-    let tasks = dev.mem().alloc_u32(&encoded);
     dev.launch(
         &HybridKernel {
             m,
@@ -466,7 +491,7 @@ pub fn launch_with_threshold(
             tasks,
             warp_size: ws as u32,
         },
-        n_warps,
+        n_tasks,
     )
 }
 

@@ -154,6 +154,19 @@ pub fn launch_with_levels(
     levels: &LevelSets,
 ) -> Result<LaunchStats, SimtError> {
     let order = dev.mem().alloc_u32(levels.order());
+    launch_with_uploaded_levels(dev, m, sb, levels, order)
+}
+
+/// Runs Level-Set SpTRSV against an `order` array already resident on the
+/// device — the session path, which uploads the analysis once and reuses it
+/// across solves.
+pub fn launch_with_uploaded_levels(
+    dev: &mut GpuDevice,
+    m: DeviceCsr,
+    sb: SolveBuffers,
+    levels: &LevelSets,
+    order: BufU32,
+) -> Result<LaunchStats, SimtError> {
     let ws = dev.config().warp_size;
     let mut total = LaunchStats::default();
     for lvl in 0..levels.n_levels() {

@@ -8,16 +8,25 @@
 //! | [`naive`] | §3.3 straw man | one thread per component, bare busy-wait | CSR |
 //! | [`two_phase`] | Algorithm 4 — Two-Phase CapelliniSpTRSV | one **thread** per component | CSR |
 //! | [`writing_first`] | Algorithm 5 — Writing-First CapelliniSpTRSV | one **thread** per component | CSR |
-//! | [`writing_first_multi`] | the multiple-right-hand-sides extension (Liu et al. [21]) | thread, m accumulators | CSR |
+//! | [`writing_first_multi`] | the multiple-right-hand-sides extension (Liu et al. [21]) | thread, k accumulators | CSR |
 //! | [`cusparse_like`] | cuSPARSE black-box stand-in (§2.4) | warp | CSR + analysis |
+//! | [`cusparse_like_multi`] | its `csrsm2` (SpTRSM) analogue | warp, k accumulators | CSR + analysis |
+//! | [`syncfree_multi`] | SyncFree over k right-hand sides (Liu et al. [21]) | warp, k accumulators | CSR |
 //! | [`hybrid`] | §4.4 warp/thread fusion (future work) | mixed | CSR + row-block analysis |
+//!
+//! The three `*_multi` modules batch `k` right-hand sides per launch for
+//! the evaluation trio; per column their floating-point schedule matches
+//! the single-RHS kernel exactly, so batched solves are bit-identical to
+//! looped ones (pinned by `tests/batched.rs`).
 
 pub mod cusparse_like;
+pub mod cusparse_like_multi;
 pub mod hybrid;
 pub mod levelset;
 pub mod naive;
 pub mod syncfree;
 pub mod syncfree_csc;
+pub mod syncfree_multi;
 pub mod two_phase;
 pub mod writing_first;
 pub mod writing_first_multi;

@@ -243,6 +243,70 @@ pub fn in_degrees(csc: &CscMatrix) -> Vec<u32> {
     deg
 }
 
+/// The device-resident CSC structure plus the *consumable* scatter state
+/// (`left_sum`, `in_degree`). A session uploads this once and re-arms the
+/// consumable arrays between solves via [`rearm`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCsc {
+    /// Matrix dimension.
+    pub n: usize,
+    /// `cscColPtr` (n+1 entries).
+    pub col_ptr: BufU32,
+    /// `cscRowIdx` (nnz entries).
+    pub row_idx: BufU32,
+    /// `cscVal` (nnz entries).
+    pub values: BufF64,
+    /// Running right-hand-side corrections (consumed by each solve).
+    pub left_sum: BufF64,
+    /// Remaining unresolved dependencies per row (consumed by each solve).
+    pub in_degree: BufU32,
+}
+
+/// Uploads the CSC arrays and the initial in-degree state.
+pub fn upload_csc(dev: &mut GpuDevice, csc: &CscMatrix, deg: &[u32]) -> DeviceCsc {
+    let n = csc.n_cols();
+    let mem = dev.mem();
+    DeviceCsc {
+        n,
+        col_ptr: mem.alloc_u32(csc.col_ptr()),
+        row_idx: mem.alloc_u32(csc.row_idx()),
+        values: mem.alloc_f64(csc.values()),
+        left_sum: mem.alloc_f64_zeroed(n),
+        in_degree: mem.alloc_u32(deg),
+    }
+}
+
+/// Re-arms the consumable scatter state for another solve: the in-degree
+/// countdown is rewound to `deg` and `left_sum` is zeroed. Without this, a
+/// second launch would observe the drained counters of the first.
+pub fn rearm(dev: &mut GpuDevice, dc: DeviceCsc, deg: &[u32]) {
+    let mem = dev.mem();
+    mem.write_u32(dc.in_degree, deg);
+    mem.fill_f64(dc.left_sum, 0.0);
+}
+
+/// Launches the column-scatter kernel on pre-uploaded (and armed) state.
+pub fn launch_uploaded(
+    dev: &mut GpuDevice,
+    dc: DeviceCsc,
+    b: BufF64,
+    x: BufF64,
+) -> Result<LaunchStats, SimtError> {
+    let ws = dev.config().warp_size;
+    let kernel = SyncFreeCscKernel {
+        n: dc.n,
+        col_ptr: dc.col_ptr,
+        row_idx: dc.row_idx,
+        values: dc.values,
+        b,
+        x,
+        left_sum: dc.left_sum,
+        in_degree: dc.in_degree,
+        warp_size: ws as u32,
+    };
+    dev.launch(&kernel, dc.n)
+}
+
 /// Uploads the CSC system and runs the column-scatter SyncFree solver.
 pub fn solve(
     dev: &mut GpuDevice,
@@ -253,23 +317,13 @@ pub fn solve(
     let csc = l.csr().to_csc();
     let deg = in_degrees(&csc);
     let n = l.n();
-    let ws = dev.config().warp_size;
+    let dc = upload_csc(dev, &csc, &deg);
     let mem = dev.mem();
-    let kernel = SyncFreeCscKernel {
-        n,
-        col_ptr: mem.alloc_u32(csc.col_ptr()),
-        row_idx: mem.alloc_u32(csc.row_idx()),
-        values: mem.alloc_f64(csc.values()),
-        b: mem.alloc_f64(b),
-        x: mem.alloc_f64_zeroed(n),
-        left_sum: mem.alloc_f64_zeroed(n),
-        in_degree: mem.alloc_u32(&deg),
-        warp_size: ws as u32,
-    };
-    let x_buf = kernel.x;
-    let stats = dev.launch(&kernel, n)?;
+    let b = mem.alloc_f64(b);
+    let x = mem.alloc_f64_zeroed(n);
+    let stats = launch_uploaded(dev, dc, b, x)?;
     Ok(SimSolve {
-        x: dev.mem_ref().read_f64(x_buf).to_vec(),
+        x: dev.mem_ref().read_f64(x).to_vec(),
         stats,
     })
 }

@@ -12,10 +12,10 @@
 //! Layout: `X` and `B` are row-major `n×m` (`x[i*m + r]`), so one row's
 //! values sit in consecutive sectors.
 
-use capellini_simt::{Effect, GpuDevice, LaneMem, Pc, SimtError, WarpKernel, PC_EXIT};
+use capellini_simt::{Effect, GpuDevice, LaneMem, LaunchStats, Pc, SimtError, WarpKernel, PC_EXIT};
 use capellini_sparse::LowerTriangularCsr;
 
-use crate::buffers::DeviceCsr;
+use crate::buffers::{DeviceCsr, MultiSolveBuffers};
 use crate::kernels::SimSolve;
 
 const P_LD_BEGIN: Pc = 0;
@@ -224,6 +224,24 @@ impl WarpKernel for WritingFirstMultiKernel {
     }
 }
 
+/// Launches the batched kernel on pre-uploaded device state — the session
+/// path (one thread per row, `mb.nrhs` right-hand sides per launch).
+pub fn launch_multi(
+    dev: &mut GpuDevice,
+    m: DeviceCsr,
+    mb: MultiSolveBuffers,
+) -> Result<LaunchStats, SimtError> {
+    let kernel = WritingFirstMultiKernel {
+        m,
+        nrhs: mb.nrhs as u32,
+        b: mb.b,
+        x: mb.x,
+        flags: mb.flags,
+    };
+    let n_warps = m.n.div_ceil(dev.config().warp_size);
+    dev.launch(&kernel, n_warps)
+}
+
 /// Solves `L X = B` for `nrhs` right-hand sides stored row-major in `bs`
 /// (`bs[i*nrhs + r]`); returns `X` in the same layout plus launch stats.
 pub fn solve_multi(
@@ -232,22 +250,11 @@ pub fn solve_multi(
     bs: &[f64],
     nrhs: usize,
 ) -> Result<SimSolve, SimtError> {
-    assert!(nrhs >= 1, "need at least one right-hand side");
-    assert_eq!(bs.len(), l.n() * nrhs, "B must be n x nrhs row-major");
     let dm = DeviceCsr::upload(dev, l);
-    let mem = dev.mem();
-    let kernel = WritingFirstMultiKernel {
-        m: dm,
-        nrhs: nrhs as u32,
-        b: mem.alloc_f64(bs),
-        x: mem.alloc_f64_zeroed(bs.len()),
-        flags: mem.alloc_flags(l.n()),
-    };
-    let x_buf = kernel.x;
-    let n_warps = l.n().div_ceil(dev.config().warp_size);
-    let stats = dev.launch(&kernel, n_warps)?;
+    let mb = MultiSolveBuffers::upload(dev, bs, l.n(), nrhs);
+    let stats = launch_multi(dev, dm, mb)?;
     Ok(SimSolve {
-        x: dev.mem_ref().read_f64(x_buf).to_vec(),
+        x: mb.read_x(dev),
         stats,
     })
 }

@@ -32,15 +32,17 @@ pub mod iterative;
 pub mod kernels;
 pub mod reference;
 pub mod select;
+pub mod session;
 pub mod solver;
 pub mod upper;
 
-pub use buffers::{DeviceCsr, SolveBuffers};
+pub use buffers::{DeviceCsr, MultiSolveBuffers, PooledSolveBuffers, SolveBuffers};
 pub use iterative::{gauss_seidel, pcg_ssor, sor, IterResult, SsorPreconditioner};
 pub use kernels::SimSolve;
 pub use reference::{solve_serial_csc, solve_serial_csr};
 pub use select::{algorithm_traits, recommend, Algorithm, GRANULARITY_THRESHOLD};
-pub use solver::{solve_simulated, SolveReport, Solver};
+pub use session::SolverSession;
+pub use solver::{solve_multi_simulated, solve_simulated, MultiSolveReport, SolveReport, Solver};
 pub use upper::solve_upper_simulated;
 
 /// Convenient glob import.
@@ -49,7 +51,10 @@ pub mod prelude {
     pub use crate::iterative::{gauss_seidel, pcg_ssor, sor, IterResult};
     pub use crate::reference::{solve_serial_csc, solve_serial_csr};
     pub use crate::select::{recommend, Algorithm};
-    pub use crate::solver::{solve_simulated, SolveReport, Solver};
+    pub use crate::session::SolverSession;
+    pub use crate::solver::{
+        solve_multi_simulated, solve_simulated, MultiSolveReport, SolveReport, Solver,
+    };
     pub use crate::upper::solve_upper_simulated;
     pub use capellini_simt::DeviceConfig;
 }

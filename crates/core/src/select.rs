@@ -122,7 +122,20 @@ pub const GRANULARITY_THRESHOLD: f64 = 0.7;
 /// Recommends the GPU algorithm for a matrix from its statistics — the
 /// decision rule behind Figure 6's optimal-algorithm map: thread-level when
 /// levels are wide and rows are sparse, warp-level otherwise.
+///
+/// The boundary is *strict*: the paper targets Capellini at δ **> 0.7**
+/// (SyncFree's performance peaks at 0.7 itself), so δ = 0.7 exactly stays
+/// with SyncFree. Degenerate systems (n ≤ 1) have no dependency structure
+/// for warp-level scheduling to exploit and go to Writing-First, the
+/// zero-preprocessing algorithm; a non-finite δ (Equation 1 degenerates on
+/// pathological inputs) falls back conservatively to SyncFree.
 pub fn recommend(stats: &MatrixStats) -> Algorithm {
+    if stats.n <= 1 {
+        return Algorithm::CapelliniWritingFirst;
+    }
+    if !stats.granularity.is_finite() {
+        return Algorithm::SyncFree;
+    }
     if stats.granularity > GRANULARITY_THRESHOLD {
         Algorithm::CapelliniWritingFirst
     } else {
@@ -134,7 +147,7 @@ pub fn recommend(stats: &MatrixStats) -> Algorithm {
 mod tests {
     use super::*;
     use capellini_sparse::gen;
-    use capellini_sparse::MatrixStats;
+    use capellini_sparse::{LowerTriangularCsr, MatrixStats};
 
     #[test]
     fn labels_are_unique() {
@@ -159,5 +172,60 @@ mod tests {
         assert_eq!(recommend(&wide), Algorithm::CapelliniWritingFirst);
         let deep = MatrixStats::compute(&gen::dense_band(2_000, 32, 2));
         assert_eq!(recommend(&deep), Algorithm::SyncFree);
+    }
+
+    /// Synthetic statistics with every field but δ held at unremarkable
+    /// values, for probing the decision boundary directly.
+    fn stats_with_granularity(n: usize, granularity: f64) -> MatrixStats {
+        MatrixStats {
+            n,
+            nnz: 3 * n,
+            n_levels: 10.max(n / 10),
+            nnz_row: 3.0,
+            n_level: n as f64 / 10.0,
+            granularity,
+            max_level_width: n.div_ceil(10),
+        }
+    }
+
+    /// Regression: δ exactly at the threshold must stay with SyncFree — the
+    /// paper says Capellini *wins* at δ > 0.7, and SyncFree's performance
+    /// peaks at 0.7 itself.
+    #[test]
+    fn threshold_boundary_is_strict() {
+        let at = stats_with_granularity(5_000, GRANULARITY_THRESHOLD);
+        assert_eq!(recommend(&at), Algorithm::SyncFree);
+        let just_above = stats_with_granularity(5_000, GRANULARITY_THRESHOLD + 1e-12);
+        assert_eq!(recommend(&just_above), Algorithm::CapelliniWritingFirst);
+        let just_below = stats_with_granularity(5_000, GRANULARITY_THRESHOLD - 1e-12);
+        assert_eq!(recommend(&just_below), Algorithm::SyncFree);
+    }
+
+    /// Regression: degenerate inputs must not fall through the δ comparison.
+    #[test]
+    fn degenerate_inputs_recommend_sanely() {
+        // Empty system: MatrixStats reports δ = 0.0, but the rule must not
+        // depend on that convention.
+        let empty = LowerTriangularCsr::try_new(
+            capellini_sparse::CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            recommend(&MatrixStats::compute(&empty)),
+            Algorithm::CapelliniWritingFirst
+        );
+        // Single row: nothing to schedule, zero-preprocessing wins.
+        assert_eq!(
+            recommend(&MatrixStats::compute(&gen::diagonal(1))),
+            Algorithm::CapelliniWritingFirst
+        );
+        // Non-finite δ (pathological Equation 1 inputs): conservative
+        // warp-level fallback, never a panic or an accidental Capellini.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                recommend(&stats_with_granularity(5_000, bad)),
+                Algorithm::SyncFree
+            );
+        }
     }
 }

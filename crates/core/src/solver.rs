@@ -105,6 +105,110 @@ pub fn solve_simulated(
     })
 }
 
+/// The outcome of one batched (SpTRSM) solve over `nrhs` right-hand sides.
+#[derive(Debug, Clone)]
+pub struct MultiSolveReport {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Number of right-hand sides solved together.
+    pub nrhs: usize,
+    /// The solution block, row-major `n × nrhs` (`x[i*nrhs + r]`).
+    pub x: Vec<f64>,
+    /// Raw simulator counters, accumulated over every launch involved.
+    pub stats: LaunchStats,
+    /// Host-side preprocessing time. Charged once for a batched kernel,
+    /// once per column for the looped fallback, and zero on session solves.
+    pub preprocessing_ms: f64,
+    /// Kernel execution time in milliseconds.
+    pub exec_ms: f64,
+    /// GFLOPS/s at `2·nnz·nrhs` useful flops.
+    pub gflops: f64,
+    /// DRAM read+write bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// Solves `L X = B` for `nrhs` right-hand sides packed row-major in `bs`
+/// (`bs[i*nrhs + r]`) on a fresh simulated device. The evaluation trio
+/// (SyncFree, cuSPARSE-like, Writing-First) runs its dedicated SpTRSM
+/// kernel in a single launch; every other algorithm loops `nrhs`
+/// single-RHS solves (each paying its preprocessing) and accumulates the
+/// statistics. Both paths return `X` bit-identical to column-by-column
+/// solving.
+///
+/// Shape mismatches are recoverable [`SimtError::Launch`] errors.
+pub fn solve_multi_simulated(
+    config: &DeviceConfig,
+    l: &LowerTriangularCsr,
+    bs: &[f64],
+    nrhs: usize,
+    algorithm: Algorithm,
+) -> Result<MultiSolveReport, SimtError> {
+    let n = l.n();
+    let nnz = l.nnz();
+    if nrhs == 0 {
+        return Err(SimtError::Launch(
+            "need at least one right-hand side".to_string(),
+        ));
+    }
+    if bs.len() != n * nrhs {
+        return Err(SimtError::Launch(format!(
+            "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {}",
+            bs.len(),
+            n * nrhs
+        )));
+    }
+    let host = HostCostModel::default();
+    let (x, stats, preprocessing_ms) = if matches!(
+        algorithm,
+        Algorithm::SyncFree | Algorithm::CusparseLike | Algorithm::CapelliniWritingFirst
+    ) {
+        let mut dev = GpuDevice::new(config.clone());
+        let (sim, pre) = match algorithm {
+            Algorithm::SyncFree => (
+                kernels::syncfree_multi::solve_multi(&mut dev, l, bs, nrhs)?,
+                host.syncfree_preprocessing_ms(n, nnz),
+            ),
+            Algorithm::CusparseLike => (
+                kernels::cusparse_like_multi::solve_multi(&mut dev, l, bs, nrhs)?,
+                host.cusparse_preprocessing_ms(n, nnz),
+            ),
+            _ => (
+                kernels::writing_first_multi::solve_multi(&mut dev, l, bs, nrhs)?,
+                host.capellini_preprocessing_ms(n),
+            ),
+        };
+        (sim.x, sim.stats, pre)
+    } else {
+        let mut x = vec![0.0; n * nrhs];
+        let mut stats = LaunchStats::default();
+        let mut pre = 0.0;
+        let mut col = vec![0.0; n];
+        for r in 0..nrhs {
+            for i in 0..n {
+                col[i] = bs[i * nrhs + r];
+            }
+            let rep = solve_simulated(config, l, &col, algorithm)?;
+            stats.accumulate(&rep.stats);
+            pre += rep.preprocessing_ms;
+            for (i, &xi) in rep.x.iter().enumerate() {
+                x[i * nrhs + r] = xi;
+            }
+        }
+        (x, stats, pre)
+    };
+    let useful_flops = 2 * nnz as u64 * nrhs as u64;
+    Ok(MultiSolveReport {
+        algorithm,
+        nrhs,
+        exec_ms: stats.time_ms(config),
+        gflops: stats.gflops(config, useful_flops),
+        bandwidth_gbs: stats.bandwidth_gbs(config),
+        x,
+        stats,
+        preprocessing_ms,
+    })
+}
+
 /// A reusable solver bound to one matrix: computes statistics once,
 /// recommends an algorithm, and exposes both simulated-GPU and native-CPU
 /// solving.
@@ -154,6 +258,34 @@ impl Solver {
         solve_simulated(config, &self.l, b, algorithm)
     }
 
+    /// Solves `nrhs` right-hand sides (row-major block) on a simulated
+    /// device with the recommended algorithm.
+    pub fn solve_multi_simulated(
+        &self,
+        config: &DeviceConfig,
+        bs: &[f64],
+        nrhs: usize,
+    ) -> Result<MultiSolveReport, SimtError> {
+        solve_multi_simulated(config, &self.l, bs, nrhs, self.recommend())
+    }
+
+    /// Solves `nrhs` right-hand sides with an explicit algorithm.
+    pub fn solve_multi_simulated_with(
+        &self,
+        config: &DeviceConfig,
+        bs: &[f64],
+        nrhs: usize,
+        algorithm: Algorithm,
+    ) -> Result<MultiSolveReport, SimtError> {
+        solve_multi_simulated(config, &self.l, bs, nrhs, algorithm)
+    }
+
+    /// Opens a [`crate::session::SolverSession`] on this matrix: analysis
+    /// runs once, then many solves reuse it (see the session module docs).
+    pub fn session(&self, config: &DeviceConfig) -> crate::session::SolverSession {
+        crate::session::SolverSession::with_algorithm(config, self.l.clone(), self.recommend())
+    }
+
     /// Solves natively on the CPU with self-scheduled busy-wait threads
     /// (the CPU analog of CapelliniSpTRSV).
     pub fn solve_cpu(&self, b: &[f64], n_threads: usize) -> Vec<f64> {
@@ -200,6 +332,53 @@ mod tests {
         assert!(lv.preprocessing_ms > cu.preprocessing_ms);
         assert!(cu.preprocessing_ms > sf.preprocessing_ms);
         assert!(sf.preprocessing_ms > wf.preprocessing_ms);
+    }
+
+    #[test]
+    fn solve_multi_matches_looped_single_solves_bitwise() {
+        let l = gen::powerlaw(400, 3.0, 44);
+        let n = l.n();
+        let nrhs = 3;
+        let cfg = DeviceConfig::pascal_like();
+        let mut bs = vec![0.0; n * nrhs];
+        let mut cols: Vec<Vec<f64>> = Vec::new();
+        for r in 0..nrhs {
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * (r + 2) + 5) % 17) as f64 - 8.0)
+                .collect();
+            for i in 0..n {
+                bs[i * nrhs + r] = b[i];
+            }
+            cols.push(b);
+        }
+        // A batched-kernel algorithm and a looped-fallback algorithm.
+        for algo in [Algorithm::SyncFree, Algorithm::CapelliniTwoPhase] {
+            let rep = solve_multi_simulated(&cfg, &l, &bs, nrhs, algo).unwrap();
+            assert_eq!(rep.nrhs, nrhs);
+            assert!(rep.preprocessing_ms > 0.0);
+            assert!(rep.exec_ms > 0.0);
+            for (r, b) in cols.iter().enumerate() {
+                let single = solve_simulated(&cfg, &l, b, algo).unwrap();
+                for i in 0..n {
+                    assert_eq!(
+                        rep.x[i * nrhs + r].to_bits(),
+                        single.x[i].to_bits(),
+                        "{}: rhs {r} row {i}",
+                        algo.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_rejects_bad_shapes() {
+        let l = gen::diagonal(8);
+        let cfg = DeviceConfig::pascal_like();
+        let err = solve_multi_simulated(&cfg, &l, &[1.0; 15], 2, Algorithm::SyncFree).unwrap_err();
+        assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
+        let err = solve_multi_simulated(&cfg, &l, &[], 0, Algorithm::SyncFree).unwrap_err();
+        assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
     }
 
     #[test]

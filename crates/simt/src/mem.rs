@@ -340,6 +340,48 @@ impl DeviceMemory {
         }
     }
 
+    /// Host-side overwrite of a *prefix* of an `f64` buffer; the remainder
+    /// (if any) is zero-filled. This is the reuse path for pooled buffers
+    /// whose capacity outlives the current problem size: the stale tail from
+    /// a previous, larger solve is scrubbed rather than left observable.
+    pub fn write_f64_prefix(&mut self, h: BufF64, data: &[f64]) {
+        match &mut self.bufs[h.0 as usize].data {
+            BufData::F64(v) => {
+                assert!(
+                    data.len() <= v.len(),
+                    "host write of {} elements exceeds buffer capacity {}",
+                    data.len(),
+                    v.len()
+                );
+                v[..data.len()].copy_from_slice(data);
+                v[data.len()..].fill(0.0);
+            }
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    /// Host-side fill of an `f64` buffer with a constant (the pooled analogue
+    /// of `cudaMemset` on an intermediate array between launches).
+    pub fn fill_f64(&mut self, h: BufF64, val: f64) {
+        match &mut self.bufs[h.0 as usize].data {
+            BufData::F64(v) => v.fill(val),
+            _ => panic!("buffer {} is not f64", h.0),
+        }
+    }
+
+    /// Host-side overwrite of a `u32` buffer (lengths must match). Used to
+    /// re-arm consumable state such as SyncFree's in-degree array between
+    /// session solves.
+    pub fn write_u32(&mut self, h: BufU32, data: &[u32]) {
+        match &mut self.bufs[h.0 as usize].data {
+            BufData::U32(v) => {
+                assert_eq!(v.len(), data.len(), "host write length mismatch");
+                v.copy_from_slice(data);
+            }
+            _ => panic!("buffer {} is not u32", h.0),
+        }
+    }
+
     fn f64s(&self, h: BufF64) -> &Vec<f64> {
         match &self.bufs[h.0 as usize].data {
             BufData::F64(v) => v,

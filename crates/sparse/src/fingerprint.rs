@@ -1,0 +1,149 @@
+//! Content fingerprinting for cached analysis (the `SolverSession` layer).
+//!
+//! Production analyze/solve splits (cuSPARSE `csrsv2`, MKL's inspector) key
+//! cached preprocessing on the *identity* of the matrix object; that breaks
+//! the moment a caller rebuilds a structurally identical factor. A content
+//! fingerprint — a hash over dimensions, index structure, and the exact
+//! value bits — keys the cache on what the kernels actually consume, so a
+//! session can cheaply assert it is still solving the matrix it analyzed.
+//!
+//! The hash is FNV-1a (64-bit), chosen because it is dependency-free,
+//! deterministic across platforms, and byte-order-stable (all words are fed
+//! little-endian). It is *not* cryptographic: a fingerprint match is a
+//! cache-validity check, not a security boundary.
+
+use crate::csr::CsrMatrix;
+use crate::triangular::LowerTriangularCsr;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a (64-bit) hasher over little-endian words.
+///
+/// Exposed so callers can fingerprint composite inputs (e.g. a matrix plus
+/// a device configuration) under one scheme.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Starts a new hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+
+    /// Feeds one 64-bit word, byte by byte, little-endian.
+    pub fn write_u64(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u32` slice, prefixed with its length so adjacent slices
+    /// cannot alias (`[1,2]+[3]` vs `[1]+[2,3]`).
+    pub fn write_u32s(&mut self, words: &[u32]) {
+        self.write_u64(words.len() as u64);
+        for &w in words {
+            self.write_u64(u64::from(w));
+        }
+    }
+
+    /// Feeds an `f64` slice via the exact IEEE-754 bit patterns (length
+    /// prefixed). `-0.0` and `0.0` therefore fingerprint differently, as do
+    /// distinct NaN payloads — the kernels consume bits, not equivalence
+    /// classes.
+    pub fn write_f64s(&mut self, vals: &[f64]) {
+        self.write_u64(vals.len() as u64);
+        for &v in vals {
+            self.write_u64(v.to_bits());
+        }
+    }
+
+    /// The current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprints a CSR matrix: dimensions, `row_ptr`, `col_idx`, and value
+/// bits. Two matrices fingerprint equal iff a CSR-consuming kernel would
+/// read identical bytes from both.
+pub fn fingerprint_csr(m: &CsrMatrix) -> u64 {
+    let mut h = Fingerprinter::new();
+    h.write_u64(m.n_rows() as u64);
+    h.write_u64(m.n_cols() as u64);
+    h.write_u32s(m.row_ptr());
+    h.write_u32s(m.col_idx());
+    h.write_f64s(m.values());
+    h.finish()
+}
+
+/// Fingerprints a validated lower-triangular system (its underlying CSR).
+pub fn fingerprint(l: &LowerTriangularCsr) -> u64 {
+    fingerprint_csr(l.csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::paper_example;
+
+    #[test]
+    fn identical_matrices_fingerprint_equal() {
+        assert_eq!(fingerprint(&paper_example()), fingerprint(&paper_example()));
+        let a = gen::chain(64, 1, 7);
+        let b = gen::chain(64, 1, 7);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn value_change_changes_fingerprint() {
+        let a = paper_example();
+        let mut csr = a.csr().clone();
+        csr.values_mut()[3] += 1.0;
+        let b = LowerTriangularCsr::try_new(csr).unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn structure_change_changes_fingerprint() {
+        assert_ne!(
+            fingerprint(&gen::chain(64, 1, 7)),
+            fingerprint(&gen::chain(64, 2, 7))
+        );
+        assert_ne!(
+            fingerprint(&gen::chain(64, 1, 7)),
+            fingerprint(&gen::chain(65, 1, 7))
+        );
+    }
+
+    #[test]
+    fn sign_of_zero_is_observed() {
+        // The kernels read raw bits; the fingerprint must too.
+        let mut a = Fingerprinter::new();
+        a.write_f64s(&[0.0]);
+        let mut b = Fingerprinter::new();
+        b.write_f64s(&[-0.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_slice_aliasing() {
+        let mut a = Fingerprinter::new();
+        a.write_u32s(&[1, 2]);
+        a.write_u32s(&[3]);
+        let mut b = Fingerprinter::new();
+        b.write_u32s(&[1]);
+        b.write_u32s(&[2, 3]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

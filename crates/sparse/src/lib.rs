@@ -26,11 +26,13 @@ pub mod csr;
 pub mod dataset;
 pub mod diagnostics;
 pub mod error;
+pub mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod levels;
 pub mod linalg;
 pub mod permute;
+pub mod rhs;
 pub mod stats;
 pub mod triangular;
 
@@ -38,7 +40,9 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use fingerprint::{fingerprint, fingerprint_csr, Fingerprinter};
 pub use levels::LevelSets;
+pub use rhs::RhsBlock;
 pub use stats::{parallel_granularity, GranularityParams, MatrixStats};
 pub use triangular::{solve_serial_upper, LowerTriangularCsr, UpperTriangularCsr};
 
@@ -46,10 +50,12 @@ pub use triangular::{solve_serial_upper, LowerTriangularCsr, UpperTriangularCsr}
 pub mod prelude {
     pub use crate::dataset::{self, DatasetEntry, Scale};
     pub use crate::diagnostics;
+    pub use crate::fingerprint::{fingerprint, fingerprint_csr, Fingerprinter};
     pub use crate::gen;
     pub use crate::levels::LevelSets;
     pub use crate::linalg;
     pub use crate::permute;
+    pub use crate::rhs::RhsBlock;
     pub use crate::stats::{parallel_granularity, MatrixStats};
     pub use crate::{
         CooMatrix, CscMatrix, CsrMatrix, LowerTriangularCsr, SparseError, UpperTriangularCsr,

@@ -1,0 +1,140 @@
+//! Right-hand-side blocks for multi-RHS (SpTRSM) solves.
+//!
+//! The batched kernels in `capellini-core` solve `L·X = B` for an `n × k`
+//! block of right-hand sides in one launch. This module fixes the memory
+//! layout they share: **row-major** storage, `data[i * k + r]` holding row
+//! `i` of column `r`. Row-major is the coalescing-friendly choice on the
+//! simulated GPU — the `k` accumulators a lane touches for its row are
+//! adjacent, so per-lane RHS columns land in the same cache sectors.
+
+/// An `n × k` block of right-hand sides (or solutions), row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhsBlock {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl RhsBlock {
+    /// An all-zero `n × k` block.
+    pub fn zeros(n: usize, k: usize) -> Self {
+        RhsBlock {
+            n,
+            k,
+            data: vec![0.0; n * k],
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != n * k`.
+    pub fn from_row_major(n: usize, k: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * k, "RHS block must be n x k row-major");
+        RhsBlock { n, k, data }
+    }
+
+    /// Packs `k` equal-length columns into a row-major block.
+    ///
+    /// # Panics
+    /// If the columns have unequal lengths.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        let k = cols.len();
+        let n = cols.first().map_or(0, Vec::len);
+        let mut data = vec![0.0; n * k];
+        for (r, col) in cols.iter().enumerate() {
+            assert_eq!(col.len(), n, "RHS columns must have equal length");
+            for (i, &v) in col.iter().enumerate() {
+                data[i * k + r] = v;
+            }
+        }
+        RhsBlock { n, k, data }
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of right-hand sides (columns).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Extracts column `r` as a contiguous vector.
+    ///
+    /// # Panics
+    /// If `r >= k`.
+    pub fn column(&self, r: usize) -> Vec<f64> {
+        assert!(r < self.k, "column {r} out of range for k={}", self.k);
+        (0..self.n).map(|i| self.data[i * self.k + r]).collect()
+    }
+
+    /// Overwrites column `r`.
+    ///
+    /// # Panics
+    /// If `r >= k` or `col.len() != n`.
+    pub fn set_column(&mut self, r: usize, col: &[f64]) {
+        assert!(r < self.k, "column {r} out of range for k={}", self.k);
+        assert_eq!(col.len(), self.n, "column length must equal n");
+        for (i, &v) in col.iter().enumerate() {
+            self.data[i * self.k + r] = v;
+        }
+    }
+
+    /// All columns, unpacked.
+    pub fn to_columns(&self) -> Vec<Vec<f64>> {
+        (0..self.k).map(|r| self.column(r)).collect()
+    }
+
+    /// The underlying row-major slice (length `n * k`).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the block, yielding the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let blk = RhsBlock::from_columns(&cols);
+        assert_eq!(blk.n(), 3);
+        assert_eq!(blk.k(), 2);
+        // Row-major interleave: row i holds [col0[i], col1[i]].
+        assert_eq!(blk.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(blk.to_columns(), cols);
+    }
+
+    #[test]
+    fn set_column_overwrites_in_place() {
+        let mut blk = RhsBlock::zeros(2, 3);
+        blk.set_column(1, &[7.0, 8.0]);
+        assert_eq!(blk.column(1), vec![7.0, 8.0]);
+        assert_eq!(blk.column(0), vec![0.0, 0.0]);
+        assert_eq!(blk.as_slice(), &[0.0, 7.0, 0.0, 0.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_blocks_are_well_formed() {
+        let blk = RhsBlock::from_columns(&[]);
+        assert_eq!(blk.n(), 0);
+        assert_eq!(blk.k(), 0);
+        assert!(blk.as_slice().is_empty());
+        let blk = RhsBlock::zeros(0, 4);
+        assert_eq!(blk.to_columns(), vec![Vec::<f64>::new(); 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_columns_are_rejected() {
+        RhsBlock::from_columns(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Records the amortized-batched-solving result (cached SolverSession +
+# multi-RHS kernels) as BENCH_<N>.json at the repo root so future PRs can
+# track the perf trajectory. N is the first unused number, so successive
+# runs append to the series instead of clobbering earlier records.
+#
+# Runs `repro batch`, which times k cold single-RHS solves against k warm
+# session solves and one warm batched solve of the same right-hand-side
+# block (verifying the batched block is bit-identical to the cold solves),
+# and copies the resulting results/batch.json into BENCH_<N>.json.
+#
+# Usage: scripts/bench_batch.sh [scale]
+#   scale    small|medium|full (default: small)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+
+# `batch` times live solves, never the CSV cache, but point the results dir
+# at a scratch location anyway so the json lands somewhere disposable.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" ./target/release/repro batch --scale "$SCALE"
+
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/batch.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

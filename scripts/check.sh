@@ -23,4 +23,7 @@ cargo test --release -q -p capellini-sptrsv --test spin_fastforward
 echo "==> engine_spin smoke (calibration asserts Replay/FastForward stats equality)"
 cargo bench -q -p capellini-bench --bench engine_spin -- --quick
 
+echo "==> engine_batch smoke (calibration asserts batched == looped bit-exactness)"
+cargo bench -q -p capellini-bench --bench engine_batch -- --quick
+
 echo "==> all checks passed"

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|auto]
-//!                [--device pascal|volta|turing] [--profile trace.json [--profile-interval N]]
+//!                [--device pascal|volta|turing] [--rhs-cols K] [--session N]
+//!                [--profile trace.json [--profile-interval N]]
 //!                [--cpu [THREADS]] [--out x.txt]
 //! sptrsv stats   --matrix L.mtx
 //! sptrsv gen     --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]
@@ -18,7 +19,9 @@ use std::fs;
 use std::io::BufReader;
 use std::process::exit;
 
-use capellini_sptrsv::core::{solve_simulated, Algorithm, Solver};
+use capellini_sptrsv::core::{
+    solve_multi_simulated, solve_simulated, Algorithm, Solver, SolverSession,
+};
 use capellini_sptrsv::prelude::*;
 use capellini_sptrsv::sparse::{io as mmio, CsrMatrix};
 
@@ -41,7 +44,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession"
     );
 }
 
@@ -130,8 +133,41 @@ fn cmd_solve(args: &[String]) {
         }
     };
 
+    let rhs_cols: usize = match flag_value(args, "--rhs-cols") {
+        None => 1,
+        Some(v) => v.parse().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
+            eprintln!("--rhs-cols must be a positive integer, got {v}");
+            exit(2);
+        }),
+    };
+    let session_reps: Option<usize> = flag_value(args, "--session").map(|v| {
+        v.parse().ok().filter(|&r| r >= 1).unwrap_or_else(|| {
+            eprintln!("--session must be a positive integer, got {v}");
+            exit(2);
+        })
+    });
+
+    // The row-major `n × K` right-hand-side block for batched solving:
+    // column r scales the base rhs by (r + 1), so each column is distinct
+    // with a known relationship to the single-rhs solve.
+    let bs: Vec<f64> = if rhs_cols == 1 {
+        b.clone()
+    } else {
+        let mut bs = vec![0.0; n * rhs_cols];
+        for (j, &bj) in b.iter().enumerate() {
+            for r in 0..rhs_cols {
+                bs[j * rhs_cols + r] = bj * (r as f64 + 1.0);
+            }
+        }
+        bs
+    };
+
     let solver = Solver::new(l);
     let x = if has_flag(args, "--cpu") {
+        if rhs_cols > 1 || session_reps.is_some() {
+            eprintln!("--rhs-cols and --session run on the simulated GPU; drop --cpu");
+            exit(2);
+        }
         let threads = flag_value(args, "--cpu")
             .and_then(|v| v.parse().ok())
             .unwrap_or(4);
@@ -161,44 +197,117 @@ fn cmd_solve(args: &[String]) {
         }
         .scaled_down(4);
         let trace_path = flag_value(args, "--profile");
-        if trace_path.is_some() {
-            let interval = flag_value(args, "--profile-interval")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(256);
-            device.profile = ProfileMode::sampled(interval);
+        if trace_path.is_some() && (rhs_cols > 1 || session_reps.is_some()) {
+            eprintln!("--profile is only supported for single cold solves");
+            exit(2);
         }
-        let rep = solve_simulated(&device, solver.matrix(), &b, algo).unwrap_or_else(|e| {
-            eprintln!("solve failed: {e}");
-            exit(1);
-        });
-        if let Some(path) = trace_path {
-            let json = capellini_sptrsv::simt::trace::chrome::trace_json(&rep.profiles);
-            fs::write(path, json).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
+        if let Some(reps) = session_reps {
+            // Analyze once, solve many: the amortized workflow.
+            let mut session = SolverSession::with_algorithm(&device, solver.matrix().clone(), algo);
+            eprintln!(
+                "session: {} analyzed once in {:.3} ms (fingerprint {:016x})",
+                algo.label(),
+                session.analysis_ms(),
+                session.fingerprint()
+            );
+            let mut total_ms = 0.0;
+            let mut x = Vec::new();
+            for _ in 0..reps {
+                let rep_result = if rhs_cols == 1 {
+                    session.solve(&b).map(|rep| (rep.exec_ms, rep.x))
+                } else {
+                    session
+                        .solve_multi(&bs, rhs_cols)
+                        .map(|rep| (rep.exec_ms, rep.x))
+                };
+                let (exec_ms, xi) = rep_result.unwrap_or_else(|e| {
+                    eprintln!("solve failed: {e}");
+                    exit(1);
+                });
+                total_ms += exec_ms;
+                x = xi;
+            }
+            eprintln!(
+                "{reps} warm solve(s) x {rhs_cols} rhs on simulated {}: {:.3} ms exec total, {:.3} ms mean, {} grid-plan reuse(s)",
+                device.name,
+                total_ms,
+                total_ms / reps as f64,
+                session.device().grid_reuses()
+            );
+            x
+        } else if rhs_cols > 1 {
+            let rep = solve_multi_simulated(&device, solver.matrix(), &bs, rhs_cols, algo)
+                .unwrap_or_else(|e| {
+                    eprintln!("solve failed: {e}");
+                    exit(1);
+                });
+            eprintln!(
+                "{} on simulated {}: {} rhs in {:.3} ms exec (+{:.3} ms preprocessing), {:.2} GFLOPS, {:.1} GB/s",
+                algo.label(),
+                device.name,
+                rhs_cols,
+                rep.exec_ms,
+                rep.preprocessing_ms,
+                rep.gflops,
+                rep.bandwidth_gbs
+            );
+            rep.x
+        } else {
+            if trace_path.is_some() {
+                let interval = flag_value(args, "--profile-interval")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(256);
+                device.profile = ProfileMode::sampled(interval);
+            }
+            let rep = solve_simulated(&device, solver.matrix(), &b, algo).unwrap_or_else(|e| {
+                eprintln!("solve failed: {e}");
                 exit(1);
             });
+            if let Some(path) = trace_path {
+                let json = capellini_sptrsv::simt::trace::chrome::trace_json(&rep.profiles);
+                fs::write(path, json).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                });
+                eprintln!(
+                    "profile: {} launch(es) traced to {path} (open in chrome://tracing or Perfetto)",
+                    rep.profiles.len()
+                );
+            }
             eprintln!(
-                "profile: {} launch(es) traced to {path} (open in chrome://tracing or Perfetto)",
-                rep.profiles.len()
+                "{} on simulated {}: {:.3} ms exec (+{:.3} ms preprocessing), {:.2} GFLOPS, {:.1} GB/s",
+                algo.label(),
+                device.name,
+                rep.exec_ms,
+                rep.preprocessing_ms,
+                rep.gflops,
+                rep.bandwidth_gbs
             );
+            rep.x
         }
-        eprintln!(
-            "{} on simulated {}: {:.3} ms exec (+{:.3} ms preprocessing), {:.2} GFLOPS, {:.1} GB/s",
-            algo.label(),
-            device.name,
-            rep.exec_ms,
-            rep.preprocessing_ms,
-            rep.gflops,
-            rep.bandwidth_gbs
-        );
-        rep.x
     };
 
-    let res = linalg::residual_inf(solver.matrix(), &x, &b);
-    eprintln!("residual |Lx-b|_inf = {res:.3e}");
+    if rhs_cols == 1 {
+        let res = linalg::residual_inf(solver.matrix(), &x, &b);
+        eprintln!("residual |Lx-b|_inf = {res:.3e}");
+    } else {
+        for r in 0..rhs_cols {
+            let xr: Vec<f64> = (0..n).map(|j| x[j * rhs_cols + r]).collect();
+            let br: Vec<f64> = (0..n).map(|j| bs[j * rhs_cols + r]).collect();
+            let res = linalg::residual_inf(solver.matrix(), &xr, &br);
+            eprintln!("residual col {r} |Lx-b|_inf = {res:.3e}");
+        }
+    }
     match flag_value(args, "--out") {
         Some(path) => {
-            let text: String = x.iter().map(|v| format!("{v:.17e}\n")).collect();
+            // One solution row per line: `rhs_cols` values for each matrix row.
+            let text: String = x
+                .chunks(rhs_cols)
+                .map(|row| {
+                    let vals: Vec<String> = row.iter().map(|v| format!("{v:.17e}")).collect();
+                    format!("{}\n", vals.join(" "))
+                })
+                .collect();
             fs::write(path, text).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 exit(1);

@@ -1,0 +1,149 @@
+//! The `sptrsv` binary must fail *readably*: malformed input exits nonzero
+//! with a diagnostic on stderr, never a panic backtrace. These tests drive
+//! the real binary via `CARGO_BIN_EXE_sptrsv`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sptrsv(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sptrsv"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// A scratch file under the target-specific temp dir, unique per test.
+fn scratch(name: &str, contents: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sptrsv-cli-errors-{}-{name}", std::process::id()));
+    fs::write(&p, contents).expect("can write scratch file");
+    p
+}
+
+/// Asserts the command failed with a human diagnostic, not a panic.
+#[track_caller]
+fn assert_readable_failure(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "expected nonzero exit, got success; stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "stderr shows a panic instead of a diagnostic: {stderr}"
+    );
+    assert!(
+        !stderr.contains("RUST_BACKTRACE"),
+        "stderr shows a backtrace hint: {stderr}"
+    );
+    assert!(
+        stderr.to_lowercase().contains(&needle.to_lowercase()),
+        "stderr should mention {needle:?}: {stderr}"
+    );
+}
+
+const VALID_LOWER_3X3: &str = "%%MatrixMarket matrix coordinate real general\n\
+3 3 4\n1 1 2.0\n2 2 2.0\n3 1 1.0\n3 3 2.0\n";
+
+#[test]
+fn missing_matrix_file_is_an_error() {
+    let out = sptrsv(&["solve", "--matrix", "/nonexistent/definitely-missing.mtx"]);
+    assert_readable_failure(&out, "cannot open");
+}
+
+#[test]
+fn malformed_matrix_market_is_an_error() {
+    let p = scratch("garbage.mtx", "this is not a matrix market file\n1 2\n");
+    let out = sptrsv(&["solve", "--matrix", p.to_str().unwrap()]);
+    assert_readable_failure(&out, "cannot parse");
+    let _ = fs::remove_file(p);
+}
+
+#[test]
+fn truncated_entry_is_an_error() {
+    let p = scratch(
+        "truncated.mtx",
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 2.0\n2\n",
+    );
+    let out = sptrsv(&["solve", "--matrix", p.to_str().unwrap()]);
+    assert_readable_failure(&out, "cannot parse");
+    let _ = fs::remove_file(p);
+}
+
+#[test]
+fn non_square_matrix_is_an_error() {
+    let p = scratch(
+        "nonsquare.mtx",
+        "%%MatrixMarket matrix coordinate real general\n3 4 2\n1 1 2.0\n2 2 2.0\n",
+    );
+    let out = sptrsv(&["solve", "--matrix", p.to_str().unwrap()]);
+    assert_readable_failure(&out, "square");
+    let _ = fs::remove_file(p);
+}
+
+#[test]
+fn rhs_length_mismatch_is_an_error_not_a_panic() {
+    let m = scratch("good.mtx", VALID_LOWER_3X3);
+    let b = scratch("short-rhs.txt", "1.0 2.0\n");
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--rhs",
+        b.to_str().unwrap(),
+    ]);
+    assert_readable_failure(&out, "matrix needs 3");
+    let _ = fs::remove_file(m);
+    let _ = fs::remove_file(b);
+}
+
+#[test]
+fn unparsable_rhs_value_is_an_error() {
+    let m = scratch("good2.mtx", VALID_LOWER_3X3);
+    let b = scratch("bad-rhs.txt", "1.0 two 3.0\n");
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--rhs",
+        b.to_str().unwrap(),
+    ]);
+    assert_readable_failure(&out, "bad rhs value");
+    let _ = fs::remove_file(m);
+    let _ = fs::remove_file(b);
+}
+
+#[test]
+fn bad_batching_flags_are_usage_errors() {
+    let m = scratch("good3.mtx", VALID_LOWER_3X3);
+    for (flag, bad) in [
+        ("--rhs-cols", "0"),
+        ("--rhs-cols", "three"),
+        ("--session", "0"),
+        ("--session", "-2"),
+    ] {
+        let out = sptrsv(&["solve", "--matrix", m.to_str().unwrap(), flag, bad]);
+        assert_readable_failure(&out, "positive integer");
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad} is a usage error");
+    }
+    let _ = fs::remove_file(m);
+}
+
+#[test]
+fn valid_input_still_succeeds() {
+    let m = scratch("good4.mtx", VALID_LOWER_3X3);
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--rhs-cols",
+        "2",
+        "--session",
+        "3",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected success, stderr: {stderr}");
+    assert!(stderr.contains("analyzed once"), "stderr: {stderr}");
+    let _ = fs::remove_file(m);
+}
