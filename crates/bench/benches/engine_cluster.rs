@@ -1,0 +1,94 @@
+//! Clustered-engine bench: host ns per solve when the simulated SMs advance
+//! on 1, 2 or 4 host threads (`DeviceConfig::with_engine_threads`). The
+//! speedup claim lives in the wall-clock ratio; the *correctness* claim —
+//! clustering changes nothing observable — is enforced during calibration:
+//! every clustered run's `LaunchStats` and solution must be bit-identical
+//! to the serial engine's, or the run aborts before any timing happens.
+//!
+//! `--quick` shrinks the matrix and time budgets to a CI smoke run; the
+//! calibration equality check runs at every size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{solve_simulated, Algorithm};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::dataset::{wiki_talk_like, Scale};
+use capellini_sparse::gen;
+use capellini_sparse::LowerTriangularCsr;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn matrix() -> (&'static str, LowerTriangularCsr) {
+    if quick() {
+        ("random_k(800)", gen::random_k(800, 3, 800, 2395))
+    } else {
+        let e = wiki_talk_like(Scale::Small);
+        ("wiki_talk_like(small)", e.spec.build(e.seed))
+    }
+}
+
+fn bench_engine_cluster(c: &mut Criterion) {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let (warm, meas) = if quick() {
+        (Duration::from_millis(100), Duration::from_millis(300))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    };
+    let (mname, l) = matrix();
+    let b: Vec<f64> = (0..l.n()).map(|i| (i % 13) as f64 - 6.0).collect();
+
+    for algo in [Algorithm::SyncFree, Algorithm::CapelliniWritingFirst] {
+        // Calibration doubles as the determinism check: a clustered engine
+        // that drifts by one counter or one solution bit is wrong, and
+        // timing it would be meaningless.
+        let serial = solve_simulated(&cfg, &l, &b, algo).expect("serial solve");
+        for threads in THREAD_COUNTS {
+            let clustered =
+                solve_simulated(&cfg.clone().with_engine_threads(threads), &l, &b, algo)
+                    .expect("clustered solve");
+            assert_eq!(
+                format!("{:?}", clustered.stats),
+                format!("{:?}", serial.stats),
+                "{}/{mname}: stats diverged at {threads} engine threads",
+                algo.label()
+            );
+            for (i, (cv, sv)) in clustered.x.iter().zip(&serial.x).enumerate() {
+                assert_eq!(
+                    cv.to_bits(),
+                    sv.to_bits(),
+                    "{}/{mname}: x[{i}] diverged at {threads} engine threads",
+                    algo.label()
+                );
+            }
+        }
+        println!(
+            "[engine_cluster] {}/{mname}: serial == clustered at {THREAD_COUNTS:?} threads (bit-exact)",
+            algo.label()
+        );
+
+        let mut g = c.benchmark_group("engine_cluster");
+        g.warm_up_time(warm);
+        g.measurement_time(meas);
+        for threads in THREAD_COUNTS {
+            let tcfg = cfg.clone().with_engine_threads(threads);
+            g.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}/{mname}", algo.label()),
+                    format!("threads={threads}"),
+                ),
+                &l,
+                |bch, l| bch.iter(|| solve_simulated(&tcfg, l, &b, algo).unwrap()),
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine_cluster);
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! SM-cluster scheduling for the parallel engine (DESIGN.md §11).
+//!
+//! The engine partitions a device's SMs into `engine_threads` contiguous
+//! **clusters**. Each cluster owns a private event heap holding exactly the
+//! entries the serial engine would keep in its single global heap for warps
+//! resident on that cluster's SMs; [`ClusterSched::pop`] merges the streams
+//! by taking the arg-min over the cluster heap tops.
+//!
+//! **Determinism argument.** A heap key is `(tick, warp_id, seq)` and a
+//! warp lives on exactly one SM, so no `(tick, warp_id)` pair ever appears
+//! in two different cluster heaps — keys that compare equal across clusters
+//! cannot exist, and duplicate keys for one warp (stale seqs) land in the
+//! *same* cluster heap, where `BinaryHeap` compares them exactly as the
+//! serial engine's single heap would. The merged pop order is therefore
+//! *identical* to the serial pop order for every input, which is what makes
+//! `LaunchStats`, golden traces, racecheck verdicts, deadlock snapshots and
+//! sampled profiles bit-exact by construction rather than by tuning.
+//!
+//! Parallelism comes from what happens *between* two pops: worker threads
+//! eagerly advance fast-forwarded (parked) warps inside each cluster up to
+//! the **synchronization horizon** — the earliest event that could make one
+//! cluster's state visible to another. Under sequential consistency that is
+//! the next scheduled event (every instruction can store); under
+//! [`crate::MemoryModel::Relaxed`] it is additionally capped by the earliest
+//! autonomous store-buffer drain deadline ([`safe_horizon`]). Waiter wakes
+//! from the spin registry always enter the schedule as kick entries at or
+//! after the current pop key, so they never move the horizon earlier.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::LaunchStats;
+
+/// Global event-heap key: `(tick, warp_id, push_seq)`.
+pub(crate) type HeapKey = (u64, u32, u32);
+
+/// Pooled backing storage for a [`ClusterSched`], kept in the engine's
+/// launch scratch so repeated launches stay allocation-free.
+#[derive(Default)]
+pub(crate) struct SchedParts {
+    /// `starts[c]` = first SM of cluster `c`; `starts[n_clusters]` = sm_count.
+    pub starts: Vec<usize>,
+    /// SM → owning cluster.
+    pub owner: Vec<u32>,
+    /// One event heap per cluster.
+    pub heaps: Vec<BinaryHeap<Reverse<HeapKey>>>,
+}
+
+/// The deterministic k-way merge scheduler over per-cluster event heaps.
+pub(crate) struct ClusterSched {
+    parts: SchedParts,
+}
+
+impl ClusterSched {
+    /// Builds a scheduler for `sm_count` SMs split into
+    /// `threads.clamp(1, sm_count)` balanced contiguous clusters, reusing
+    /// the pooled `parts` storage.
+    pub(crate) fn new(sm_count: usize, threads: usize, mut parts: SchedParts) -> Self {
+        assert!(sm_count > 0, "cluster partition of an SM-less device");
+        let n = threads.clamp(1, sm_count);
+        parts.starts.clear();
+        parts.starts.extend((0..=n).map(|c| c * sm_count / n));
+        parts.owner.clear();
+        parts.owner.resize(sm_count, 0);
+        for c in 0..n {
+            for sm in parts.starts[c]..parts.starts[c + 1] {
+                parts.owner[sm] = c as u32;
+            }
+        }
+        if parts.heaps.len() < n {
+            parts.heaps.resize_with(n, BinaryHeap::new);
+        }
+        parts.heaps.truncate(n);
+        for h in &mut parts.heaps {
+            h.clear();
+        }
+        ClusterSched { parts }
+    }
+
+    /// Number of clusters.
+    pub(crate) fn n_clusters(&self) -> usize {
+        self.parts.starts.len() - 1
+    }
+
+    /// Cluster boundaries: `starts()[c]..starts()[c + 1]` is cluster `c`.
+    pub(crate) fn starts(&self) -> &[usize] {
+        &self.parts.starts
+    }
+
+    /// Schedules an event for a warp resident on `sm`.
+    pub(crate) fn push(&mut self, sm: usize, key: HeapKey) {
+        let c = self.parts.owner[sm] as usize;
+        self.parts.heaps[c].push(Reverse(key));
+    }
+
+    /// Pops the globally earliest event — the arg-min over cluster heap
+    /// tops, which equals the serial single-heap pop order (see module
+    /// docs for why no cross-cluster key tie can exist).
+    pub(crate) fn pop(&mut self) -> Option<HeapKey> {
+        let mut best: Option<(usize, HeapKey)> = None;
+        for (c, h) in self.parts.heaps.iter().enumerate() {
+            if let Some(&Reverse(k)) = h.peek() {
+                let better = match best {
+                    None => true,
+                    Some((_, bk)) => k < bk,
+                };
+                if better {
+                    best = Some((c, k));
+                }
+            }
+        }
+        let (c, _) = best?;
+        self.parts.heaps[c].pop().map(|Reverse(k)| k)
+    }
+
+    /// Returns the pooled storage to the launch scratch.
+    pub(crate) fn into_parts(mut self) -> SchedParts {
+        for h in &mut self.parts.heaps {
+            h.clear();
+        }
+        self.parts
+    }
+}
+
+/// The synchronization horizon for eager cross-pop advancement: the
+/// earliest tick at which one cluster's progress could become visible to
+/// another. `pop` is the key just taken from the merged schedule (the next
+/// instruction to issue anywhere — under SC every instruction is a
+/// potential store-visibility event); `drain_due` is the earliest
+/// autonomous store-buffer drain deadline under `Relaxed`
+/// ([`crate::mem::DeviceMemory::next_drain_due`]), which can publish a
+/// store *without* any instruction issuing. Eager advancement strictly
+/// below the returned key can never cross a visibility event.
+pub(crate) fn safe_horizon(pop: (u64, u32), drain_due: Option<u64>) -> (u64, u32) {
+    match drain_due {
+        Some(d) if d < pop.0 => (d, 0),
+        _ => pop,
+    }
+}
+
+/// Splits `len` elements off the front of `*rest`, leaving the tail — the
+/// borrow-splitting primitive that hands each cluster worker exclusive
+/// `&mut` access to its own SMs' per-SM state rows.
+pub(crate) fn take_front<'a, T>(rest: &mut &'a mut [T], len: usize) -> &'a mut [T] {
+    let slice = std::mem::take(rest);
+    let (head, tail) = slice.split_at_mut(len);
+    *rest = tail;
+    head
+}
+
+/// A shadow cursor for one parked warp: the worker-side copy of the spin
+/// advancement state (`idx` into the signature, next poll tick, ready
+/// flag). Workers read the shared spin table but never write it; they
+/// advance shadows, and the coordinator applies touched shadows back in
+/// cluster order after the horizon join — keeping the parallel phase free
+/// of write sharing without `unsafe`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Shadow {
+    /// Warp whose cursor this is.
+    pub wid: u32,
+    /// Position in the captured spin signature.
+    pub idx: usize,
+    /// Tick of the warp's next virtual poll.
+    pub next_tick: u64,
+    /// Whether the warp sits on its SM's ready row.
+    pub ready: bool,
+    /// Set once the worker advances this cursor (only touched shadows are
+    /// written back).
+    pub touched: bool,
+}
+
+/// Per-cluster worker scratch, pooled across launches. `stats` and
+/// `end_tick` are partial sums the coordinator merges saturatingly (the
+/// order-independence that makes the merge bit-exact is proved in
+/// `metrics::sat_add`'s docs); `updates` are the touched shadows to apply.
+#[derive(Default)]
+pub(crate) struct EagerScratch {
+    /// Whether this cluster has eligible work for the current horizon.
+    pub active: bool,
+    /// Partial counter sums accumulated by this cluster's worker.
+    pub stats: LaunchStats,
+    /// Partial max of the last-completion tick.
+    pub end_tick: u64,
+    /// Touched shadow cursors to write back into the spin table.
+    pub updates: Vec<Shadow>,
+    /// Reusable per-SM shadow table.
+    pub shadows: Vec<Shadow>,
+}
+
+impl EagerScratch {
+    /// Resets the scratch for a new horizon window.
+    pub(crate) fn reset(&mut self) {
+        self.active = false;
+        self.stats = LaunchStats::default();
+        self.end_tick = 0;
+        self.updates.clear();
+        self.shadows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_balanced_contiguous_and_total() {
+        for sm_count in [1, 2, 5, 20, 56, 80] {
+            for threads in [1, 2, 3, 4, 8, 200] {
+                let s = ClusterSched::new(sm_count, threads, SchedParts::default());
+                let n = s.n_clusters();
+                assert_eq!(n, threads.clamp(1, sm_count));
+                let starts = s.starts();
+                assert_eq!(starts[0], 0);
+                assert_eq!(starts[n], sm_count);
+                for c in 0..n {
+                    let len = starts[c + 1] - starts[c];
+                    // Balanced: sizes differ by at most one.
+                    assert!(len >= sm_count / n && len <= sm_count / n + 1);
+                    for sm in starts[c]..starts[c + 1] {
+                        assert_eq!(s.parts.owner[sm] as usize, c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_pop_order_equals_single_heap_order() {
+        // Feed the same pseudo-random key set to a serial heap and to a
+        // clustered scheduler (warp w lives on SM w % sm_count) and demand
+        // identical pop sequences — including duplicate (tick, warp) pairs
+        // with different seqs, the stale-entry case.
+        let sm_count = 10;
+        for threads in [1, 2, 3, 4, 8] {
+            let mut sched = ClusterSched::new(sm_count, threads, SchedParts::default());
+            let mut serial: BinaryHeap<Reverse<HeapKey>> = BinaryHeap::new();
+            let mut rng: u64 = 0x1234_5678_9abc_def0;
+            let mut step = || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rng >> 33
+            };
+            for seq in 0..500u32 {
+                let tick = step() % 64; // dense ticks force plenty of ties
+                let wid = (step() % 40) as u32;
+                let key = (tick, wid, seq);
+                serial.push(Reverse(key));
+                sched.push(wid as usize % sm_count, key);
+            }
+            let mut merged = Vec::new();
+            while let Some(k) = sched.pop() {
+                merged.push(k);
+            }
+            let mut expect = Vec::new();
+            while let Some(Reverse(k)) = serial.pop() {
+                expect.push(k);
+            }
+            assert_eq!(merged, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn horizon_caps_at_the_drain_clock_under_relaxed() {
+        assert_eq!(safe_horizon((100, 7), None), (100, 7));
+        assert_eq!(safe_horizon((100, 7), Some(200)), (100, 7));
+        assert_eq!(safe_horizon((100, 7), Some(100)), (100, 7));
+        assert_eq!(safe_horizon((100, 7), Some(99)), (99, 0));
+    }
+
+    #[test]
+    fn take_front_walks_disjoint_cluster_rows() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let mut rest: &mut [u32] = &mut data;
+        let a = take_front(&mut rest, 3);
+        let b = take_front(&mut rest, 4);
+        let c = take_front(&mut rest, 3);
+        assert_eq!(a, [0, 1, 2]);
+        assert_eq!(b, [3, 4, 5, 6]);
+        assert_eq!(c, [7, 8, 9]);
+        assert!(rest.is_empty());
+        // Exclusive mutation through the split borrows.
+        a[0] = 100;
+        b[0] = 200;
+        c[0] = 300;
+        assert_eq!(data[0], 100);
+        assert_eq!(data[3], 200);
+        assert_eq!(data[7], 300);
+    }
+}

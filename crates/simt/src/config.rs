@@ -180,6 +180,14 @@ pub struct DeviceConfig {
     /// Spin-loop simulation strategy (see [`SpinModel`]). `FastForward` by
     /// default; `Replay` is the differential reference.
     pub spin_model: SpinModel,
+    /// Host threads the engine may use to advance SM clusters concurrently
+    /// between synchronization horizons (see DESIGN.md §11). `1` (the
+    /// default) is the plain serial engine; any value is **bit-exact** with
+    /// it — the clustered scheduler merges per-cluster event streams in the
+    /// serial order, so `LaunchStats`, traces, racecheck verdicts, deadlock
+    /// snapshots, and profiles never depend on this knob. Values above
+    /// `sm_count` are clamped to one cluster per SM.
+    pub engine_threads: usize,
 }
 
 impl DeviceConfig {
@@ -207,6 +215,7 @@ impl DeviceConfig {
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
+            engine_threads: 1,
         }
     }
 
@@ -234,6 +243,7 @@ impl DeviceConfig {
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
+            engine_threads: 1,
         }
     }
 
@@ -261,6 +271,7 @@ impl DeviceConfig {
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
+            engine_threads: 1,
         }
     }
 
@@ -292,6 +303,7 @@ impl DeviceConfig {
             memory_model: MemoryModel::SequentiallyConsistent,
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
+            engine_threads: 1,
         }
     }
 
@@ -328,6 +340,15 @@ impl DeviceConfig {
     /// style, like [`DeviceConfig::with_memory_model`]).
     pub fn with_spin_model(mut self, spin_model: SpinModel) -> Self {
         self.spin_model = spin_model;
+        self
+    }
+
+    /// Returns this configuration with the given engine-thread count
+    /// (builder style, like [`DeviceConfig::with_memory_model`]). The
+    /// cluster engine clamps the value to `[1, sm_count]` at launch time,
+    /// so any `n` is valid; results are bit-exact regardless.
+    pub fn with_engine_threads(mut self, engine_threads: usize) -> Self {
+        self.engine_threads = engine_threads;
         self
     }
 
@@ -441,6 +462,18 @@ mod tests {
         assert_eq!(DeviceConfig::toy().spin_model, SpinModel::default());
         let replay = DeviceConfig::toy().with_spin_model(SpinModel::Replay);
         assert_eq!(replay.spin_model, SpinModel::Replay);
+    }
+
+    #[test]
+    fn engine_threads_defaults_to_one() {
+        for cfg in DeviceConfig::evaluation_platforms() {
+            assert_eq!(cfg.engine_threads, 1);
+        }
+        assert_eq!(DeviceConfig::toy().engine_threads, 1);
+        let four = DeviceConfig::pascal_like().with_engine_threads(4);
+        assert_eq!(four.engine_threads, 4);
+        // Builder-set values survive the other builders and scaling.
+        assert_eq!(four.scaled_down(4).engine_threads, 4);
     }
 
     #[test]

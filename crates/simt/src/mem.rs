@@ -488,6 +488,21 @@ impl DeviceMemory {
         self.relaxed.as_mut().and_then(|rs| rs.race.take())
     }
 
+    /// Earliest autonomous-drain deadline over all pending buffered stores,
+    /// or `None` when the relaxed model is disarmed or no store is
+    /// undrained. The cluster engine uses this as the `Relaxed`
+    /// cross-cluster visibility horizon (DESIGN.md §11): strictly before
+    /// this tick no buffered store can reach DRAM without an instruction
+    /// issuing first, so eager per-cluster advancement capped at
+    /// `min(next event, next_drain_due)` can never run past a drain that
+    /// another cluster should have observed.
+    pub(crate) fn next_drain_due(&self) -> Option<u64> {
+        self.relaxed
+            .as_ref()
+            .map(|rs| rs.min_due)
+            .filter(|&d| d != u64::MAX)
+    }
+
     // ---- spin fast-forward waiter registry (engine-internal) ------------
 
     /// Parks `warp` on every word in `watch`. Returns the earliest

@@ -4,6 +4,19 @@
 
 use crate::config::DeviceConfig;
 
+/// Saturating in-place add for one counter. Every accumulation path in the
+/// engine — per-instruction bumps, fast-forward closed forms, and the
+/// cluster engine's partial-sum merges — goes through this helper (or
+/// [`LaunchStats::accumulate`]) so that counters are *order-independent*:
+/// a saturating sum of saturating partial sums equals the saturating sum of
+/// the serial interleaving (both are `min(u64::MAX, Σ)` for non-negative
+/// addends). Mixing wrapping and saturating adds would break that identity
+/// at overflow and let cluster-merged counters diverge from serial.
+#[inline]
+pub(crate) fn sat_add(counter: &mut u64, v: u64) {
+    *counter = counter.saturating_add(v);
+}
+
 /// Counters collected over one kernel launch (or accumulated over several,
 /// e.g. the per-level launches of Level-Set SpTRSV).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -243,6 +256,43 @@ mod tests {
         };
         assert_eq!(busy.bandwidth_utilization_pct(&no_bw), 0.0);
         assert!(busy.bandwidth_utilization_pct(&cfg).is_finite());
+    }
+
+    #[test]
+    fn partial_sum_merges_match_serial_accumulation_at_overflow() {
+        // The cluster engine accumulates per-cluster partial stats and
+        // merges them afterwards; serial execution accumulates the same
+        // increments in interleaved order. With saturating adds everywhere
+        // both orders give min(u64::MAX, Σ); a single wrapping add in
+        // either path would break this near the top of the range.
+        let increments: [u64; 5] = [u64::MAX / 2, 7, u64::MAX / 2, 40, 3];
+        let mut serial = 0u64;
+        for v in increments {
+            sat_add(&mut serial, v);
+        }
+        // Split [a, b | c, d, e] across two "clusters", then merge.
+        let (mut part_a, mut part_b) = (0u64, 0u64);
+        for v in &increments[..2] {
+            sat_add(&mut part_a, *v);
+        }
+        for v in &increments[2..] {
+            sat_add(&mut part_b, *v);
+        }
+        let mut merged = part_a;
+        sat_add(&mut merged, part_b);
+        assert_eq!(merged, serial);
+        assert_eq!(serial, u64::MAX);
+        // Same property through the struct-level merge helper.
+        let mut s = LaunchStats {
+            failed_polls: u64::MAX / 2 + 7,
+            ..Default::default()
+        };
+        let part = LaunchStats {
+            failed_polls: u64::MAX / 2 + 43,
+            ..Default::default()
+        };
+        s.accumulate(&part);
+        assert_eq!(s.failed_polls, u64::MAX);
     }
 
     #[test]

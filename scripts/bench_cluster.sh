@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Measures the clustered-engine speedup (DeviceConfig::with_engine_threads)
+# and records it as BENCH_<N>.json at the repo root so future PRs can track
+# the perf trajectory. N is the first unused number, so successive runs
+# append to the series instead of clobbering earlier records.
+#
+# Runs `repro cluster-timing`, which times each solve on the serial engine
+# and on a 4-cluster engine (verifying stats and solutions are bit-identical
+# before timing anything), and copies results/cluster_timing.json into
+# BENCH_<N>.json.
+#
+# Usage: scripts/bench_cluster.sh [scale] [limit]
+#   scale    small|medium|full (default: small)
+#   limit    cap on suite matrices, 0 = no cap (default: 12)
+#
+# Note: the measured speedup is only meaningful on a machine with >= 4
+# physical cores; on a single-core container the clustered pass can at best
+# reach parity, and the record documents that ceiling (host_cpus is in the
+# JSON).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+LIMIT="${2:-12}"
+
+# cluster-timing writes its JSON under the results dir; point it at a
+# scratch location so the repo's results/ cache is untouched.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" \
+    ./target/release/repro cluster-timing --scale "$SCALE" --limit "$LIMIT"
+
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/cluster_timing.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -26,4 +26,17 @@ cargo bench -q -p capellini-bench --bench engine_spin -- --quick
 echo "==> engine_batch smoke (calibration asserts batched == looped bit-exactness)"
 cargo bench -q -p capellini-bench --bench engine_batch -- --quick
 
+echo "==> clustered-engine differential suite (serial vs 2/4/8 clusters bit-exactness)"
+cargo test --release -q -p capellini-sptrsv --test engine_cluster
+
+echo "==> engine_cluster smoke (calibration asserts serial == clustered bit-exactness)"
+cargo bench -q -p capellini-bench --bench engine_cluster -- --quick
+
+# Calibration panics must fail the gate under a non-default thread count
+# too: the benches run their equality asserts before Criterion forks any
+# timing work, and `set -e` above propagates their exit codes verbatim.
+echo "==> 2-thread smoke (bench calibrations under CAPELLINI_THREADS=2)"
+CAPELLINI_THREADS=2 cargo bench -q -p capellini-bench --bench engine_cluster -- --quick
+CAPELLINI_THREADS=2 cargo bench -q -p capellini-bench --bench engine_batch -- --quick
+
 echo "==> all checks passed"

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|auto]
-//!                [--device pascal|volta|turing] [--rhs-cols K] [--session N]
+//!                [--device pascal|volta|turing] [--engine-threads N]
+//!                [--rhs-cols K] [--session N]
 //!                [--profile trace.json [--profile-interval N]]
 //!                [--cpu [THREADS]] [--out x.txt]
 //! sptrsv stats   --matrix L.mtx
@@ -44,7 +45,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)"
     );
 }
 
@@ -196,6 +197,13 @@ fn cmd_solve(args: &[String]) {
             }
         }
         .scaled_down(4);
+        if let Some(v) = flag_value(args, "--engine-threads") {
+            let threads = v.parse().ok().filter(|&t| t >= 1).unwrap_or_else(|| {
+                eprintln!("--engine-threads must be a positive integer, got {v}");
+                exit(2);
+            });
+            device = device.with_engine_threads(threads);
+        }
         let trace_path = flag_value(args, "--profile");
         if trace_path.is_some() && (rhs_cols > 1 || session_reps.is_some()) {
             eprintln!("--profile is only supported for single cold solves");

@@ -1,0 +1,259 @@
+//! Differential suite for the clustered parallel engine
+//! (`DeviceConfig::with_engine_threads`, DESIGN.md §11): partitioning the
+//! simulated SMs across host threads must be *observationally invisible* —
+//! identical `LaunchStats`, solutions, traces, profiles, and error
+//! diagnostics at every cluster count, under every memory model × spin
+//! model combination. The serial engine (1 thread) is the oracle; 2, 4 and
+//! 8 clusters must reproduce it bit-for-bit.
+
+use capellini_sptrsv::core::kernels::{
+    cusparse_like, hybrid, levelset, syncfree, syncfree_csc, two_phase, writing_first,
+};
+use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::simt::config::StoreScope;
+use capellini_sptrsv::simt::{GpuDevice, ProfileMode, Trace};
+use capellini_sptrsv::sparse::{gen, paper_example};
+
+type Solve =
+    fn(
+        &mut GpuDevice,
+        &LowerTriangularCsr,
+        &[f64],
+    ) -> Result<capellini_sptrsv::core::kernels::SimSolve, capellini_sptrsv::simt::SimtError>;
+
+const CLUSTER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn kernels() -> Vec<(&'static str, Solve)> {
+    vec![
+        ("writing_first", writing_first::solve as Solve),
+        ("syncfree", syncfree::solve as Solve),
+        ("syncfree_csc", syncfree_csc::solve as Solve),
+        ("two_phase", two_phase::solve as Solve),
+        ("levelset", levelset::solve as Solve),
+        ("cusparse_like", cusparse_like::solve as Solve),
+        ("hybrid", hybrid::solve as Solve),
+    ]
+}
+
+/// The same dataset miniature as `spin_fastforward.rs`: the paper's 8×8
+/// example, a serial chain (worst-case spin depth, maximal parking), a
+/// random DAG, and a banded matrix (mixed level widths).
+fn matrices() -> Vec<(&'static str, LowerTriangularCsr)> {
+    vec![
+        ("paper8", paper_example()),
+        ("chain256", gen::chain(256, 1, 7)),
+        ("randomk", gen::random_k(600, 3, 600, 42)),
+        ("banded", gen::banded(400, 5, 0.6, 7)),
+    ]
+}
+
+fn base_cfg() -> DeviceConfig {
+    DeviceConfig::pascal_like().scaled_down(4)
+}
+
+fn rhs(l: &LowerTriangularCsr) -> Vec<f64> {
+    let x_true: Vec<f64> = (0..l.n()).map(|i| (i % 13) as f64 - 6.0).collect();
+    linalg::rhs_for_solution(l, &x_true)
+}
+
+/// Runs one (kernel, matrix, config) cell at a given engine-thread count
+/// and renders *everything observable* into one comparable string: the full
+/// stats debug form, the solution bit patterns, the heap-event count, and —
+/// on failure — the complete error display.
+fn observe(
+    solve: Solve,
+    l: &LowerTriangularCsr,
+    b: &[f64],
+    cfg: &DeviceConfig,
+    threads: usize,
+) -> String {
+    let mut dev = GpuDevice::new(cfg.clone().with_engine_threads(threads));
+    let body = match solve(&mut dev, l, b) {
+        Ok(o) => {
+            let bits: Vec<u64> = o.x.iter().map(|v| v.to_bits()).collect();
+            format!("ok stats={:?} xbits={bits:?}", o.stats)
+        }
+        Err(e) => format!("err={e}"),
+    };
+    format!("{body} heap_events={}", dev.last_launch_heap_events())
+}
+
+fn diff_one(name: &str, mname: &str, solve: Solve, l: &LowerTriangularCsr, cfg: &DeviceConfig) {
+    let b = rhs(l);
+    let serial = observe(solve, l, &b, cfg, 1);
+    for threads in CLUSTER_COUNTS {
+        let clustered = observe(solve, l, &b, cfg, threads);
+        assert_eq!(
+            clustered, serial,
+            "{name} on {mname}: diverged at {threads} engine threads"
+        );
+    }
+}
+
+fn diff_all(cfg: &DeviceConfig) {
+    for (mname, l) in &matrices() {
+        for (name, solve) in &kernels() {
+            diff_one(name, mname, *solve, l, cfg);
+        }
+    }
+}
+
+#[test]
+fn clusters_bit_exact_sc_replay() {
+    diff_all(&base_cfg().with_spin_model(SpinModel::Replay));
+}
+
+#[test]
+fn clusters_bit_exact_sc_fastforward() {
+    diff_all(&base_cfg().with_spin_model(SpinModel::FastForward));
+}
+
+#[test]
+fn clusters_bit_exact_relaxed_replay() {
+    diff_all(
+        &base_cfg()
+            .with_memory_model(MemoryModel::relaxed(2_000))
+            .with_spin_model(SpinModel::Replay),
+    );
+}
+
+#[test]
+fn clusters_bit_exact_relaxed_fastforward() {
+    diff_all(
+        &base_cfg()
+            .with_memory_model(MemoryModel::relaxed(2_000))
+            .with_spin_model(SpinModel::FastForward),
+    );
+}
+
+#[test]
+fn clusters_bit_exact_relaxed_sm_scope() {
+    diff_all(
+        &base_cfg()
+            .with_memory_model(MemoryModel::Relaxed {
+                drain_ticks: 2_000,
+                scope: StoreScope::Sm,
+                racecheck: false,
+            })
+            .with_spin_model(SpinModel::FastForward),
+    );
+}
+
+#[test]
+fn clusters_bit_exact_racecheck() {
+    diff_all(
+        &base_cfg()
+            .with_memory_model(MemoryModel::racecheck(2_000))
+            .with_spin_model(SpinModel::FastForward),
+    );
+}
+
+/// The fixture that caught the lazy-SM wake-projection bug, at parallel
+/// scale: enough warps per SM that every cluster has real parked work.
+#[test]
+fn clusters_bit_exact_on_golden_fixture() {
+    let l = gen::random_k(3000, 3, 3000, 42);
+    let cfg = base_cfg().with_spin_model(SpinModel::FastForward);
+    diff_one(
+        "syncfree",
+        "randomk3000",
+        syncfree::solve as Solve,
+        &l,
+        &cfg,
+    );
+    diff_one(
+        "writing_first",
+        "randomk3000",
+        writing_first::solve as Solve,
+        &l,
+        &cfg,
+    );
+}
+
+/// Golden traces: the rendered event stream — every issue, retire, poll and
+/// wake with its tick — must be byte-identical across cluster counts.
+#[test]
+fn clustered_traces_bit_exact() {
+    let l = gen::random_k(600, 3, 600, 42);
+    let b = rhs(&l);
+    let run_sf = |threads: usize| {
+        let mut dev = GpuDevice::new(base_cfg().with_engine_threads(threads));
+        let mut tr = Trace::new();
+        syncfree::solve_traced(&mut dev, &l, &b, &mut tr).unwrap();
+        tr.render()
+    };
+    let run_wf = |threads: usize| {
+        let mut dev = GpuDevice::new(base_cfg().with_engine_threads(threads));
+        let mut tr = Trace::new();
+        writing_first::solve_traced(&mut dev, &l, &b, &mut tr).unwrap();
+        tr.render()
+    };
+    let (sf, wf) = (run_sf(1), run_wf(1));
+    for threads in CLUSTER_COUNTS {
+        assert_eq!(run_sf(threads), sf, "syncfree trace diverged at {threads}");
+        assert_eq!(
+            run_wf(threads),
+            wf,
+            "writing_first trace diverged at {threads}"
+        );
+    }
+}
+
+/// Sampled stall-attribution profiles, including the spans reconstructed
+/// from fast-forwarded spins, must survive clustering bit-exactly.
+#[test]
+fn clustered_profiles_bit_exact() {
+    let l = gen::random_k(600, 3, 600, 42);
+    let b = rhs(&l);
+    let run = |threads: usize| {
+        let mut dev = GpuDevice::new(
+            base_cfg()
+                .with_profile(ProfileMode::sampled(64))
+                .with_engine_threads(threads),
+        );
+        syncfree::solve(&mut dev, &l, &b).unwrap();
+        format!("{:?}", dev.take_profiles())
+    };
+    let serial = run(1);
+    for threads in CLUSTER_COUNTS {
+        assert_eq!(run(threads), serial, "profile diverged at {threads}");
+    }
+}
+
+/// Timeout diagnostics: a run that exhausts its cycle budget must report
+/// the same error text — same cycle counts, same live-warp census — from
+/// the clustered engine as from the serial one.
+#[test]
+fn clustered_timeout_diagnostics_match_serial() {
+    let l = gen::chain(256, 1, 7);
+    let b = rhs(&l);
+    let mut cfg = base_cfg().with_spin_model(SpinModel::FastForward);
+    cfg.max_cycles = 1_000; // far below the chain's dependency depth
+    let run = |threads: usize| {
+        let mut dev = GpuDevice::new(cfg.clone().with_engine_threads(threads));
+        syncfree::solve(&mut dev, &l, &b).unwrap_err().to_string()
+    };
+    let serial = run(1);
+    assert!(
+        serial.contains("cycle budget"),
+        "expected a timeout: {serial}"
+    );
+    for threads in CLUSTER_COUNTS {
+        assert_eq!(run(threads), serial, "timeout text diverged at {threads}");
+    }
+}
+
+/// A device with fewer SMs than requested clusters must clamp silently and
+/// still match — the edge where cluster partitions become single-SM.
+#[test]
+fn cluster_count_above_sm_count_clamps() {
+    let l = paper_example();
+    let b = rhs(&l);
+    let mut cfg = base_cfg();
+    cfg.sm_count = 2;
+    let serial = observe(syncfree::solve as Solve, &l, &b, &cfg, 1);
+    for threads in [2, 3, 64] {
+        let clustered = observe(syncfree::solve as Solve, &l, &b, &cfg, threads);
+        assert_eq!(clustered, serial, "diverged at {threads} threads on 2 SMs");
+    }
+}

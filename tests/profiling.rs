@@ -129,6 +129,61 @@ fn chrome_trace_round_trips_through_a_json_parser() {
     }
 }
 
+/// The clustered engine (`with_engine_threads`) must export the *same*
+/// Chrome trace as the serial engine — byte-for-byte — and that trace must
+/// still round-trip through the parser with each SM's counter track in
+/// monotonically non-decreasing timestamp order (interval buckets are
+/// emitted in cycle order per SM, clusters or not).
+#[test]
+fn clustered_chrome_trace_round_trips_and_orders_per_sm_events() {
+    let l = gen::random_k(3000, 3, 3000, 42);
+    let b = vec![1.0; l.n()];
+    for (kname, solve) in KERNELS {
+        let run = |threads: usize| {
+            let cfg = DeviceConfig::pascal_like()
+                .scaled_down(4)
+                .with_profile(ProfileMode::sampled(64))
+                .with_engine_threads(threads);
+            let mut dev = GpuDevice::new(cfg);
+            solve(&mut dev, &l, &b).unwrap();
+            chrome::trace_json(&dev.take_profiles())
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            let clustered = run(threads);
+            assert_eq!(
+                clustered, serial,
+                "{kname}: trace JSON diverged at {threads} engine threads"
+            );
+            let doc = json::parse(&clustered)
+                .unwrap_or_else(|e| panic!("{kname} at {threads} threads: bad JSON: {e}"));
+            let events = doc["traceEvents"].as_array().expect("traceEvents array");
+            // Per-SM counter timestamps must be monotone: collect the "C"
+            // track of each pid in document order and check ordering.
+            let mut last_ts: std::collections::BTreeMap<String, f64> =
+                std::collections::BTreeMap::new();
+            let mut counters = 0usize;
+            for ev in events {
+                if ev["ph"].as_str() != Some("C") {
+                    continue;
+                }
+                counters += 1;
+                let sm = format!("{:?}", ev["pid"]);
+                let ts = ev["ts"].as_f64().expect("counter ts");
+                if let Some(&prev) = last_ts.get(&sm) {
+                    assert!(
+                        ts >= prev,
+                        "{kname} at {threads} threads: SM {sm} counter went backwards \
+                         ({prev} -> {ts})"
+                    );
+                }
+                last_ts.insert(sm, ts);
+            }
+            assert!(counters > 0, "{kname}: no counter events to order-check");
+        }
+    }
+}
+
 #[test]
 fn empty_profile_list_is_still_a_valid_document() {
     let doc = json::parse(&chrome::trace_json(&[])).unwrap();
