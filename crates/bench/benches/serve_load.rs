@@ -1,0 +1,165 @@
+//! Serving-layer bench: host ns per request burst through the multi-tenant
+//! [`SolverService`] in two configurations:
+//!
+//! * `coalesced` — a 3 ms coalesce window with `max_batch = 8`, so the
+//!   burst's near-simultaneous arrivals merge into multi-RHS launches;
+//! * `uncoalesced` — a zero-width window, the continuous-batching-off
+//!   baseline where every request pays its own launch.
+//!
+//! During calibration the coalesced burst is checked **bit-identical** to
+//! fresh serial [`SolverSession`] solves of the same right-hand sides, and
+//! the run asserts that the burst actually coalesced (largest launch > 1
+//! rhs) — timing an accidentally-serial service would be meaningless.
+//!
+//! `--quick` shrinks the matrix and time budgets to a CI smoke run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{MatrixHandle, ServiceConfig, SolverService, SolverSession};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::dataset::{wiki_talk_like, Scale};
+use capellini_sparse::gen;
+use capellini_sparse::LowerTriangularCsr;
+
+const BURST: usize = 12;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn matrix() -> (&'static str, LowerTriangularCsr) {
+    if quick() {
+        (
+            "ultra_sparse_wide(500)",
+            gen::ultra_sparse_wide(500, 6, 1, 77),
+        )
+    } else {
+        let e = wiki_talk_like(Scale::Small);
+        ("wiki_talk_like(small)", e.spec.build(e.seed))
+    }
+}
+
+fn rhs(n: usize, r: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 3 + 7 * r + 1) % 29) as f64 - 14.0)
+        .collect()
+}
+
+/// Fires a BURST-wide thread-per-request salvo at the service and returns
+/// the largest launch any response rode in.
+fn fire_burst(service: &SolverService, handle: &MatrixHandle) -> usize {
+    let largest = std::sync::Mutex::new(1usize);
+    std::thread::scope(|scope| {
+        for r in 0..BURST {
+            let largest = &largest;
+            scope.spawn(move || {
+                let b = rhs(handle.matrix().n(), r);
+                let resp = service
+                    .solve(&format!("tenant-{}", r % 3), handle, &b)
+                    .expect("bench burst stays under the depth bound");
+                let mut g = largest.lock().unwrap();
+                *g = (*g).max(resp.batch_size);
+            });
+        }
+    });
+    largest.into_inner().unwrap()
+}
+
+fn service(window: Duration) -> SolverService {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    SolverService::new(
+        ServiceConfig::new(cfg)
+            .with_coalesce_window(window)
+            .with_max_batch(8),
+    )
+}
+
+fn bench_serve_load(c: &mut Criterion) {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let (warm, meas) = if quick() {
+        (Duration::from_millis(100), Duration::from_millis(300))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    };
+    let (mname, l) = matrix();
+    let handle = MatrixHandle::new(l.clone());
+
+    // Calibration doubles as the equivalence check: a coalescing service
+    // must return exactly the bits of fresh serial sessions, and the burst
+    // must actually merge into multi-RHS launches.
+    let mut reference = SolverSession::new(&cfg, l.clone());
+    let expected: Vec<Vec<f64>> = (0..BURST)
+        .map(|r| reference.solve(&rhs(l.n(), r)).expect("reference solve").x)
+        .collect();
+    let svc = service(Duration::from_millis(40));
+    svc.solve("warmer", &handle, &rhs(l.n(), 999))
+        .expect("warm-up solve");
+    let mismatches = std::sync::Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for (r, want) in expected.iter().enumerate() {
+            let svc = &svc;
+            let handle = &handle;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let b = rhs(handle.matrix().n(), r);
+                let resp = svc.solve("calib", handle, &b).expect("calibration solve");
+                let identical = resp.x.len() == want.len()
+                    && resp
+                        .x
+                        .iter()
+                        .zip(want)
+                        .all(|(a, e)| a.to_bits() == e.to_bits());
+                if !identical {
+                    *mismatches.lock().unwrap() += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(
+        *mismatches.lock().unwrap(),
+        0,
+        "{mname}: service responses must be bit-identical to serial sessions"
+    );
+    let m = svc.metrics();
+    assert!(
+        m.largest_batch > 1,
+        "{mname}: a {BURST}-request burst through a 40 ms window must coalesce \
+         (largest batch {})",
+        m.largest_batch
+    );
+    println!(
+        "[serve_load] {mname}: {BURST}-request burst bit-exact, largest batch {} rhs",
+        m.largest_batch
+    );
+    drop(svc);
+
+    let mut g = c.benchmark_group("serve_load");
+    g.warm_up_time(warm);
+    g.measurement_time(meas);
+    g.bench_with_input(
+        BenchmarkId::new(mname, "coalesced"),
+        &handle,
+        |bch, handle| {
+            let svc = service(Duration::from_millis(3));
+            svc.solve("warmer", handle, &rhs(handle.matrix().n(), 999))
+                .expect("warm-up solve");
+            bch.iter(|| fire_burst(&svc, handle));
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new(mname, "uncoalesced"),
+        &handle,
+        |bch, handle| {
+            let svc = service(Duration::ZERO);
+            svc.solve("warmer", handle, &rhs(handle.matrix().n(), 999))
+                .expect("warm-up solve");
+            bch.iter(|| fire_burst(&svc, handle));
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve_load);
+criterion_main!(benches);

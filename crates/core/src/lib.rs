@@ -32,6 +32,7 @@ pub mod iterative;
 pub mod kernels;
 pub mod reference;
 pub mod select;
+pub mod service;
 pub mod session;
 pub mod solver;
 pub mod upper;
@@ -41,6 +42,10 @@ pub use iterative::{gauss_seidel, pcg_ssor, sor, IterResult, SsorPreconditioner}
 pub use kernels::SimSolve;
 pub use reference::{solve_serial_csc, solve_serial_csr};
 pub use select::{algorithm_traits, recommend, Algorithm, GRANULARITY_THRESHOLD};
+pub use service::{
+    MatrixHandle, ServiceConfig, ServiceError, ServiceMetrics, ServiceResponse, SolverService,
+    TenantMetrics,
+};
 pub use session::SolverSession;
 pub use solver::{solve_multi_simulated, solve_simulated, MultiSolveReport, SolveReport, Solver};
 pub use upper::solve_upper_simulated;
@@ -51,6 +56,9 @@ pub mod prelude {
     pub use crate::iterative::{gauss_seidel, pcg_ssor, sor, IterResult};
     pub use crate::reference::{solve_serial_csc, solve_serial_csr};
     pub use crate::select::{recommend, Algorithm};
+    pub use crate::service::{
+        MatrixHandle, ServiceConfig, ServiceError, ServiceResponse, SolverService,
+    };
     pub use crate::session::SolverSession;
     pub use crate::solver::{
         solve_multi_simulated, solve_simulated, MultiSolveReport, SolveReport, Solver,

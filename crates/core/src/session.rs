@@ -68,9 +68,15 @@ pub struct SolverSession {
 impl SolverSession {
     /// Analyzes `l` once and binds it to a fresh device of the given
     /// configuration, selecting the algorithm by the Figure 6 rule.
+    ///
+    /// The statistics pass (a full level-set analysis) runs exactly once and
+    /// is threaded through to both the recommendation and the cached
+    /// [`SolverSession::stats`] — pinned by
+    /// `construction_computes_statistics_exactly_once` below.
     pub fn new(config: &DeviceConfig, l: LowerTriangularCsr) -> Self {
-        let algorithm = recommend(&MatrixStats::compute(&l));
-        Self::with_algorithm(config, l, algorithm)
+        let stats = MatrixStats::compute(&l);
+        let algorithm = recommend(&stats);
+        Self::build(config, l, algorithm, stats)
     }
 
     /// Analyzes `l` once for an explicitly chosen algorithm.
@@ -84,11 +90,22 @@ impl SolverSession {
         l: LowerTriangularCsr,
         algorithm: Algorithm,
     ) -> Self {
+        let stats = MatrixStats::compute(&l);
+        Self::build(config, l, algorithm, stats)
+    }
+
+    /// Shared constructor body: takes the already-computed statistics so
+    /// neither entry point pays the statistics pass twice.
+    fn build(
+        config: &DeviceConfig,
+        l: LowerTriangularCsr,
+        algorithm: Algorithm,
+        stats: MatrixStats,
+    ) -> Self {
         let mut dev = GpuDevice::new(config.clone());
         let host = HostCostModel::default();
         let n = l.n();
         let nnz = l.nnz();
-        let stats = MatrixStats::compute(&l);
         let fp = fingerprint(&l);
         let dm = DeviceCsr::upload(&mut dev, &l);
 
@@ -183,11 +200,18 @@ impl SolverSession {
                 "need at least one right-hand side".to_string(),
             ));
         }
-        if bs.len() != n * nrhs {
+        // Checked multiply: validation parity with `solve_multi_simulated` —
+        // an absurd nrhs is a structured Launch error, never an overflow
+        // panic.
+        let expected = n.checked_mul(nrhs).ok_or_else(|| {
+            SimtError::Launch(format!(
+                "rhs block shape {n} rows x {nrhs} rhs overflows usize"
+            ))
+        })?;
+        if bs.len() != expected {
             return Err(SimtError::Launch(format!(
-                "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {}",
+                "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {expected}",
                 bs.len(),
-                n * nrhs
             )));
         }
 
@@ -456,6 +480,56 @@ mod tests {
                 assert_eq!(c.to_bits(), s.to_bits(), "{}", algo.label());
             }
         }
+    }
+
+    /// Regression: `SolverSession::new` used to run the statistics pass
+    /// twice — once for `recommend`, again inside `with_algorithm`. Both
+    /// constructors must pay for exactly one `MatrixStats::compute` (and,
+    /// for a non-level-set recommendation, exactly one level-set analysis —
+    /// the one inside that statistics pass).
+    #[test]
+    fn construction_computes_statistics_exactly_once() {
+        use capellini_sparse::stats;
+        // Wide + sparse: recommend() picks Writing-First, which needs no
+        // level-set analysis of its own beyond the statistics pass.
+        let l = gen::ultra_sparse_wide(2_000, 8, 1, 97);
+        let cfg = DeviceConfig::pascal_like();
+
+        let stats_before = stats::compute_invocations();
+        let analyses_before = levels::analyze_invocations();
+        let session = SolverSession::new(&cfg, l.clone());
+        assert_eq!(session.algorithm(), Algorithm::CapelliniWritingFirst);
+        assert_eq!(
+            stats::compute_invocations(),
+            stats_before + 1,
+            "SolverSession::new must run the statistics pass exactly once"
+        );
+        assert_eq!(
+            levels::analyze_invocations(),
+            analyses_before + 1,
+            "SolverSession::new must run level-set analysis exactly once (inside the statistics pass)"
+        );
+
+        let stats_before = stats::compute_invocations();
+        let _session = SolverSession::with_algorithm(&cfg, l, Algorithm::SyncFree);
+        assert_eq!(
+            stats::compute_invocations(),
+            stats_before + 1,
+            "SolverSession::with_algorithm must run the statistics pass exactly once"
+        );
+    }
+
+    /// Regression: an nrhs so large that `n * nrhs` overflows usize is the
+    /// structured Launch error, not an arithmetic panic.
+    #[test]
+    fn solve_multi_overflowing_nrhs_is_a_launch_error() {
+        let l = gen::diagonal(8);
+        let cfg = DeviceConfig::pascal_like();
+        let mut session = SolverSession::new(&cfg, l);
+        let err = session.solve_multi(&[1.0; 8], usize::MAX).unwrap_err();
+        assert!(matches!(err, SimtError::Launch(_)));
+        assert!(err.to_string().contains("overflows"));
+        assert_eq!(session.solves(), 0);
     }
 
     #[test]

@@ -39,15 +39,25 @@ pub struct SolveReport {
 /// itself across SM clusters without changing a single reported bit (pinned
 /// by `engine_threads_is_bit_transparent_through_the_facade` below and by
 /// `tests/engine_cluster.rs`).
+///
+/// A right-hand side of the wrong length is a recoverable
+/// [`SimtError::Launch`] — validation parity with
+/// [`crate::session::SolverSession::solve`].
 pub fn solve_simulated(
     config: &DeviceConfig,
     l: &LowerTriangularCsr,
     b: &[f64],
     algorithm: Algorithm,
 ) -> Result<SolveReport, SimtError> {
+    let n = l.n();
+    if b.len() != n {
+        return Err(SimtError::Launch(format!(
+            "rhs length {} does not match matrix dimension {n}",
+            b.len()
+        )));
+    }
     let mut dev = GpuDevice::new(config.clone());
     let host = HostCostModel::default();
-    let n = l.n();
     let nnz = l.nnz();
 
     let (sim, preprocessing_ms) = match algorithm {
@@ -156,11 +166,17 @@ pub fn solve_multi_simulated(
             "need at least one right-hand side".to_string(),
         ));
     }
-    if bs.len() != n * nrhs {
+    // Checked multiply: an absurd nrhs must surface as the same structured
+    // Launch error as any other shape mismatch, never an overflow panic.
+    let expected = n.checked_mul(nrhs).ok_or_else(|| {
+        SimtError::Launch(format!(
+            "rhs block shape {n} rows x {nrhs} rhs overflows usize"
+        ))
+    })?;
+    if bs.len() != expected {
         return Err(SimtError::Launch(format!(
-            "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {}",
+            "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {expected}",
             bs.len(),
-            n * nrhs
         )));
     }
     let host = HostCostModel::default();
@@ -384,6 +400,55 @@ mod tests {
         let err = solve_multi_simulated(&cfg, &l, &[1.0; 15], 2, Algorithm::SyncFree).unwrap_err();
         assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
         let err = solve_multi_simulated(&cfg, &l, &[], 0, Algorithm::SyncFree).unwrap_err();
+        assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
+    }
+
+    /// Regression (validation parity): the cold free function must reject a
+    /// wrong-length right-hand side exactly like `SolverSession::solve`
+    /// does — a recoverable Launch error, never a panic or a misread — and
+    /// the `Solver` wrappers inherit the check.
+    #[test]
+    fn solve_simulated_rejects_wrong_rhs_length() {
+        let l = gen::diagonal(16);
+        let cfg = DeviceConfig::pascal_like();
+        for algo in Algorithm::all_live() {
+            for bad in [0usize, 7, 17] {
+                let err = solve_simulated(&cfg, &l, &vec![1.0; bad], algo).unwrap_err();
+                assert!(
+                    matches!(err, capellini_simt::SimtError::Launch(_)),
+                    "{}: rhs length {bad} must be a Launch error",
+                    algo.label()
+                );
+                assert!(
+                    err.to_string().contains(&bad.to_string()),
+                    "{}: message names the bad length: {err}",
+                    algo.label()
+                );
+            }
+        }
+        let solver = Solver::new(l);
+        let err = solver.solve_simulated(&cfg, &[1.0; 3]).unwrap_err();
+        assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
+        let err = solver
+            .solve_simulated_with(&cfg, &[1.0; 3], Algorithm::LevelSet)
+            .unwrap_err();
+        assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
+    }
+
+    /// Regression: an nrhs so large that `n * nrhs` overflows usize must be
+    /// the structured Launch error, not an arithmetic panic.
+    #[test]
+    fn solve_multi_overflowing_nrhs_is_a_launch_error() {
+        let l = gen::diagonal(8);
+        let cfg = DeviceConfig::pascal_like();
+        let err = solve_multi_simulated(&cfg, &l, &[1.0; 8], usize::MAX, Algorithm::SyncFree)
+            .unwrap_err();
+        assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
+        assert!(err.to_string().contains("overflows"));
+        let solver = Solver::new(l);
+        let err = solver
+            .solve_multi_simulated(&cfg, &[1.0; 8], usize::MAX / 2)
+            .unwrap_err();
         assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
     }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records the multi-tenant serving result (sharded session registry +
+# continuous batching) as BENCH_<N>.json at the repo root so future PRs can
+# track the perf trajectory. N is the first unused number, so successive
+# runs append to the series instead of clobbering earlier records.
+#
+# Runs `repro serve-load`, which drives the SolverService with a seeded
+# open-loop load generator (a saturating burst and paced exponential
+# arrivals, each under a coalescing config and the window-0 uncoalesced
+# baseline), verifies every response bit-identical to fresh serial
+# SolverSession solves, and copies the resulting results/serve_load.json
+# into BENCH_<N>.json.
+#
+# Usage: scripts/bench_serve.sh [scale]
+#   scale    small|medium|full (default: small)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+
+# `serve-load` times live solves, never the CSV cache, but point the results
+# dir at a scratch location anyway so the json lands somewhere disposable.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" ./target/release/repro serve-load --scale "$SCALE"
+
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/serve_load.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

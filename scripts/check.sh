@@ -32,6 +32,12 @@ cargo test --release -q -p capellini-sptrsv --test engine_cluster
 echo "==> engine_cluster smoke (calibration asserts serial == clustered bit-exactness)"
 cargo bench -q -p capellini-bench --bench engine_cluster -- --quick
 
+echo "==> service differential suite (concurrent tenants vs serial sessions bit-exactness)"
+cargo test --release -q -p capellini-sptrsv --test service
+
+echo "==> serve_load smoke (calibration asserts bit-exactness + nonzero coalescing)"
+cargo bench -q -p capellini-bench --bench serve_load -- --quick
+
 # Calibration panics must fail the gate under a non-default thread count
 # too: the benches run their equality asserts before Criterion forks any
 # timing work, and `set -e` above propagates their exit codes verbatim.

@@ -8,6 +8,8 @@
 //!                [--cpu [THREADS]] [--out x.txt]
 //! sptrsv stats   --matrix L.mtx
 //! sptrsv gen     --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]
+//! sptrsv serve   --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K]
+//!                [--device pascal|volta|turing]
 //! ```
 //!
 //! `solve` reads a Matrix Market file, extracts the unit-lower factor the
@@ -21,7 +23,8 @@ use std::io::BufReader;
 use std::process::exit;
 
 use capellini_sptrsv::core::{
-    solve_multi_simulated, solve_simulated, Algorithm, Solver, SolverSession,
+    solve_multi_simulated, solve_simulated, Algorithm, MatrixHandle, ServiceConfig, Solver,
+    SolverService, SolverSession,
 };
 use capellini_sptrsv::prelude::*;
 use capellini_sptrsv::sparse::{io as mmio, CsrMatrix};
@@ -36,6 +39,7 @@ fn main() {
         "solve" => cmd_solve(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => {
             usage();
             exit(2);
@@ -45,7 +49,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)"
     );
 }
 
@@ -326,6 +330,115 @@ fn cmd_solve(args: &[String]) {
             let preview: Vec<String> = x.iter().take(8).map(|v| format!("{v:.6}")).collect();
             println!("x[0..8] = [{}]", preview.join(", "));
         }
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let parse_count = |name: &str, default: usize| -> usize {
+        match flag_value(args, name) {
+            None => default,
+            Some(v) => v.parse().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
+                eprintln!("{name} must be a positive integer, got {v}");
+                exit(2);
+            }),
+        }
+    };
+    let clients = parse_count("--clients", 4);
+    let requests = parse_count("--requests", 8);
+    let max_batch = parse_count("--max-batch", 8);
+    let window_ms: u64 = match flag_value(args, "--window") {
+        None => 3,
+        Some(v) => v.parse().ok().unwrap_or_else(|| {
+            eprintln!("--window must be a whole number of milliseconds, got {v}");
+            exit(2);
+        }),
+    };
+    let device = match flag_value(args, "--device").unwrap_or("pascal") {
+        "pascal" => DeviceConfig::pascal_like(),
+        "volta" => DeviceConfig::volta_like(),
+        "turing" => DeviceConfig::turing_like(),
+        other => {
+            eprintln!("unknown device {other}");
+            exit(2);
+        }
+    }
+    .scaled_down(4);
+
+    let l = load_matrix(args);
+    let n = l.n();
+    let handle = MatrixHandle::new(l);
+    let service = SolverService::new(
+        ServiceConfig::new(device)
+            .with_coalesce_window(std::time::Duration::from_millis(window_ms))
+            .with_max_batch(max_batch),
+    );
+    eprintln!(
+        "serving fingerprint {:016x} to {clients} client(s) x {requests} request(s) \
+         (window {window_ms} ms, max batch {max_batch})",
+        handle.fingerprint()
+    );
+
+    let failures = std::sync::Mutex::new(Vec::<String>::new());
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let service = &service;
+            let handle = &handle;
+            let failures = &failures;
+            scope.spawn(move || {
+                let tenant = format!("client-{c}");
+                for r in 0..requests {
+                    let b: Vec<f64> = (0..n)
+                        .map(|i| ((i * (2 * c + 3) + 7 * r + 1) % 29) as f64 - 14.0)
+                        .collect();
+                    match service.solve(&tenant, handle, &b) {
+                        Ok(resp) => {
+                            let res = linalg::residual_inf(handle.matrix(), &resp.x, &b);
+                            if !res.is_finite() || res > 1e-8 {
+                                failures
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("{tenant} request {r}: residual {res:.3e}"));
+                            }
+                        }
+                        Err(e) => failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("{tenant} request {r}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    for f in failures.lock().unwrap().iter() {
+        eprintln!("FAILED: {f}");
+    }
+    let m = service.metrics();
+    eprintln!(
+        "served {} solve(s) in {wall:.2?}: {} launch(es), mean batch {:.2}, largest {}, \
+         {} reject(s), analysis {:.3} ms",
+        m.solves,
+        m.launches,
+        m.mean_batch(),
+        m.largest_batch,
+        m.rejects,
+        m.analysis_ms_total
+    );
+    let mut tenants = service.all_tenant_metrics();
+    tenants.sort_by(|a, b| a.0.cmp(&b.0));
+    for (tenant, tm) in tenants {
+        println!(
+            "{tenant}: {} solve(s), mean batch {:.2}, mean queue wait {:.3} ms, {} reject(s)",
+            tm.solves,
+            tm.mean_batch(),
+            tm.mean_queue_ms(),
+            tm.rejects
+        );
+    }
+    if !failures.lock().unwrap().is_empty() {
+        exit(1);
     }
 }
 

@@ -131,6 +131,54 @@ fn bad_batching_flags_are_usage_errors() {
 }
 
 #[test]
+fn bad_serve_flags_are_usage_errors() {
+    let m = scratch("good-serve.mtx", VALID_LOWER_3X3);
+    for (flag, bad, needle) in [
+        ("--clients", "0", "positive integer"),
+        ("--clients", "many", "positive integer"),
+        ("--requests", "0", "positive integer"),
+        ("--max-batch", "0", "positive integer"),
+        ("--window", "soon", "milliseconds"),
+    ] {
+        let out = sptrsv(&["serve", "--matrix", m.to_str().unwrap(), flag, bad]);
+        assert_readable_failure(&out, needle);
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad} is a usage error");
+    }
+    let out = sptrsv(&[
+        "serve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--device",
+        "kepler",
+    ]);
+    assert_readable_failure(&out, "unknown device");
+    let _ = fs::remove_file(m);
+}
+
+#[test]
+fn serve_demo_reports_per_tenant_metrics() {
+    let m = scratch("good-serve2.mtx", VALID_LOWER_3X3);
+    let out = sptrsv(&[
+        "serve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--clients",
+        "2",
+        "--requests",
+        "3",
+        "--window",
+        "0",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected success, stderr: {stderr}");
+    assert!(stderr.contains("served 6 solve(s)"), "stderr: {stderr}");
+    assert!(stdout.contains("client-0"), "stdout: {stdout}");
+    assert!(stdout.contains("client-1"), "stdout: {stdout}");
+    let _ = fs::remove_file(m);
+}
+
+#[test]
 fn valid_input_still_succeeds() {
     let m = scratch("good4.mtx", VALID_LOWER_3X3);
     let out = sptrsv(&[

@@ -241,3 +241,67 @@ fn empty_system_zero_warp_kernel_launch_is_accounted() {
     assert!(sol.stats.launches >= 1, "launch overhead still accounted");
     assert_eq!(sol.stats.cycles % cfg.launch_overhead_cycles, 0);
 }
+
+#[test]
+fn every_solve_entry_point_validates_rhs_length_identically() {
+    // Validation parity (the PR-7 bugfix sweep): the cold free functions,
+    // the `Solver` wrappers, and the cached session must all reject a
+    // wrong-length right-hand side with the same recoverable Launch error —
+    // no panics, no silent misreads.
+    use capellini_sptrsv::core::{solve_multi_simulated, Solver, SolverSession};
+    let l = gen::powerlaw(64, 2.6, 7);
+    let n = l.n();
+    let cfg = scaled(DeviceConfig::pascal_like());
+    let bad = vec![1.0; n - 3];
+
+    let assert_launch = |r: Result<(), SimtError>, what: &str| {
+        let err = r.expect_err(&format!("{what} must reject a short rhs"));
+        assert!(
+            matches!(err, SimtError::Launch(_)),
+            "{what}: expected Launch, got {err}"
+        );
+        assert!(
+            err.to_string().contains(&(n - 3).to_string()),
+            "{what}: message should name the bad length: {err}"
+        );
+    };
+
+    for algo in Algorithm::all_live() {
+        assert_launch(
+            solve_simulated(&cfg, &l, &bad, algo).map(|_| ()),
+            algo.label(),
+        );
+    }
+    let solver = Solver::new(l.clone());
+    assert_launch(solver.solve_simulated(&cfg, &bad).map(|_| ()), "Solver");
+    assert_launch(
+        solver.solve_multi_simulated(&cfg, &bad, 1).map(|_| ()),
+        "Solver::solve_multi",
+    );
+    let mut session = SolverSession::new(&cfg, l.clone());
+    assert_launch(session.solve(&bad).map(|_| ()), "SolverSession");
+
+    // The overflow guard is part of the same parity sweep: absurd nrhs is a
+    // structured error on both multi entry points, never an overflow panic.
+    let assert_overflow = |r: Result<(), SimtError>, what: &str| {
+        let err = r.expect_err(&format!("{what} must reject an absurd nrhs"));
+        assert!(
+            matches!(err, SimtError::Launch(_)),
+            "{what}: expected Launch, got {err}"
+        );
+        assert!(
+            err.to_string().contains("overflows"),
+            "{what}: message should name the overflow: {err}"
+        );
+    };
+    for nrhs in [usize::MAX, usize::MAX / 2] {
+        assert_overflow(
+            solve_multi_simulated(&cfg, &l, &bad, nrhs, Algorithm::SyncFree).map(|_| ()),
+            "solve_multi_simulated overflow",
+        );
+        assert_overflow(
+            session.solve_multi(&bad, nrhs).map(|_| ()),
+            "SolverSession::solve_multi overflow",
+        );
+    }
+}
