@@ -1300,6 +1300,162 @@ pub fn cluster_timing(scale: Scale, limit: usize) -> String {
     )
 }
 
+// ------------------------------------------------------- Cache locality
+
+/// The locality study behind ROADMAP item 3: with the finite sector/tag
+/// cache model armed (`DeviceConfig::with_cache`), trades the dataset's
+/// shuffled "as-collected" row ordering against the RCM-like and
+/// level-coalesced topological relabelings from `capellini_sparse::permute`,
+/// then compares row-major vs column-major device tiling of the multi-RHS
+/// block. Every permuted solve is mapped back and checked against the
+/// reference solution, and the two tilings must agree bitwise. Writes
+/// `results/locality.json`.
+pub fn locality(scale: Scale) -> String {
+    use crate::runner::results_dir;
+    use capellini_core::kernels::syncfree_multi;
+    use capellini_core::RhsLayout;
+    use capellini_simt::CacheConfig;
+    use capellini_sparse::linalg;
+    use capellini_sparse::permute::{
+        level_coalesced_order, permute_vector, rcm_like_order, symmetric_permute,
+    };
+
+    let cfg = pascal().with_cache(CacheConfig::small());
+    let algo = Algorithm::SyncFree;
+    let entries = [
+        dataset::nlpkkt160_like(scale),
+        dataset::wiki_talk_like(scale),
+        dataset::cant_like(scale),
+    ];
+
+    // Part 1: row orderings. The dataset stores every matrix with a random
+    // topological relabeling (collection matrices never come level-sorted),
+    // so "original" is the interleaved layout; the two locality orderings
+    // re-cluster it.
+    let mut ord_table = TextTable::new(&[
+        "matrix",
+        "ordering",
+        "L1 hit %",
+        "L2 hit %",
+        "evictions",
+        "solve ms",
+        "dL1 pts",
+    ]);
+    let mut ord_json: Vec<String> = Vec::new();
+    for entry in &entries {
+        let l = entry.build();
+        let (b, x_ref) = make_problem(&l);
+        let identity: Vec<u32> = (0..l.n() as u32).collect();
+        let orderings: [(&str, Vec<u32>); 3] = [
+            ("original", identity),
+            ("rcm-like", rcm_like_order(&l)),
+            ("level-coalesced", level_coalesced_order(&l)),
+        ];
+        let mut base_hit = 0.0;
+        for (name, perm) in &orderings {
+            let lp = symmetric_permute(&l, perm);
+            let bp = permute_vector(&b, perm);
+            let rep = solve_simulated(&cfg, &lp, &bp, algo)
+                .unwrap_or_else(|e| panic!("{}/{name}: solve failed: {e}", entry.name));
+            // Map the permuted solution back to the original labeling and
+            // check it: a permutation must not change the answer.
+            let x: Vec<f64> = (0..l.n()).map(|i| rep.x[perm[i] as usize]).collect();
+            linalg::assert_solutions_close(&x, &x_ref, 1e-9);
+            let hit = 100.0 * rep.stats.l1_hit_rate();
+            let l2 = 100.0 * rep.stats.l2_hit_rate();
+            if *name == "original" {
+                base_hit = hit;
+            }
+            let delta = hit - base_hit;
+            ord_table.row(vec![
+                entry.name.clone(),
+                name.to_string(),
+                format!("{hit:.1}"),
+                format!("{l2:.1}"),
+                rep.stats.sector_evictions.to_string(),
+                format!("{:.3}", rep.exec_ms),
+                format!("{delta:+.1}"),
+            ]);
+            ord_json.push(format!(
+                "{{\"matrix\": \"{}\", \"ordering\": \"{name}\", \"l1_hit_pct\": {hit:.2}, \"l2_hit_pct\": {l2:.2}, \"sector_evictions\": {}, \"solve_ms\": {:.4}, \"delta_l1_pts\": {delta:.2}}}",
+                entry.name, rep.stats.sector_evictions, rep.exec_ms,
+            ));
+        }
+    }
+
+    // Part 2: multi-RHS device tiling. Same FLOPs in the same order per
+    // column, so the solutions must agree bitwise — only the memory traffic
+    // (and thus hit rates and modeled time) may differ.
+    let nrhs = 8usize;
+    let mut tile_table = TextTable::new(&["matrix", "tiling", "L1 hit %", "L2 hit %", "solve ms"]);
+    let mut tile_json: Vec<String> = Vec::new();
+    for entry in &entries {
+        let l = entry.build();
+        let bs: Vec<f64> = (0..l.n() * nrhs)
+            .map(|i| 1.0 + (i % 17) as f64 * 0.25)
+            .collect();
+        let mut sols: Vec<Vec<u64>> = Vec::new();
+        for (name, layout) in [
+            ("row-major", RhsLayout::RowMajor),
+            ("col-major", RhsLayout::ColMajor),
+        ] {
+            let mut dev = GpuDevice::new(cfg.clone());
+            let sol = syncfree_multi::solve_multi_layout(&mut dev, &l, &bs, nrhs, layout)
+                .unwrap_or_else(|e| panic!("{}/{name}: multi solve failed: {e}", entry.name));
+            let hit = 100.0 * sol.stats.l1_hit_rate();
+            let l2 = 100.0 * sol.stats.l2_hit_rate();
+            let ms = sol.stats.time_ms(&cfg);
+            tile_table.row(vec![
+                entry.name.clone(),
+                name.to_string(),
+                format!("{hit:.1}"),
+                format!("{l2:.1}"),
+                format!("{ms:.3}"),
+            ]);
+            tile_json.push(format!(
+                "{{\"matrix\": \"{}\", \"tiling\": \"{name}\", \"nrhs\": {nrhs}, \"l1_hit_pct\": {hit:.2}, \"l2_hit_pct\": {l2:.2}, \"solve_ms\": {ms:.4}}}",
+                entry.name,
+            ));
+            sols.push(sol.x.iter().map(|v| v.to_bits()).collect());
+        }
+        assert_eq!(
+            sols[0], sols[1],
+            "{}: RHS tiling changed the solution bits",
+            entry.name
+        );
+    }
+
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Full => "full",
+    };
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"cache\": \"small\",\n  \"algorithm\": \"{}\",\n  \"orderings\": [\n    {}\n  ],\n  \"rhs_tiling\": [\n    {}\n  ]\n}}\n",
+        algo.label(),
+        ord_json.join(",\n    "),
+        tile_json.join(",\n    "),
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("locality.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("[locality] could not write {}: {e}", path.display());
+    }
+
+    format!(
+        "Cache locality study (finite L1/L2 sector cache, {} config)\n\n\
+         Row orderings ({}; permuted solves mapped back and checked):\n\n{}\n\
+         Multi-RHS device tiling (nrhs = {nrhs}, solutions bitwise identical):\n\n{}\n\
+         record: {}\n",
+        cfg.name,
+        algo.label(),
+        ord_table.render(),
+        tile_table.render(),
+        path.display(),
+    )
+}
+
 // ------------------------------------------------- Serving load generator
 
 /// One (scenario, configuration) cell of the serving load study.

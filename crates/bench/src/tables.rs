@@ -265,7 +265,7 @@ mod tests {
             buckets: vec![StallBucket {
                 cycle_start: 0,
                 sm: 0,
-                slots: [2, 6, 0, 0, 0, 0, 0],
+                slots: [2, 6, 0, 0, 0, 0, 0, 0],
             }],
             warp_spans: vec![],
             phases: vec![],

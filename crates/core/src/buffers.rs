@@ -60,42 +60,129 @@ impl SolveBuffers {
     }
 }
 
+/// Device-memory tiling of an `n × k` right-hand-side block.
+///
+/// The host-side contract is always row-major (`bs[i*nrhs + r]`); the layout
+/// only decides how the block is *tiled in device memory*. Row-major packs a
+/// row's `k` values into consecutive sectors (the amortization the multi-RHS
+/// kernels were designed around); column-major stores each right-hand side
+/// contiguously (`x[r*n + i]`), scattering one row's values across `k`
+/// distant regions. Per column the floating-point operation order is
+/// identical either way, so solutions are bit-identical — only the memory
+/// traffic (and, under [`capellini_simt::DeviceConfig::with_cache`], the
+/// hit rates) differ, which is what the `repro locality` experiment
+/// measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RhsLayout {
+    /// `x[i*k + r]`: one row's `k` values in consecutive sectors (default).
+    #[default]
+    RowMajor,
+    /// `x[r*n + i]`: each right-hand side contiguous, rows strided by `n`.
+    ColMajor,
+}
+
+impl RhsLayout {
+    /// Element index of component `(row i, rhs r)` in an `n × k` block.
+    #[inline]
+    pub fn index(self, i: usize, r: usize, n: usize, k: usize) -> usize {
+        match self {
+            RhsLayout::RowMajor => i * k + r,
+            RhsLayout::ColMajor => r * n + i,
+        }
+    }
+
+    /// Short label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RhsLayout::RowMajor => "row-major",
+            RhsLayout::ColMajor => "col-major",
+        }
+    }
+}
+
 /// Solve buffers for an `n × k` block of right-hand sides (SpTRSM): `b` and
-/// `x` hold `n*k` values row-major (`x[i*k + r]`), while the completion
-/// flags stay per *row* — one flag publishes all `k` components of a row.
+/// `x` hold `n*k` values tiled per [`RhsLayout`] (row-major unless asked
+/// otherwise), while the completion flags stay per *row* — one flag
+/// publishes all `k` components of a row.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiSolveBuffers {
     /// Number of right-hand sides `k`.
     pub nrhs: usize,
-    /// Right-hand sides, row-major `n × k`.
+    /// Right-hand sides, `n × k` in `layout` order.
     pub b: BufF64,
-    /// Solutions, row-major `n × k` (zero-initialised).
+    /// Solutions, `n × k` in `layout` order (zero-initialised).
     pub x: BufF64,
     /// The paper's `get_value` array (`n` entries).
     pub flags: BufFlag,
+    /// Device-memory tiling of `b` and `x`.
+    pub layout: RhsLayout,
 }
 
 impl MultiSolveBuffers {
     /// Allocates `b` from a row-major `n × k` block, plus zeroed `x` and
-    /// flag arrays.
+    /// flag arrays, tiled row-major on the device.
     ///
     /// # Panics
     /// If `bs.len()` is not `n * nrhs`.
     pub fn upload(dev: &mut GpuDevice, bs: &[f64], n: usize, nrhs: usize) -> Self {
+        Self::upload_with_layout(dev, bs, n, nrhs, RhsLayout::RowMajor)
+    }
+
+    /// Allocates buffers tiled per `layout`. `bs` is always the host-side
+    /// row-major block; a column-major upload repacks it on the way in, and
+    /// [`MultiSolveBuffers::read_x`] repacks the solution on the way out, so
+    /// callers never observe the device tiling.
+    ///
+    /// # Panics
+    /// If `bs.len()` is not `n * nrhs`.
+    pub fn upload_with_layout(
+        dev: &mut GpuDevice,
+        bs: &[f64],
+        n: usize,
+        nrhs: usize,
+        layout: RhsLayout,
+    ) -> Self {
         assert!(nrhs >= 1, "need at least one right-hand side");
         assert_eq!(bs.len(), n * nrhs, "B must be n x nrhs row-major");
         let mem = dev.mem();
+        let b = match layout {
+            RhsLayout::RowMajor => mem.alloc_f64(bs),
+            RhsLayout::ColMajor => {
+                let mut packed = vec![0.0; bs.len()];
+                for i in 0..n {
+                    for r in 0..nrhs {
+                        packed[r * n + i] = bs[i * nrhs + r];
+                    }
+                }
+                mem.alloc_f64(&packed)
+            }
+        };
         MultiSolveBuffers {
             nrhs,
-            b: mem.alloc_f64(bs),
+            b,
             x: mem.alloc_f64_zeroed(bs.len()),
             flags: mem.alloc_flags(n),
+            layout,
         }
     }
 
-    /// Reads the row-major `n × k` solution block back to the host.
+    /// Reads the solution block back to the host, always row-major
+    /// `n × k` regardless of the device tiling.
     pub fn read_x(self, dev: &GpuDevice) -> Vec<f64> {
-        dev.mem_ref().read_f64(self.x).to_vec()
+        let raw = dev.mem_ref().read_f64(self.x);
+        match self.layout {
+            RhsLayout::RowMajor => raw.to_vec(),
+            RhsLayout::ColMajor => {
+                let n = raw.len() / self.nrhs;
+                let mut out = vec![0.0; raw.len()];
+                for i in 0..n {
+                    for r in 0..self.nrhs {
+                        out[i * self.nrhs + r] = raw[r * n + i];
+                    }
+                }
+                out
+            }
+        }
     }
 }
 
@@ -192,6 +279,7 @@ impl PooledSolveBuffers {
             b: self.b,
             x: self.x,
             flags: self.flags,
+            layout: RhsLayout::RowMajor,
         }
     }
 
@@ -245,6 +333,28 @@ mod tests {
         assert_eq!(dev.mem_ref().read_f64(mb.b), &bs[..]);
         assert_eq!(dev.mem_ref().read_f64(mb.x), &[0.0; 12]);
         assert_eq!(dev.mem_ref().read_flags(mb.flags), &[0; 4]);
+    }
+
+    /// A column-major upload tiles the device buffer `x[r*n + i]` but the
+    /// host contract stays row-major on both sides of the solve.
+    #[test]
+    fn col_major_upload_round_trips_through_row_major() {
+        let mut dev = GpuDevice::new(DeviceConfig::pascal_like());
+        let bs: Vec<f64> = (0..12).map(|i| i as f64).collect(); // 4 rows x 3 rhs
+        let mb = MultiSolveBuffers::upload_with_layout(&mut dev, &bs, 4, 3, RhsLayout::ColMajor);
+        // Device-side: rhs r contiguous, so b[r*n + i] = bs[i*nrhs + r].
+        let raw = dev.mem_ref().read_f64(mb.b).to_vec();
+        for i in 0..4 {
+            for r in 0..3 {
+                assert_eq!(raw[r * 4 + i], bs[i * 3 + r]);
+            }
+        }
+        // read_x repacks to row-major; seed x with the packed b to check.
+        dev.mem().write_f64(mb.x, &raw);
+        assert_eq!(mb.read_x(&dev), bs);
+        assert_eq!(RhsLayout::RowMajor.index(2, 1, 4, 3), 7);
+        assert_eq!(RhsLayout::ColMajor.index(2, 1, 4, 3), 6);
+        assert_eq!(RhsLayout::default(), RhsLayout::RowMajor);
     }
 
     /// The satellite bugfix scenario: a pooled buffer serves a large solve,

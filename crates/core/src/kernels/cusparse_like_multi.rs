@@ -155,7 +155,11 @@ impl WarpKernel for CusparseLikeMultiKernel {
                 Effect::to(P_RHS_FMA)
             }
             P_RHS_FMA => {
-                let xv = mem.load_f64(self.mb.x, l.col as usize * k + l.r as usize);
+                let idx = self
+                    .mb
+                    .layout
+                    .index(l.col as usize, l.r as usize, self.m.n, k);
+                let xv = mem.load_f64(self.mb.x, idx);
                 l.sums[l.r as usize] += l.v * xv;
                 l.r += 1;
                 if (l.r as usize) < k {
@@ -200,12 +204,14 @@ impl WarpKernel for CusparseLikeMultiKernel {
                 Effect::to(P_RHS_SOLVE_LD)
             }
             P_RHS_SOLVE_LD => {
-                l.bv = mem.load_f64(self.mb.b, i * k + l.r as usize);
+                let idx = self.mb.layout.index(i, l.r as usize, self.m.n, k);
+                l.bv = mem.load_f64(self.mb.b, idx);
                 Effect::to(P_RHS_SOLVE_ST)
             }
             P_RHS_SOLVE_ST => {
                 let xi = (l.bv - l.sums[l.r as usize]) / l.dv;
-                mem.store_f64(self.mb.x, i * k + l.r as usize, xi);
+                let idx = self.mb.layout.index(i, l.r as usize, self.m.n, k);
+                mem.store_f64(self.mb.x, idx, xi);
                 l.r += 1;
                 if (l.r as usize) < k {
                     Effect::flops(P_RHS_SOLVE_LD, 2)

@@ -148,9 +148,14 @@ impl WarpKernel for SyncFreeMultiKernel {
                 Effect::to(P_RHS_FMA)
             }
             P_RHS_FMA => {
-                // One fused load+FMA per right-hand side; consecutive `r`
-                // touch the same sector, so the traffic amortizes.
-                let xv = mem.load_f64(self.mb.x, l.col as usize * k + l.r as usize);
+                // One fused load+FMA per right-hand side; row-major tiling
+                // puts consecutive `r` in the same sector, so the traffic
+                // amortizes (col-major strides by n instead).
+                let idx = self
+                    .mb
+                    .layout
+                    .index(l.col as usize, l.r as usize, self.m.n, k);
+                let xv = mem.load_f64(self.mb.x, idx);
                 l.sums[l.r as usize] += l.v * xv;
                 l.r += 1;
                 if (l.r as usize) < k {
@@ -210,12 +215,14 @@ impl WarpKernel for SyncFreeMultiKernel {
                 Effect::to(P_RHS_SOLVE_LD)
             }
             P_RHS_SOLVE_LD => {
-                l.bv = mem.load_f64(self.mb.b, i * k + l.r as usize);
+                let idx = self.mb.layout.index(i, l.r as usize, self.m.n, k);
+                l.bv = mem.load_f64(self.mb.b, idx);
                 Effect::to(P_RHS_SOLVE_ST)
             }
             P_RHS_SOLVE_ST => {
                 let xi = (l.bv - l.sums[l.r as usize]) / l.dv;
-                mem.store_f64(self.mb.x, i * k + l.r as usize, xi);
+                let idx = self.mb.layout.index(i, l.r as usize, self.m.n, k);
+                mem.store_f64(self.mb.x, idx, xi);
                 l.r += 1;
                 if (l.r as usize) < k {
                     Effect::flops(P_RHS_SOLVE_LD, 2)
@@ -325,8 +332,23 @@ pub fn solve_multi(
     bs: &[f64],
     nrhs: usize,
 ) -> Result<SimSolve, SimtError> {
+    solve_multi_layout(dev, l, bs, nrhs, crate::buffers::RhsLayout::RowMajor)
+}
+
+/// Like [`solve_multi`] with an explicit device tiling for the RHS block.
+/// `bs` and the returned `X` stay row-major on the host either way; per
+/// column the floating-point order is identical, so the solutions are
+/// bit-identical across layouts — only the memory traffic differs (the
+/// `repro locality` experiment's row-vs-column comparison).
+pub fn solve_multi_layout(
+    dev: &mut GpuDevice,
+    l: &LowerTriangularCsr,
+    bs: &[f64],
+    nrhs: usize,
+    layout: crate::buffers::RhsLayout,
+) -> Result<SimSolve, SimtError> {
     let dm = DeviceCsr::upload(dev, l);
-    let mb = MultiSolveBuffers::upload(dev, bs, l.n(), nrhs);
+    let mb = MultiSolveBuffers::upload_with_layout(dev, bs, l.n(), nrhs, layout);
     let stats = launch_multi(dev, dm, mb)?;
     Ok(SimSolve {
         x: mb.read_x(dev),
@@ -399,6 +421,29 @@ mod tests {
                     "rhs {r}, row {i}"
                 );
             }
+        }
+    }
+
+    /// Column-major tiling changes the addresses the kernel touches but not
+    /// one floating-point operation: the solution is bit-identical to the
+    /// row-major default, while the traffic pattern differs (measured by the
+    /// `repro locality` experiment under the finite-cache model).
+    #[test]
+    fn col_major_tiling_is_bit_identical_to_row_major() {
+        let l = capellini_sparse::gen::powerlaw(500, 3.0, 95);
+        let n = l.n();
+        let nrhs = 4;
+        let bs: Vec<f64> = (0..n * nrhs)
+            .map(|i| ((i * 7 + 3) % 19) as f64 - 9.0)
+            .collect();
+        let mut d1 = GpuDevice::new(DeviceConfig::pascal_like());
+        let row = solve_multi_layout(&mut d1, &l, &bs, nrhs, crate::buffers::RhsLayout::RowMajor)
+            .unwrap();
+        let mut d2 = GpuDevice::new(DeviceConfig::pascal_like());
+        let col = solve_multi_layout(&mut d2, &l, &bs, nrhs, crate::buffers::RhsLayout::ColMajor)
+            .unwrap();
+        for (i, (a, b)) in row.x.iter().zip(&col.x).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {i}");
         }
     }
 

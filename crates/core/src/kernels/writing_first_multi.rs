@@ -41,6 +41,7 @@ pub struct WritingFirstMultiKernel {
     b: capellini_simt::BufF64,
     x: capellini_simt::BufF64,
     flags: capellini_simt::BufFlag,
+    layout: crate::buffers::RhsLayout,
 }
 
 /// Per-lane registers: `nrhs` accumulators.
@@ -120,9 +121,11 @@ impl WarpKernel for WritingFirstMultiKernel {
                 Effect::to(P_RHS_FMA)
             }
             P_RHS_FMA => {
-                // One fused load+FMA per right-hand side; consecutive `r`
-                // touch the same sector, so the traffic amortizes.
-                let xv = mem.load_f64(self.x, l.col as usize * m + l.r as usize);
+                // One fused load+FMA per right-hand side; row-major tiling
+                // puts consecutive `r` in the same sector, so the traffic
+                // amortizes (col-major strides by n instead).
+                let idx = self.layout.index(l.col as usize, l.r as usize, self.m.n, m);
+                let xv = mem.load_f64(self.x, idx);
                 l.sums[l.r as usize] += l.v * xv;
                 l.r += 1;
                 if l.r < self.nrhs {
@@ -149,12 +152,14 @@ impl WarpKernel for WritingFirstMultiKernel {
                 Effect::to(P_RHS_SOLVE_LD)
             }
             P_RHS_SOLVE_LD => {
-                l.bv = mem.load_f64(self.b, i * m + l.r as usize);
+                let idx = self.layout.index(i, l.r as usize, self.m.n, m);
+                l.bv = mem.load_f64(self.b, idx);
                 Effect::to(P_RHS_SOLVE_ST)
             }
             P_RHS_SOLVE_ST => {
                 let xi = (l.bv - l.sums[l.r as usize]) / l.dv;
-                mem.store_f64(self.x, i * m + l.r as usize, xi);
+                let idx = self.layout.index(i, l.r as usize, self.m.n, m);
+                mem.store_f64(self.x, idx, xi);
                 l.r += 1;
                 if l.r < self.nrhs {
                     Effect::flops(P_RHS_SOLVE_LD, 2)
@@ -237,6 +242,7 @@ pub fn launch_multi(
         b: mb.b,
         x: mb.x,
         flags: mb.flags,
+        layout: mb.layout,
     };
     let n_warps = m.n.div_ceil(dev.config().warp_size);
     dev.launch(&kernel, n_warps)
@@ -250,8 +256,21 @@ pub fn solve_multi(
     bs: &[f64],
     nrhs: usize,
 ) -> Result<SimSolve, SimtError> {
+    solve_multi_layout(dev, l, bs, nrhs, crate::buffers::RhsLayout::RowMajor)
+}
+
+/// Like [`solve_multi`] with an explicit device tiling for the RHS block
+/// (see `syncfree_multi::solve_multi_layout` — same host-side contract and
+/// bit-identity guarantee).
+pub fn solve_multi_layout(
+    dev: &mut GpuDevice,
+    l: &LowerTriangularCsr,
+    bs: &[f64],
+    nrhs: usize,
+    layout: crate::buffers::RhsLayout,
+) -> Result<SimSolve, SimtError> {
     let dm = DeviceCsr::upload(dev, l);
-    let mb = MultiSolveBuffers::upload(dev, bs, l.n(), nrhs);
+    let mb = MultiSolveBuffers::upload_with_layout(dev, bs, l.n(), nrhs, layout);
     let stats = launch_multi(dev, dm, mb)?;
     Ok(SimSolve {
         x: mb.read_x(dev),

@@ -37,7 +37,7 @@ pub mod session;
 pub mod solver;
 pub mod upper;
 
-pub use buffers::{DeviceCsr, MultiSolveBuffers, PooledSolveBuffers, SolveBuffers};
+pub use buffers::{DeviceCsr, MultiSolveBuffers, PooledSolveBuffers, RhsLayout, SolveBuffers};
 pub use iterative::{gauss_seidel, pcg_ssor, sor, IterResult, SsorPreconditioner};
 pub use kernels::SimSolve;
 pub use reference::{solve_serial_csc, solve_serial_csr};

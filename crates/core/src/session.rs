@@ -195,11 +195,6 @@ impl SolverSession {
     /// (pinned by `tests/batched.rs`).
     pub fn solve_multi(&mut self, bs: &[f64], nrhs: usize) -> Result<MultiSolveReport, SimtError> {
         let n = self.l.n();
-        if nrhs == 0 {
-            return Err(SimtError::Launch(
-                "need at least one right-hand side".to_string(),
-            ));
-        }
         // Checked multiply: validation parity with `solve_multi_simulated` —
         // an absurd nrhs is a structured Launch error, never an overflow
         // panic.
@@ -213,6 +208,22 @@ impl SolverSession {
                 "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {expected}",
                 bs.len(),
             )));
+        }
+        if nrhs == 0 {
+            // Validation parity with `solve_multi_simulated`: a zero-column
+            // block is a well-formed empty success — no launch, zeroed
+            // counters and derived metrics — and does not count as a served
+            // solve.
+            return Ok(MultiSolveReport {
+                algorithm: self.algorithm,
+                nrhs: 0,
+                x: Vec::new(),
+                stats: LaunchStats::default(),
+                preprocessing_ms: 0.0,
+                exec_ms: 0.0,
+                gflops: 0.0,
+                bandwidth_gbs: 0.0,
+            });
         }
 
         let (x, stats) = if self.batched_kernel_available() {
@@ -556,9 +567,36 @@ mod tests {
         );
         let err = session.solve_multi(&[1.0; 9], 2).unwrap_err();
         assert!(matches!(err, SimtError::Launch(_)));
-        let err = session.solve_multi(&[], 0).unwrap_err();
+        // nrhs == 0 with a non-empty block is still a shape mismatch...
+        let err = session.solve_multi(&[1.0; 16], 0).unwrap_err();
         assert!(matches!(err, SimtError::Launch(_)));
         assert_eq!(session.solves(), 0);
+    }
+
+    /// Regression (the nrhs == 0 satellite): a zero-column batched solve is
+    /// a well-formed empty success with zeroed stats, launches nothing, and
+    /// leaves the session fully usable.
+    #[test]
+    fn solve_multi_with_zero_rhs_is_an_empty_success() {
+        let l = gen::diagonal(16);
+        let cfg = DeviceConfig::pascal_like();
+        let mut session = SolverSession::new(&cfg, l.clone());
+        let rep = session.solve_multi(&[], 0).unwrap();
+        assert_eq!(rep.nrhs, 0);
+        assert!(rep.x.is_empty());
+        assert_eq!(
+            format!("{:?}", rep.stats),
+            format!("{:?}", LaunchStats::default())
+        );
+        assert_eq!(rep.exec_ms, 0.0);
+        assert_eq!(rep.gflops, 0.0);
+        assert_eq!(rep.bandwidth_gbs, 0.0);
+        assert_eq!(session.solves(), 0, "no solve was served");
+        // The session still works normally afterwards.
+        let b = rhs(16, 1);
+        let warm = session.solve(&b).unwrap();
+        let want = crate::reference::solve_serial_csr(&l, &b);
+        linalg::assert_solutions_close(&warm.x, &want, 1e-12);
     }
 
     /// Batched and looped fallback agree with cold single solves, bitwise.

@@ -151,7 +151,10 @@ pub struct MultiSolveReport {
 /// statistics. Both paths return `X` bit-identical to column-by-column
 /// solving.
 ///
-/// Shape mismatches are recoverable [`SimtError::Launch`] errors.
+/// Shape mismatches are recoverable [`SimtError::Launch`] errors. A
+/// zero-column block (`nrhs == 0` with an empty `bs`) is *not* an error:
+/// it returns an empty solution with zeroed statistics and derived
+/// metrics, skipping the device entirely.
 pub fn solve_multi_simulated(
     config: &DeviceConfig,
     l: &LowerTriangularCsr,
@@ -161,11 +164,6 @@ pub fn solve_multi_simulated(
 ) -> Result<MultiSolveReport, SimtError> {
     let n = l.n();
     let nnz = l.nnz();
-    if nrhs == 0 {
-        return Err(SimtError::Launch(
-            "need at least one right-hand side".to_string(),
-        ));
-    }
     // Checked multiply: an absurd nrhs must surface as the same structured
     // Launch error as any other shape mismatch, never an overflow panic.
     let expected = n.checked_mul(nrhs).ok_or_else(|| {
@@ -178,6 +176,21 @@ pub fn solve_multi_simulated(
             "rhs block has {} elements, expected {n} rows x {nrhs} rhs = {expected}",
             bs.len(),
         )));
+    }
+    if nrhs == 0 {
+        // A zero-column block is a well-formed degenerate solve: an empty
+        // solution, zeroed counters, zero derived metrics, and no launch —
+        // never an error or a division by zero.
+        return Ok(MultiSolveReport {
+            algorithm,
+            nrhs: 0,
+            x: Vec::new(),
+            stats: LaunchStats::default(),
+            preprocessing_ms: 0.0,
+            exec_ms: 0.0,
+            gflops: 0.0,
+            bandwidth_gbs: 0.0,
+        });
     }
     let host = HostCostModel::default();
     let (x, stats, preprocessing_ms) = if matches!(
@@ -399,8 +412,35 @@ mod tests {
         let cfg = DeviceConfig::pascal_like();
         let err = solve_multi_simulated(&cfg, &l, &[1.0; 15], 2, Algorithm::SyncFree).unwrap_err();
         assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
-        let err = solve_multi_simulated(&cfg, &l, &[], 0, Algorithm::SyncFree).unwrap_err();
+        // nrhs == 0 with a *non-empty* block is still a shape mismatch.
+        let err = solve_multi_simulated(&cfg, &l, &[1.0; 8], 0, Algorithm::SyncFree).unwrap_err();
         assert!(matches!(err, capellini_simt::SimtError::Launch(_)));
+    }
+
+    /// Regression (the nrhs == 0 satellite): a zero-column solve used to be
+    /// rejected; it must instead be a well-formed empty success — empty
+    /// solution, `LaunchStats::default()` counters, zero derived metrics —
+    /// for every live algorithm, batched trio and looped fallback alike.
+    #[test]
+    fn solve_multi_with_zero_rhs_is_an_empty_success() {
+        let l = gen::diagonal(8);
+        let cfg = DeviceConfig::pascal_like();
+        for algo in Algorithm::all_live() {
+            let rep = solve_multi_simulated(&cfg, &l, &[], 0, algo)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.label()));
+            assert_eq!(rep.nrhs, 0, "{}", algo.label());
+            assert!(rep.x.is_empty(), "{}", algo.label());
+            assert_eq!(
+                format!("{:?}", rep.stats),
+                format!("{:?}", LaunchStats::default()),
+                "{}: counters must be zeroed",
+                algo.label()
+            );
+            assert_eq!(rep.exec_ms, 0.0);
+            assert_eq!(rep.gflops, 0.0);
+            assert_eq!(rep.bandwidth_gbs, 0.0);
+            assert_eq!(rep.preprocessing_ms, 0.0);
+        }
     }
 
     /// Regression (validation parity): the cold free function must reject a

@@ -25,6 +25,17 @@
 //! autonomous store-buffer drain deadline ([`safe_horizon`]). Waiter wakes
 //! from the spin registry always enter the schedule as kick entries at or
 //! after the current pop key, so they never move the horizon earlier.
+//!
+//! The finite-cache model ([`crate::DeviceConfig::with_cache`], DESIGN.md
+//! §13) needs no extra horizon: cache tag/LRU state is only probed and
+//! mutated inside `step_warp`, which runs on the coordinating thread in
+//! merged pop order — the same synchronization points at which stores
+//! resolve. Eagerly-advanced parked warps replay captured *pure* spin
+//! iterations, and a cache-probed load is never pure (probing mutates LRU
+//! state), so no cache access can happen off the coordinator. Hit/miss
+//! counters therefore see exactly the serial probe sequence at any cluster
+//! count, and the counters themselves follow the saturating
+//! [`LaunchStats::accumulate`] merge discipline.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -131,6 +131,52 @@ impl MemoryModel {
     }
 }
 
+/// Geometry and latency of the opt-in finite cache model (see DESIGN.md
+/// §13). Off by default on every preset: without it the simulator keeps the
+/// historical flat-latency + infinite-L2 first-touch traffic model, and all
+/// golden traces, racecheck verdicts, and clustered-engine output stay
+/// bit-exact. With a `CacheConfig` armed, non-volatile loads probe a per-SM
+/// sector/tag L1 (a read-only path — `x`/`val` style data loads; flag polls
+/// and atomics bypass it, they are the sync protocol) and a shared L2, both
+/// set-associative with deterministic LRU replacement, and DRAM traffic
+/// becomes cache *misses* instead of first touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Sets in each SM's private L1 (sector-granular lines).
+    pub l1_sets: usize,
+    /// Ways per L1 set.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles (must undercut `l2_latency` to matter).
+    pub l1_latency: u64,
+    /// Sets in the device-wide shared L2.
+    pub l2_sets: usize,
+    /// Ways per L2 set.
+    pub l2_ways: usize,
+}
+
+impl CacheConfig {
+    /// A small, eviction-prone geometry sized for the scaled-down suite
+    /// matrices: 8 KB per-SM L1 (64 sets × 4 ways × 32 B sectors) and a
+    /// 128 KB shared L2 (512 sets × 8 ways). Small enough that reordering
+    /// a matrix visibly moves the hit rate, which is the point of the
+    /// `repro locality` experiment.
+    pub fn small() -> Self {
+        CacheConfig {
+            l1_sets: 64,
+            l1_ways: 4,
+            l1_latency: 30,
+            l2_sets: 512,
+            l2_ways: 8,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
 /// Parameters of a simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
@@ -188,6 +234,10 @@ pub struct DeviceConfig {
     /// snapshots, and profiles never depend on this knob. Values above
     /// `sm_count` are clamped to one cluster per SM.
     pub engine_threads: usize,
+    /// Finite cache model (see [`CacheConfig`]). `None` (the default) keeps
+    /// the flat-latency + infinite-L2 first-touch model bit-exact with
+    /// pre-cache builds; `Some` arms the per-SM L1 / shared L2 hierarchy.
+    pub cache: Option<CacheConfig>,
 }
 
 impl DeviceConfig {
@@ -216,6 +266,7 @@ impl DeviceConfig {
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
             engine_threads: 1,
+            cache: None,
         }
     }
 
@@ -244,6 +295,7 @@ impl DeviceConfig {
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
             engine_threads: 1,
+            cache: None,
         }
     }
 
@@ -272,6 +324,7 @@ impl DeviceConfig {
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
             engine_threads: 1,
+            cache: None,
         }
     }
 
@@ -304,6 +357,7 @@ impl DeviceConfig {
             profile: ProfileMode::Off,
             spin_model: SpinModel::FastForward,
             engine_threads: 1,
+            cache: None,
         }
     }
 
@@ -315,11 +369,25 @@ impl DeviceConfig {
     /// device with `f`-times smaller matrices reproduces the same contrast
     /// while keeping a single-core cycle-level simulation tractable
     /// (EXPERIMENTS.md documents the scaling).
-    pub fn scaled_down(mut self, factor: usize) -> Self {
-        assert!(factor >= 1);
+    pub fn scaled_down(self, factor: usize) -> Self {
+        self.try_scaled_down(factor)
+            .expect("scale factor must be >= 1")
+    }
+
+    /// Fallible form of [`DeviceConfig::scaled_down`] for factors that come
+    /// from user input: `factor == 0` would divide the SM count and DRAM
+    /// bandwidth by zero (a NaN/inf-bandwidth device that poisons every
+    /// downstream timing ratio), so it is rejected with a structured
+    /// [`crate::SimtError::Config`] instead.
+    pub fn try_scaled_down(mut self, factor: usize) -> Result<Self, crate::SimtError> {
+        if factor == 0 {
+            return Err(crate::SimtError::Config(
+                "scale-down factor must be a positive integer (got 0)".into(),
+            ));
+        }
         self.sm_count = (self.sm_count / factor).max(1);
         self.dram_bw_gbps /= factor as f64;
-        self
+        Ok(self)
     }
 
     /// Returns this configuration with the given memory model (builder
@@ -349,6 +417,15 @@ impl DeviceConfig {
     /// so any `n` is valid; results are bit-exact regardless.
     pub fn with_engine_threads(mut self, engine_threads: usize) -> Self {
         self.engine_threads = engine_threads;
+        self
+    }
+
+    /// Returns this configuration with the finite cache model armed
+    /// (builder style, like [`DeviceConfig::with_memory_model`]). Without
+    /// this call the cache stays off and simulated results are bit-exact
+    /// with pre-cache builds.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -474,6 +551,40 @@ mod tests {
         assert_eq!(four.engine_threads, 4);
         // Builder-set values survive the other builders and scaling.
         assert_eq!(four.scaled_down(4).engine_threads, 4);
+    }
+
+    #[test]
+    fn cache_defaults_to_off() {
+        for cfg in DeviceConfig::evaluation_platforms() {
+            assert_eq!(cfg.cache, None);
+        }
+        assert_eq!(DeviceConfig::toy().cache, None);
+        let on = DeviceConfig::pascal_like().with_cache(CacheConfig::small());
+        assert_eq!(on.cache, Some(CacheConfig::small()));
+        // Builder-set cache survives the other builders and scaling.
+        assert_eq!(
+            on.with_engine_threads(2).scaled_down(4).cache,
+            Some(CacheConfig::default())
+        );
+    }
+
+    #[test]
+    fn scaled_down_zero_is_a_structured_config_error() {
+        // Regression: a zero factor must not produce a NaN/inf-bandwidth
+        // device (or panic through the fallible path) — it is a config
+        // error a caller can render.
+        let err = DeviceConfig::pascal_like().try_scaled_down(0).unwrap_err();
+        match &err {
+            crate::SimtError::Config(msg) => {
+                assert!(msg.contains("positive integer"), "{msg}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("invalid configuration"));
+        // Valid factors still work through the fallible path.
+        let ok = DeviceConfig::pascal_like().try_scaled_down(4).unwrap();
+        assert_eq!(ok.sm_count, 5);
+        assert!(ok.dram_bw_gbps.is_finite());
     }
 
     #[test]

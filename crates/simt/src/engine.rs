@@ -25,7 +25,7 @@ use crate::cluster::{self, ClusterSched, EagerScratch, SchedParts, Shadow};
 use crate::config::{DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope};
 use crate::error::{SimtError, WarpSnapshot};
 use crate::kernel::{Pc, WarpKernel, PC_EXIT};
-use crate::mem::{AccessKind, DeviceMemory, LaneMem, RawAccess, SpinRec, SECTOR_BYTES};
+use crate::mem::{AccessKind, CacheHit, DeviceMemory, LaneMem, RawAccess, SpinRec, SECTOR_BYTES};
 use crate::metrics::{sat_add, LaunchStats};
 use crate::profile::{LaunchResult, Profile, Profiler, StallReason};
 use crate::trace::{Trace, TraceEvent};
@@ -1279,9 +1279,16 @@ fn eager_horizon_advance(
 impl GpuDevice {
     /// Creates a device with empty memory.
     pub fn new(config: DeviceConfig) -> Self {
+        let mut mem = DeviceMemory::new();
+        if let Some(cache) = &config.cache {
+            // Arm the finite-cache tag state for the device's lifetime; like
+            // the first-touch bitmaps it persists across launches, so warm
+            // relaunches on the same buffers see a warm cache.
+            mem.set_cache(cache, config.sm_count);
+        }
         GpuDevice {
             config,
-            mem: DeviceMemory::new(),
+            mem,
             warp_scratch: Vec::new(),
             launch_scratch: LaunchScratch::default(),
             profiles: Vec::new(),
@@ -1408,6 +1415,10 @@ impl GpuDevice {
         let tpc = cfg.schedulers_per_sm.max(1) as u64; // ticks per cycle
         let dram_lat = cfg.dram_latency * tpc;
         let l2_lat = cfg.l2_latency * tpc;
+        // Finite-cache model: 0 disables cache probing entirely (the legacy
+        // first-touch path is then the only accounting, bit-exact with
+        // pre-cache builds).
+        let l1_lat = cfg.cache.map_or(0, |c| c.l1_latency.max(1) * tpc);
         let shared_lat = cfg.shared_latency * tpc;
         let alu_ticks = (cfg.alu_latency * tpc).max(1);
         let store_ticks = (cfg.store_latency * tpc).max(1);
@@ -1824,6 +1835,7 @@ impl GpuDevice {
                 tpc,
                 dram_lat,
                 l2_lat,
+                l1_lat,
                 shared_lat,
                 alu_ticks,
                 store_ticks,
@@ -2208,6 +2220,7 @@ impl GpuDevice {
         tpc: u64,
         dram_lat: u64,
         l2_lat: u64,
+        l1_lat: u64,
         shared_lat: u64,
         alu_ticks: u64,
         store_ticks: u64,
@@ -2314,9 +2327,52 @@ impl GpuDevice {
                 accesses.sort_unstable_by_key(sort_key);
             }
             accesses.dedup();
-            let mut worst = l2_lat;
+            // Finite-cache model: probe L1/L2 for plain data loads only.
+            // Sync-protocol accesses (`bypass`), stores, and atomics keep
+            // the legacy path, so spin fast-forward capture/replay and the
+            // store pipeline are untouched. Probing mutates LRU state, so
+            // it happens here — on the coordinating thread, in merged pop
+            // order — which keeps clustered execution bit-identical to
+            // serial (DESIGN.md §13).
+            let probe_cache = l1_lat > 0 && kind == AccessKind::Load && !accesses[0].bypass;
+            let mut worst = if probe_cache { l1_lat } else { l2_lat };
             let mut bw_limited = false;
+            let mut l1_missed = false;
             for &a in accesses.iter() {
+                if probe_cache {
+                    let (hit, evictions) = mem.cache_probe(w.sm, a);
+                    sat_add(&mut stats.sector_evictions, evictions);
+                    // Keep the first-touch bitmaps warm: footprint
+                    // diagnostics stay comparable across cache modes.
+                    let _ = mem.touch(a);
+                    // Probing bumps LRU state, so a re-execution of this
+                    // instruction is not idempotent: never treat it as a
+                    // pure spin step (loops with data loads stay on the
+                    // slow path; parked loops remain poll-only).
+                    pure_mem = false;
+                    match hit {
+                        CacheHit::L1 => sat_add(&mut stats.l1_hits, 1),
+                        CacheHit::L2 => {
+                            sat_add(&mut stats.l1_misses, 1);
+                            sat_add(&mut stats.l2_hits, 1);
+                            l2_here += 1;
+                            worst = worst.max(l2_lat);
+                            l1_missed = true;
+                        }
+                        CacheHit::Miss => {
+                            sat_add(&mut stats.l1_misses, 1);
+                            sat_add(&mut stats.l2_misses, 1);
+                            sat_add(&mut stats.dram_transactions, 1);
+                            sat_add(&mut stats.dram_read_bytes, SECTOR_BYTES as u64);
+                            *dram_busy = dram_busy.max(t as f64) + sector_service_ticks;
+                            let ready = (*dram_busy as u64).max(t + dram_lat);
+                            bw_limited |= ready > t + dram_lat;
+                            worst = worst.max(ready - t);
+                            l1_missed = true;
+                        }
+                    }
+                    continue;
+                }
                 let miss = mem.touch(a);
                 if miss {
                     sat_add(&mut stats.dram_transactions, 1);
@@ -2337,6 +2393,12 @@ impl GpuDevice {
                     sat_add(&mut stats.l2_hits, 1);
                     l2_here += 1;
                 }
+                if stored {
+                    // Writes drop the sector from every SM's L1 so later
+                    // consumer loads re-fetch through L2 (no-op with the
+                    // cache model off).
+                    mem.cache_invalidate(a);
+                }
             }
             // Plain stores are fire-and-forget; loads and atomics block the
             // warp until the L2/DRAM responds.
@@ -2345,6 +2407,8 @@ impl GpuDevice {
                 StallReason::Executing
             } else if bw_limited {
                 StallReason::Bandwidth
+            } else if l1_missed {
+                StallReason::CacheMiss
             } else {
                 StallReason::MemLatency
             };

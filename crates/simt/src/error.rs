@@ -95,6 +95,8 @@ pub enum SimtError {
     },
     /// Invalid launch configuration (zero warps, oversized warp, ...).
     Launch(String),
+    /// Invalid device configuration (e.g. a zero scale-down factor).
+    Config(String),
 }
 
 fn write_warp_sample(f: &mut fmt::Formatter<'_>, warps: &[WarpSnapshot]) -> fmt::Result {
@@ -150,6 +152,7 @@ impl fmt::Display for SimtError {
                 )
             }
             SimtError::Launch(msg) => write!(f, "invalid launch: {msg}"),
+            SimtError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -60,7 +60,7 @@ pub mod metrics;
 pub mod profile;
 pub mod trace;
 
-pub use config::{DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope};
+pub use config::{CacheConfig, DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope};
 pub use engine::GpuDevice;
 pub use error::{SimtError, WarpSnapshot};
 pub use host::HostCostModel;
@@ -74,7 +74,9 @@ pub use trace::{Trace, TraceEvent};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::config::{DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope};
+    pub use crate::config::{
+        CacheConfig, DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope,
+    };
     pub use crate::engine::GpuDevice;
     pub use crate::error::{SimtError, WarpSnapshot};
     pub use crate::host::HostCostModel;

@@ -82,6 +82,12 @@ pub struct RawAccess {
     pub sector: u32,
     /// Access kind.
     pub kind: AccessKind,
+    /// Synchronization-protocol access (flag polls, sync counter polls,
+    /// atomics): bypasses the optional L1/L2 cache model and always takes
+    /// the legacy first-touch path, so spin fast-forward replay stays
+    /// bit-exact. Uniform per instruction (every lane of one instruction
+    /// issues the same kind of access), so coalescing is unaffected.
+    pub bypass: bool,
 }
 
 /// A store sitting in an owner's buffer, not yet visible in DRAM.
@@ -257,6 +263,145 @@ fn drain_skew(buf: u32, idx: usize, drain_ticks: u64) -> u64 {
     (h >> 33) % (drain_ticks / 2 + 1)
 }
 
+/// Where a cache-probed data load was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheHit {
+    /// Served by the issuing SM's L1.
+    L1,
+    /// Missed L1, served by the shared L2 (allocates into L1).
+    L2,
+    /// Missed both levels; pays the full DRAM path (allocates into both).
+    Miss,
+}
+
+/// Sector/tag cache state for the finite-cache model
+/// ([`crate::DeviceConfig::with_cache`]): per-SM set-associative L1 tag
+/// arrays over a shared L2, tracking 32-byte sectors keyed by
+/// `(buffer, sector)`. Tags only — all hit/miss/eviction *counters* live in
+/// [`crate::LaunchStats`] and are bumped by the engine on the coordinator
+/// thread in merged pop order, so clustered execution observes exactly the
+/// serial probe sequence (DESIGN.md §13). Like the first-touch bitmaps,
+/// the tag state persists across launches on the same device.
+struct CacheSim {
+    l1_sets: usize,
+    l1_ways: usize,
+    l2_sets: usize,
+    l2_ways: usize,
+    /// Per-SM L1 tags, flattened `[sm][set][way]`; `u64::MAX` = empty line.
+    l1_tags: Vec<u64>,
+    /// Last-use stamp per L1 line (LRU victim = smallest stamp).
+    l1_lru: Vec<u64>,
+    /// Shared L2 tags, flattened `[set][way]`.
+    l2_tags: Vec<u64>,
+    l2_lru: Vec<u64>,
+    /// Monotone use clock: bumped once per probe, so LRU order is a pure
+    /// function of the (deterministic) probe sequence.
+    clock: u64,
+}
+
+/// Empty-line sentinel. A real tag `(buf << 32) | sector` can only equal
+/// this for buffer/sector ids of `u32::MAX`, which the allocator never
+/// produces.
+const EMPTY_LINE: u64 = u64::MAX;
+
+/// Deterministic set-index hash: multiplicative scramble of the sector tag
+/// so neighbouring sectors of one buffer spread over sets without aliasing
+/// against same-offset sectors of other buffers.
+fn cache_set_index(tag: u64, sets: usize) -> usize {
+    ((tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % sets
+}
+
+impl CacheSim {
+    fn new(cfg: &crate::config::CacheConfig, sm_count: usize) -> Self {
+        let (l1_sets, l1_ways) = (cfg.l1_sets.max(1), cfg.l1_ways.max(1));
+        let (l2_sets, l2_ways) = (cfg.l2_sets.max(1), cfg.l2_ways.max(1));
+        CacheSim {
+            l1_sets,
+            l1_ways,
+            l2_sets,
+            l2_ways,
+            l1_tags: vec![EMPTY_LINE; sm_count.max(1) * l1_sets * l1_ways],
+            l1_lru: vec![0; sm_count.max(1) * l1_sets * l1_ways],
+            l2_tags: vec![EMPTY_LINE; l2_sets * l2_ways],
+            l2_lru: vec![0; l2_sets * l2_ways],
+            clock: 0,
+        }
+    }
+
+    /// Looks `tag` up in the line range `[base, base+ways)`; on hit bumps
+    /// its stamp and returns true. On miss installs it over the LRU way and
+    /// returns `(false, evicted_valid_line)`.
+    fn probe_level(
+        tags: &mut [u64],
+        lru: &mut [u64],
+        base: usize,
+        ways: usize,
+        tag: u64,
+        clock: u64,
+    ) -> (bool, bool) {
+        let lines = &mut tags[base..base + ways];
+        if let Some(w) = lines.iter().position(|&t| t == tag) {
+            lru[base + w] = clock;
+            return (true, false);
+        }
+        let victim = (0..ways).min_by_key(|&w| lru[base + w]).unwrap_or(0);
+        let evicted = lines[victim] != EMPTY_LINE;
+        lines[victim] = tag;
+        lru[base + victim] = clock;
+        (false, evicted)
+    }
+
+    /// Simulates one sector load by SM `sm`. Returns where it hit and how
+    /// many valid lines the allocation(s) evicted.
+    fn probe(&mut self, sm: usize, tag: u64) -> (CacheHit, u64) {
+        self.clock += 1;
+        let l1_base = (sm * self.l1_sets + cache_set_index(tag, self.l1_sets)) * self.l1_ways;
+        let (l1_hit, l1_evict) = Self::probe_level(
+            &mut self.l1_tags,
+            &mut self.l1_lru,
+            l1_base,
+            self.l1_ways,
+            tag,
+            self.clock,
+        );
+        if l1_hit {
+            return (CacheHit::L1, 0);
+        }
+        let l2_base = cache_set_index(tag, self.l2_sets) * self.l2_ways;
+        let (l2_hit, l2_evict) = Self::probe_level(
+            &mut self.l2_tags,
+            &mut self.l2_lru,
+            l2_base,
+            self.l2_ways,
+            tag,
+            self.clock,
+        );
+        let evictions = l1_evict as u64 + l2_evict as u64;
+        if l2_hit {
+            (CacheHit::L2, evictions)
+        } else {
+            (CacheHit::Miss, evictions)
+        }
+    }
+
+    /// A store or atomic to `tag`: drops the sector from *every* SM's L1 so
+    /// later consumer loads re-fetch through L2 (write-through with
+    /// cross-SM invalidation — the sector is never dirty). The shared L2
+    /// stays valid: it sees the write.
+    fn invalidate(&mut self, tag: u64) {
+        let sm_count = self.l1_tags.len() / (self.l1_sets * self.l1_ways);
+        let set = cache_set_index(tag, self.l1_sets);
+        for sm in 0..sm_count {
+            let base = (sm * self.l1_sets + set) * self.l1_ways;
+            for line in &mut self.l1_tags[base..base + self.l1_ways] {
+                if *line == tag {
+                    *line = EMPTY_LINE;
+                }
+            }
+        }
+    }
+}
+
 /// All buffers of one simulated device.
 #[derive(Default)]
 pub struct DeviceMemory {
@@ -265,6 +410,8 @@ pub struct DeviceMemory {
     relaxed: Option<RelaxedState>,
     /// Parked-warp waiter lists (fast-forward spin model).
     spin: SpinWaiters,
+    /// `Some` when the device was built with a [`crate::CacheConfig`].
+    cache: Option<CacheSim>,
 }
 
 impl DeviceMemory {
@@ -402,6 +549,35 @@ impl DeviceMemory {
         let first = map[w] & (1 << b) == 0;
         map[w] |= 1 << b;
         first
+    }
+
+    // ---- finite-cache model (engine-internal) ---------------------------
+
+    /// Arms the finite L1/L2 cache model (device construction with
+    /// [`crate::DeviceConfig::with_cache`]). Without this call every probe
+    /// helper below is a no-op and the legacy first-touch model is the only
+    /// traffic accounting — bit-exact with pre-cache builds.
+    pub(crate) fn set_cache(&mut self, cfg: &crate::config::CacheConfig, sm_count: usize) {
+        self.cache = Some(CacheSim::new(cfg, sm_count));
+    }
+
+    /// Probes the cache hierarchy for one sector load issued by SM `sm`.
+    /// Must only be called with the model armed, for non-bypass loads, on
+    /// the coordinating thread in merged pop order (determinism contract).
+    pub(crate) fn cache_probe(&mut self, sm: usize, a: RawAccess) -> (CacheHit, u64) {
+        let tag = ((a.buf as u64) << 32) | a.sector as u64;
+        self.cache
+            .as_mut()
+            .expect("cache model armed")
+            .probe(sm, tag)
+    }
+
+    /// Invalidates the sector of a store/atomic in every SM's L1 (no-op
+    /// with the model off).
+    pub(crate) fn cache_invalidate(&mut self, a: RawAccess) {
+        if let Some(c) = &mut self.cache {
+            c.invalidate(((a.buf as u64) << 32) | a.sector as u64);
+        }
     }
 
     // ---- relaxed memory model (engine-internal) -------------------------
@@ -759,7 +935,7 @@ impl<'a> LaneMem<'a> {
     }
 
     #[inline]
-    fn record(&mut self, buf: u32, byte_off: usize, kind: AccessKind) {
+    fn record(&mut self, buf: u32, byte_off: usize, kind: AccessKind, bypass: bool) {
         #[cfg(debug_assertions)]
         {
             self.ops_this_exec += 1;
@@ -772,13 +948,14 @@ impl<'a> LaneMem<'a> {
             buf,
             sector: (byte_off as u32) / SECTOR_BYTES,
             kind,
+            bypass,
         });
     }
 
     /// Global load of an `f64`.
     #[inline]
     pub fn load_f64(&mut self, h: BufF64, idx: usize) -> f64 {
-        self.record(h.0, idx * 8, AccessKind::Load);
+        self.record(h.0, idx * 8, AccessKind::Load, false);
         self.note_read(h.0, idx);
         if self.dev.relaxed.is_some() {
             if let Some(PendingVal::F64(v)) = self
@@ -794,7 +971,7 @@ impl<'a> LaneMem<'a> {
     /// Global store of an `f64`.
     #[inline]
     pub fn store_f64(&mut self, h: BufF64, idx: usize, v: f64) {
-        self.record(h.0, idx * 8, AccessKind::Store);
+        self.record(h.0, idx * 8, AccessKind::Store, false);
         if self.dev.relaxed.is_some() {
             self.dev.relaxed_store(
                 self.owner,
@@ -828,7 +1005,7 @@ impl<'a> LaneMem<'a> {
 
     #[inline]
     fn load_u32_inner(&mut self, h: BufU32, idx: usize, sync: bool) -> u32 {
-        self.record(h.0, idx * 4, AccessKind::Load);
+        self.record(h.0, idx * 4, AccessKind::Load, sync);
         self.note_read(h.0, idx);
         if self.dev.relaxed.is_some() {
             // No u32 store instruction exists, so forwarding never hits;
@@ -850,7 +1027,7 @@ impl<'a> LaneMem<'a> {
     /// flag state (another warp's buffered `store_flag` is invisible).
     #[inline]
     pub fn load_flag(&mut self, h: BufFlag, idx: usize) -> bool {
-        self.record(h.0, idx, AccessKind::Load);
+        self.record(h.0, idx, AccessKind::Load, true);
         self.note_read(h.0, idx);
         if self.dev.relaxed.is_some() {
             if let Some(PendingVal::Flag(v)) = self
@@ -883,7 +1060,7 @@ impl<'a> LaneMem<'a> {
     /// Store of a completion flag.
     #[inline]
     pub fn store_flag(&mut self, h: BufFlag, idx: usize, v: bool) {
-        self.record(h.0, idx, AccessKind::Store);
+        self.record(h.0, idx, AccessKind::Store, true);
         if self.dev.relaxed.is_some() {
             self.dev.relaxed_store(
                 self.owner,
@@ -925,7 +1102,7 @@ impl<'a> LaneMem<'a> {
     /// SyncFree [20]); returns the previous value.
     #[inline]
     pub fn atomic_add_f64(&mut self, h: BufF64, idx: usize, v: f64) -> f64 {
-        self.record(h.0, idx * 8, AccessKind::Atomic);
+        self.record(h.0, idx * 8, AccessKind::Atomic, true);
         if self.dev.relaxed.is_some() {
             self.dev.atomic_sync(h.0, idx);
         }
@@ -951,7 +1128,7 @@ impl<'a> LaneMem<'a> {
     /// SyncFree); returns the previous value.
     #[inline]
     pub fn atomic_sub_u32(&mut self, h: BufU32, idx: usize, v: u32) -> u32 {
-        self.record(h.0, idx * 4, AccessKind::Atomic);
+        self.record(h.0, idx * 4, AccessKind::Atomic, true);
         if self.dev.relaxed.is_some() {
             self.dev.atomic_sync(h.0, idx);
         }
@@ -1057,7 +1234,8 @@ mod tests {
             vec![RawAccess {
                 buf: 0,
                 sector: 1,
-                kind: AccessKind::Store
+                kind: AccessKind::Store,
+                bypass: false
             }]
         );
         assert_eq!(dev.read_f64(f)[5], 9.0);
@@ -1071,6 +1249,7 @@ mod tests {
             buf: f.0,
             sector: 0,
             kind: AccessKind::Load,
+            bypass: false,
         };
         assert!(dev.touch(a), "first read touch goes to DRAM");
         assert!(!dev.touch(a), "second read touch is an L2 hit");
@@ -1078,9 +1257,71 @@ mod tests {
             buf: f.0,
             sector: 0,
             kind: AccessKind::Store,
+            bypass: false,
         };
         assert!(dev.touch(w), "write touches tracked separately");
         assert!(!dev.touch(w));
+    }
+
+    #[test]
+    fn cache_probe_hits_after_fill_and_invalidates_on_store() {
+        let cfg = crate::config::CacheConfig::small();
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 64]);
+        dev.set_cache(&cfg, 2);
+        let a = RawAccess {
+            buf: f.0,
+            sector: 3,
+            kind: AccessKind::Load,
+            bypass: false,
+        };
+        // Cold: miss both levels, allocate, then hit L1 on SM 0.
+        assert_eq!(dev.cache_probe(0, a), (CacheHit::Miss, 0));
+        assert_eq!(dev.cache_probe(0, a), (CacheHit::L1, 0));
+        // SM 1 has its own L1 but shares the L2.
+        assert_eq!(dev.cache_probe(1, a), (CacheHit::L2, 0));
+        assert_eq!(dev.cache_probe(1, a), (CacheHit::L1, 0));
+        // A store invalidates the sector in *every* SM's L1; the shared L2
+        // stays valid, so the next load is an L2 hit, not a DRAM miss.
+        dev.cache_invalidate(RawAccess {
+            buf: f.0,
+            sector: 3,
+            kind: AccessKind::Store,
+            bypass: false,
+        });
+        assert_eq!(dev.cache_probe(0, a), (CacheHit::L2, 0));
+        assert_eq!(dev.cache_probe(1, a), (CacheHit::L2, 0));
+    }
+
+    #[test]
+    fn cache_lru_evicts_within_a_set() {
+        // A 1-set, 2-way L1 over a 1-set, 2-way L2: the third distinct
+        // sector must evict the least-recently-used line at both levels.
+        let cfg = crate::config::CacheConfig {
+            l1_sets: 1,
+            l1_ways: 2,
+            l1_latency: 30,
+            l2_sets: 1,
+            l2_ways: 2,
+        };
+        let mut dev = DeviceMemory::new();
+        let f = dev.alloc_f64(&[0.0; 1024]);
+        dev.set_cache(&cfg, 1);
+        let acc = |sector: u32| RawAccess {
+            buf: f.0,
+            sector,
+            kind: AccessKind::Load,
+            bypass: false,
+        };
+        assert_eq!(dev.cache_probe(0, acc(0)), (CacheHit::Miss, 0));
+        assert_eq!(dev.cache_probe(0, acc(1)), (CacheHit::Miss, 0));
+        // Sector 2 evicts a valid line in L1 and in L2 (LRU = sector 0).
+        assert_eq!(dev.cache_probe(0, acc(2)), (CacheHit::Miss, 2));
+        // Sector 0 was evicted from both levels: full miss again.
+        assert_eq!(dev.cache_probe(0, acc(0)), (CacheHit::Miss, 2));
+        // Sector 2 was refreshed more recently than 1, so 1 is the next
+        // victim and 2 still hits.
+        assert_eq!(dev.cache_probe(0, acc(2)), (CacheHit::L1, 0));
     }
 
     #[test]

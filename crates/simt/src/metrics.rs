@@ -65,6 +65,20 @@ pub struct LaunchStats {
     /// Relaxed memory model only: buffered stores drained to DRAM (by
     /// fence, delay expiry, capacity eviction, or end-of-launch flush).
     pub drained_stores: u64,
+    /// Cache model only ([`DeviceConfig::with_cache`]): data loads served by
+    /// the issuing SM's L1. Always 0 with the cache model off.
+    pub l1_hits: u64,
+    /// Cache model only: data loads that missed the issuing SM's L1.
+    pub l1_misses: u64,
+    /// Cache model only: data loads that missed both L1 and the shared L2
+    /// (and therefore paid the full DRAM path). Always 0 with the model off;
+    /// with it on, `l2_hits` counts L1-miss/L2-hit transactions instead of
+    /// the legacy first-touch hits.
+    pub l2_misses: u64,
+    /// Cache model only: valid lines evicted from L1 or L2 sets by
+    /// allocation pressure — the capacity/conflict traffic a locality
+    /// permutation is trying to reduce.
+    pub sector_evictions: u64,
 }
 
 impl LaunchStats {
@@ -97,6 +111,10 @@ impl LaunchStats {
         self.launches = self.launches.saturating_add(other.launches);
         self.stale_reads = self.stale_reads.saturating_add(other.stale_reads);
         self.drained_stores = self.drained_stores.saturating_add(other.drained_stores);
+        self.l1_hits = self.l1_hits.saturating_add(other.l1_hits);
+        self.l1_misses = self.l1_misses.saturating_add(other.l1_misses);
+        self.l2_misses = self.l2_misses.saturating_add(other.l2_misses);
+        self.sector_evictions = self.sector_evictions.saturating_add(other.sector_evictions);
     }
 
     /// Execution time in seconds at the given device's clock.
@@ -177,6 +195,17 @@ impl LaunchStats {
         }
     }
 
+    /// L1 hit rate over all cache-probed data loads (cache model only;
+    /// 0.0 with the model off, where `l1_hits`/`l1_misses` stay zero).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits.saturating_add(self.l1_misses);
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
     /// L2 hit rate over all memory transactions.
     pub fn l2_hit_rate(&self) -> f64 {
         let total = self.dram_transactions.saturating_add(self.l2_hits);
@@ -233,6 +262,30 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_accumulate_and_derive() {
+        let mut a = LaunchStats {
+            l1_hits: 6,
+            l1_misses: 2,
+            l2_misses: 1,
+            sector_evictions: 1,
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            l1_hits: 0,
+            l1_misses: 2,
+            l2_misses: 1,
+            sector_evictions: 3,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.l1_hits, 6);
+        assert_eq!(a.l1_misses, 4);
+        assert_eq!(a.l2_misses, 2);
+        assert_eq!(a.sector_evictions, 4);
+        assert!((a.l1_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
     fn zero_division_guards() {
         // Every ratio helper must return finite 0.0 on an all-zero launch
         // (cycles == 0 makes time 0, dram counters 0, etc.) — never NaN or
@@ -241,6 +294,7 @@ mod tests {
         let s = LaunchStats::default();
         assert_eq!(s.stall_pct(), 0.0);
         assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 0.0);
         assert_eq!(s.issue_stall_pct(), 0.0);
         assert_eq!(s.issue_utilization_pct(), 0.0);
         assert_eq!(s.gflops(&cfg, 2_000_000), 0.0);

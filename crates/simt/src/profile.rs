@@ -47,10 +47,15 @@ pub enum StallReason {
     StoreDrain,
     /// Idle with no resident warp ready to issue on this SM at all.
     NoWarp,
+    /// Cache model only ([`crate::DeviceConfig::with_cache`]): idle because
+    /// the unblocking warp's data load missed in L1 (served by L2 or DRAM).
+    /// Never emitted with the cache model off; appended after `NoWarp` so
+    /// pre-cache reason indices (and CSV columns) are unchanged.
+    CacheMiss,
 }
 
 /// Number of [`StallReason`] variants (array-indexing helper).
-pub const N_STALL_REASONS: usize = 7;
+pub const N_STALL_REASONS: usize = 8;
 
 impl StallReason {
     /// All reasons, in display/CSV column order.
@@ -62,6 +67,7 @@ impl StallReason {
         StallReason::Bandwidth,
         StallReason::StoreDrain,
         StallReason::NoWarp,
+        StallReason::CacheMiss,
     ];
 
     /// Stable snake_case label (CSV headers, Chrome-trace counter keys).
@@ -74,6 +80,7 @@ impl StallReason {
             StallReason::Bandwidth => "bandwidth",
             StallReason::StoreDrain => "store_drain",
             StallReason::NoWarp => "no_warp",
+            StallReason::CacheMiss => "cache_miss",
         }
     }
 

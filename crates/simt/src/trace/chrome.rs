@@ -117,12 +117,12 @@ mod tests {
                 StallBucket {
                     cycle_start: 0,
                     sm: 0,
-                    slots: [3, 5, 0, 0, 0, 0, 0],
+                    slots: [3, 5, 0, 0, 0, 0, 0, 0],
                 },
                 StallBucket {
                     cycle_start: 4,
                     sm: 0,
-                    slots: [0, 0, 0, 0, 0, 0, 8],
+                    slots: [0, 0, 0, 0, 0, 0, 8, 0],
                 },
             ],
             warp_spans: vec![WarpSpan {
@@ -157,7 +157,7 @@ mod tests {
         for r in StallReason::ALL {
             assert!(j.contains(r.label()), "missing counter key {}", r.label());
         }
-        assert_eq!(N_STALL_REASONS, 7);
+        assert_eq!(N_STALL_REASONS, 8);
     }
 
     #[test]

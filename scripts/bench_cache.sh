@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Measures the cache-locality study (DeviceConfig::with_cache) and records
+# it as BENCH_<N>.json at the repo root so future PRs can track the perf
+# trajectory. N is the first unused number, so successive runs append to
+# the series instead of clobbering earlier records.
+#
+# Runs `repro locality`, which arms the finite L1/L2 sector cache and
+# trades the dataset's shuffled row ordering against the RCM-like and
+# level-coalesced relabelings, plus row-major vs column-major multi-RHS
+# tiling (verifying every permuted solve against the reference solution
+# and the two tilings bitwise against each other), and copies
+# results/locality.json into BENCH_<N>.json.
+#
+# Usage: scripts/bench_cache.sh [scale]
+#   scale    small|medium|full (default: small)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+
+# locality writes its JSON under the results dir; point it at a scratch
+# location so the repo's results/ cache is untouched.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" \
+    ./target/release/repro locality --scale "$SCALE"
+
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/locality.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -32,6 +32,12 @@ cargo test --release -q -p capellini-sptrsv --test engine_cluster
 echo "==> engine_cluster smoke (calibration asserts serial == clustered bit-exactness)"
 cargo bench -q -p capellini-bench --bench engine_cluster -- --quick
 
+echo "==> cache-model differential suite (off invisible, on deterministic across clusters)"
+cargo test --release -q -p capellini-sptrsv --test cache_model
+
+echo "==> engine_cache smoke (calibration asserts cache-off zero counters + bit-stable solutions)"
+cargo bench -q -p capellini-bench --bench engine_cache -- --quick
+
 echo "==> service differential suite (concurrent tenants vs serial sessions bit-exactness)"
 cargo test --release -q -p capellini-sptrsv --test service
 

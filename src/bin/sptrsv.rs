@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|auto]
-//!                [--device pascal|volta|turing] [--engine-threads N]
+//!                [--device pascal|volta|turing] [--engine-threads N] [--cache]
 //!                [--rhs-cols K] [--session N]
 //!                [--profile trace.json [--profile-interval N]]
 //!                [--cpu [THREADS]] [--out x.txt]
@@ -49,7 +49,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--cache] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)\n  --cache             model a finite per-SM L1 + shared L2 for read-only loads and report hit rates"
     );
 }
 
@@ -208,6 +208,39 @@ fn cmd_solve(args: &[String]) {
             });
             device = device.with_engine_threads(threads);
         }
+        let cache_on = has_flag(args, "--cache");
+        if cache_on {
+            device = device.with_cache(CacheConfig::small());
+        }
+        // Validated whether or not --profile is present: a bad interval is a
+        // usage error, not something to silently default away.
+        let profile_interval: u64 = match flag_value(args, "--profile-interval") {
+            None => 256,
+            Some(v) => v.parse().ok().filter(|&i| i >= 1).unwrap_or_else(|| {
+                eprintln!("--profile-interval must be a positive integer, got {v}");
+                exit(2);
+            }),
+        };
+        let print_cache = |stats: &capellini_sptrsv::simt::LaunchStats| {
+            if cache_on {
+                let l1_total = stats.l1_hits + stats.l1_misses;
+                let l2_total = stats.l2_hits + stats.l2_misses;
+                eprintln!(
+                    "cache: L1 {:.1}% hit ({}/{}), L2 {:.1}% hit ({}/{}), {} sector eviction(s)",
+                    100.0 * stats.l1_hit_rate(),
+                    stats.l1_hits,
+                    l1_total,
+                    if l2_total > 0 {
+                        100.0 * stats.l2_hits as f64 / l2_total as f64
+                    } else {
+                        0.0
+                    },
+                    stats.l2_hits,
+                    l2_total,
+                    stats.sector_evictions
+                );
+            }
+        };
         let trace_path = flag_value(args, "--profile");
         if trace_path.is_some() && (rhs_cols > 1 || session_reps.is_some()) {
             eprintln!("--profile is only supported for single cold solves");
@@ -223,20 +256,22 @@ fn cmd_solve(args: &[String]) {
                 session.fingerprint()
             );
             let mut total_ms = 0.0;
+            let mut total_stats = capellini_sptrsv::simt::LaunchStats::default();
             let mut x = Vec::new();
             for _ in 0..reps {
                 let rep_result = if rhs_cols == 1 {
-                    session.solve(&b).map(|rep| (rep.exec_ms, rep.x))
+                    session.solve(&b).map(|rep| (rep.exec_ms, rep.stats, rep.x))
                 } else {
                     session
                         .solve_multi(&bs, rhs_cols)
-                        .map(|rep| (rep.exec_ms, rep.x))
+                        .map(|rep| (rep.exec_ms, rep.stats, rep.x))
                 };
-                let (exec_ms, xi) = rep_result.unwrap_or_else(|e| {
+                let (exec_ms, stats, xi) = rep_result.unwrap_or_else(|e| {
                     eprintln!("solve failed: {e}");
                     exit(1);
                 });
                 total_ms += exec_ms;
+                total_stats.accumulate(&stats);
                 x = xi;
             }
             eprintln!(
@@ -246,6 +281,7 @@ fn cmd_solve(args: &[String]) {
                 total_ms / reps as f64,
                 session.device().grid_reuses()
             );
+            print_cache(&total_stats);
             x
         } else if rhs_cols > 1 {
             let rep = solve_multi_simulated(&device, solver.matrix(), &bs, rhs_cols, algo)
@@ -263,13 +299,11 @@ fn cmd_solve(args: &[String]) {
                 rep.gflops,
                 rep.bandwidth_gbs
             );
+            print_cache(&rep.stats);
             rep.x
         } else {
             if trace_path.is_some() {
-                let interval = flag_value(args, "--profile-interval")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(256);
-                device.profile = ProfileMode::sampled(interval);
+                device.profile = ProfileMode::sampled(profile_interval);
             }
             let rep = solve_simulated(&device, solver.matrix(), &b, algo).unwrap_or_else(|e| {
                 eprintln!("solve failed: {e}");
@@ -295,6 +329,7 @@ fn cmd_solve(args: &[String]) {
                 rep.gflops,
                 rep.bandwidth_gbs
             );
+            print_cache(&rep.stats);
             rep.x
         }
     };

@@ -122,6 +122,10 @@ fn bad_batching_flags_are_usage_errors() {
         ("--rhs-cols", "three"),
         ("--session", "0"),
         ("--session", "-2"),
+        ("--engine-threads", "0"),
+        ("--engine-threads", "lots"),
+        ("--profile-interval", "0"),
+        ("--profile-interval", "often"),
     ] {
         let out = sptrsv(&["solve", "--matrix", m.to_str().unwrap(), flag, bad]);
         assert_readable_failure(&out, "positive integer");
@@ -175,6 +179,22 @@ fn serve_demo_reports_per_tenant_metrics() {
     assert!(stderr.contains("served 6 solve(s)"), "stderr: {stderr}");
     assert!(stdout.contains("client-0"), "stdout: {stdout}");
     assert!(stdout.contains("client-1"), "stdout: {stdout}");
+    let _ = fs::remove_file(m);
+}
+
+/// `--cache` arms the finite L1/L2 model and reports hit rates; without it
+/// no cache line is printed (the model defaults to off).
+#[test]
+fn cache_flag_reports_hit_rates() {
+    let m = scratch("good-cache.mtx", VALID_LOWER_3X3);
+    let out = sptrsv(&["solve", "--matrix", m.to_str().unwrap(), "--cache"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected success, stderr: {stderr}");
+    assert!(stderr.contains("cache: L1"), "stderr: {stderr}");
+    let out = sptrsv(&["solve", "--matrix", m.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected success, stderr: {stderr}");
+    assert!(!stderr.contains("cache: L1"), "stderr: {stderr}");
     let _ = fs::remove_file(m);
 }
 

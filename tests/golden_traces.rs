@@ -142,20 +142,20 @@ fn launch_stats_bit_exact() {
     ];
 
     let expected_paper = [
-        "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 67, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 75, warp_instructions: 118, thread_instructions: 229, flops: 34, dram_read_bytes: 448, dram_write_bytes: 160, dram_transactions: 19, l2_hits: 64, shared_ops: 24, atomic_ops: 13, fences: 8, issue_ticks: 118, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 109, warp_instructions: 159, thread_instructions: 327, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 74, shared_ops: 0, atomic_ops: 0, fences: 4, issue_ticks: 159, stall_ticks: 28, failed_polls: 58, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 32, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 97, warp_instructions: 162, thread_instructions: 327, flops: 82, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 64, shared_ops: 56, atomic_ops: 0, fences: 8, issue_ticks: 162, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 67, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 75, warp_instructions: 118, thread_instructions: 229, flops: 34, dram_read_bytes: 448, dram_write_bytes: 160, dram_transactions: 19, l2_hits: 64, shared_ops: 24, atomic_ops: 13, fences: 8, issue_ticks: 118, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 109, warp_instructions: 159, thread_instructions: 327, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 74, shared_ops: 0, atomic_ops: 0, fences: 4, issue_ticks: 159, stall_ticks: 28, failed_polls: 58, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 32, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 97, warp_instructions: 162, thread_instructions: 327, flops: 82, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 64, shared_ops: 56, atomic_ops: 0, fences: 8, issue_ticks: 162, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
     ];
     let expected_randomk = [
-        "LaunchStats { cycles: 88185, warp_instructions: 86433, thread_instructions: 1861577, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 429322, shared_ops: 0, atomic_ops: 0, fences: 1009, issue_ticks: 86433, stall_ticks: 1497796, failed_polls: 356721, warps_launched: 94, lanes_retired: 3008, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 62990, warp_instructions: 271641, thread_instructions: 2445894, flops: 116988, dram_read_bytes: 205056, dram_write_bytes: 27008, dram_transactions: 7252, l2_hits: 190317, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 271641, stall_ticks: 818396, failed_polls: 174468, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 80765, warp_instructions: 303064, thread_instructions: 8919298, flops: 23988, dram_read_bytes: 215392, dram_write_bytes: 60000, dram_transactions: 8606, l2_hits: 166593, shared_ops: 96000, atomic_ops: 17743, fences: 3000, issue_ticks: 303064, stall_ticks: 1143767, failed_polls: 4141664, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 230048, warp_instructions: 205608, thread_instructions: 3101676, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 1007319, shared_ops: 0, atomic_ops: 0, fences: 191, issue_ticks: 205608, stall_ticks: 4189012, failed_polls: 1488737, warps_launched: 94, lanes_retired: 3008, launches: 1, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 499672, warp_instructions: 2356, thread_instructions: 60784, flops: 23988, dram_read_bytes: 214080, dram_write_bytes: 24000, dram_transactions: 7440, l2_hits: 30705, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 2356, stall_ticks: 1507792, failed_polls: 0, warps_launched: 119, lanes_retired: 3808, launches: 42, stale_reads: 0, drained_stores: 0 }",
-        "LaunchStats { cycles: 58845, warp_instructions: 295457, thread_instructions: 1688793, flops: 503988, dram_read_bytes: 217056, dram_write_bytes: 27008, dram_transactions: 7627, l2_hits: 173152, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 295457, stall_ticks: 713517, failed_polls: 151945, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0 }",
+        "LaunchStats { cycles: 88185, warp_instructions: 86433, thread_instructions: 1861577, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 429322, shared_ops: 0, atomic_ops: 0, fences: 1009, issue_ticks: 86433, stall_ticks: 1497796, failed_polls: 356721, warps_launched: 94, lanes_retired: 3008, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 62990, warp_instructions: 271641, thread_instructions: 2445894, flops: 116988, dram_read_bytes: 205056, dram_write_bytes: 27008, dram_transactions: 7252, l2_hits: 190317, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 271641, stall_ticks: 818396, failed_polls: 174468, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 80765, warp_instructions: 303064, thread_instructions: 8919298, flops: 23988, dram_read_bytes: 215392, dram_write_bytes: 60000, dram_transactions: 8606, l2_hits: 166593, shared_ops: 96000, atomic_ops: 17743, fences: 3000, issue_ticks: 303064, stall_ticks: 1143767, failed_polls: 4141664, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 230048, warp_instructions: 205608, thread_instructions: 3101676, flops: 23988, dram_read_bytes: 205088, dram_write_bytes: 27008, dram_transactions: 7253, l2_hits: 1007319, shared_ops: 0, atomic_ops: 0, fences: 191, issue_ticks: 205608, stall_ticks: 4189012, failed_polls: 1488737, warps_launched: 94, lanes_retired: 3008, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 499672, warp_instructions: 2356, thread_instructions: 60784, flops: 23988, dram_read_bytes: 214080, dram_write_bytes: 24000, dram_transactions: 7440, l2_hits: 30705, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 2356, stall_ticks: 1507792, failed_polls: 0, warps_launched: 119, lanes_retired: 3808, launches: 42, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
+        "LaunchStats { cycles: 58845, warp_instructions: 295457, thread_instructions: 1688793, flops: 503988, dram_read_bytes: 217056, dram_write_bytes: 27008, dram_transactions: 7627, l2_hits: 173152, shared_ops: 282000, atomic_ops: 0, fences: 3000, issue_ticks: 295457, stall_ticks: 713517, failed_polls: 151945, warps_launched: 3000, lanes_retired: 96000, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }",
     ];
 
     let fixtures = [
@@ -196,9 +196,9 @@ fn upper_triangular_golden() {
     let b = linalg::spmv(u.csr(), &x_true);
 
     let expected = [
-        (Algorithm::CapelliniWritingFirst, "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 68, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0 }"),
-        (Algorithm::SyncFree, "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0 }"),
-        (Algorithm::LevelSet, "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 34, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4, stale_reads: 0, drained_stores: 0 }"),
+        (Algorithm::CapelliniWritingFirst, "LaunchStats { cycles: 92, warp_instructions: 129, thread_instructions: 214, flops: 34, dram_read_bytes: 480, dram_write_bytes: 96, dram_transactions: 18, l2_hits: 68, shared_ops: 0, atomic_ops: 0, fences: 6, issue_ticks: 129, stall_ticks: 24, failed_polls: 19, warps_launched: 3, lanes_retired: 9, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }"),
+        (Algorithm::SyncFree, "LaunchStats { cycles: 109, warp_instructions: 186, thread_instructions: 399, flops: 50, dram_read_bytes: 448, dram_write_bytes: 96, dram_transactions: 17, l2_hits: 57, shared_ops: 64, atomic_ops: 0, fences: 8, issue_ticks: 186, stall_ticks: 0, failed_polls: 0, warps_launched: 8, lanes_retired: 24, launches: 1, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }"),
+        (Algorithm::LevelSet, "LaunchStats { cycles: 116, warp_instructions: 56, thread_instructions: 104, flops: 34, dram_read_bytes: 448, dram_write_bytes: 64, dram_transactions: 16, l2_hits: 34, shared_ops: 0, atomic_ops: 0, fences: 0, issue_ticks: 56, stall_ticks: 52, failed_polls: 0, warps_launched: 4, lanes_retired: 12, launches: 4, stale_reads: 0, drained_stores: 0, l1_hits: 0, l1_misses: 0, l2_misses: 0, sector_evictions: 0 }"),
     ];
     for (algo, want) in expected {
         let rep = solve_upper_simulated(&toy(), &u, &b, algo).unwrap();

@@ -305,3 +305,38 @@ fn every_solve_entry_point_validates_rhs_length_identically() {
         );
     }
 }
+
+#[test]
+fn zero_rhs_batch_is_an_empty_success_on_every_live_algorithm() {
+    // nrhs == 0 with an empty block is a degenerate but well-formed batch:
+    // every live algorithm returns an empty solution with default stats and
+    // zero derived metrics, launching nothing. A *non-empty* block with
+    // nrhs == 0 is still a shape error — the bugfix must not swallow it.
+    use capellini_sptrsv::core::solve_multi_simulated;
+    use capellini_sptrsv::simt::LaunchStats;
+    let l = gen::powerlaw(64, 2.6, 7);
+    let cfg = scaled(DeviceConfig::pascal_like());
+    for algo in Algorithm::all_live() {
+        let rep = solve_multi_simulated(&cfg, &l, &[], 0, algo)
+            .unwrap_or_else(|e| panic!("{}: nrhs == 0 must succeed: {e}", algo.label()));
+        assert!(rep.x.is_empty(), "{}: phantom solution", algo.label());
+        assert_eq!(rep.nrhs, 0, "{}", algo.label());
+        assert_eq!(
+            format!("{:?}", rep.stats),
+            format!("{:?}", LaunchStats::default()),
+            "{}: empty batch must not launch",
+            algo.label()
+        );
+        for v in [rep.exec_ms, rep.gflops, rep.bandwidth_gbs] {
+            assert_eq!(v, 0.0, "{}: nonzero derived metric", algo.label());
+        }
+        let err = solve_multi_simulated(&cfg, &l, &[1.0; 64], 0, algo)
+            .map(|_| ())
+            .expect_err("a non-empty block with nrhs == 0 is a shape error");
+        assert!(
+            matches!(err, SimtError::Launch(_)),
+            "{}: expected Launch, got {err}",
+            algo.label()
+        );
+    }
+}
