@@ -5,7 +5,7 @@
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!              ablation batch csc hybrid deadlock racecheck profile
-//!              sweep-timing cluster-timing locality serve-load all
+//!              sweep-timing cluster-timing locality schedule serve-load all
 //! ```
 //!
 //! Sweep results are cached as CSV under `results/` (override with
@@ -76,7 +76,7 @@ fn main() {
     }
     if which.is_empty() {
         eprintln!(
-            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|batch|hybrid|deadlock|racecheck|profile|sweep-timing|cluster-timing|locality|serve-load|all> [--scale small|medium|full] [--limit N] [--threads N]"
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|batch|hybrid|deadlock|racecheck|profile|sweep-timing|cluster-timing|locality|schedule|serve-load|all> [--scale small|medium|full] [--limit N] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -161,6 +161,7 @@ fn main() {
             "sweep-timing" => exp::sweep_timing(scale, limit),
             "cluster-timing" => exp::cluster_timing(scale, limit),
             "locality" => exp::locality(scale),
+            "schedule" => exp::schedule(scale),
             "serve-load" => exp::serve_load(scale),
             "deadlock" => exp::deadlock(),
             "racecheck" => exp::racecheck(),

@@ -1456,6 +1456,181 @@ pub fn locality(scale: Scale) -> String {
     )
 }
 
+// ------------------------------------------------- Scheduled kernel study
+
+/// ROADMAP item 5(a): the level-coarsened scheduled kernel against every
+/// other live algorithm, on the deep/unbalanced matrices its coarsening
+/// targets plus a wide control where per-row sync is already cheap. For
+/// each matrix the study records simulated cycles per algorithm, the
+/// schedule shape (units, coarsening factor, saved fence+flag pairs), and
+/// the analysis-cost vs execution-win crossover: how many warm solves pay
+/// off the scheduling pass. Scheduled solves are verified bit-identical to
+/// the serial reference before any number is reported. Writes
+/// `results/schedule.json`.
+pub fn schedule(scale: Scale) -> String {
+    use crate::runner::results_dir;
+    use capellini_core::recommend_for_reuse;
+    use capellini_sparse::{MatrixStats, Schedule};
+
+    let cfg = pascal();
+    let entries = vec![
+        DatasetEntry {
+            name: "chain-like".into(),
+            spec: GenSpec::Chain {
+                n: match scale {
+                    Scale::Small => 750,
+                    Scale::Medium => 2_000,
+                    Scale::Full => 6_000,
+                },
+                k: 1,
+            },
+            seed: 70,
+        },
+        dataset::nlpkkt160_like(scale),
+        dataset::cant_like(scale),
+        dataset::wiki_talk_like(scale),
+    ];
+    // Every algorithm that was live before the scheduled kernel landed.
+    let existing: Vec<Algorithm> = Algorithm::all_live()
+        .into_iter()
+        .filter(|a| *a != Algorithm::Scheduled)
+        .collect();
+
+    let mut t = TextTable::new(&[
+        "matrix",
+        "units (coarsening)",
+        "saved syncs",
+        "Scheduled cycles",
+        "best other (cycles)",
+        "cycle win",
+        "analysis ms",
+        "breakeven solves",
+        "cost-aware pick",
+    ]);
+    let mut json_cases: Vec<String> = Vec::new();
+    let mut deep_wins = 0usize;
+    for e in &entries {
+        let l = e.build();
+        let levels = LevelSets::analyze(&l);
+        let stats = MatrixStats::from_levels(&l, &levels);
+        let sched = Schedule::build_default(&l, &levels, cfg.warp_size);
+        let sstats = sched.stats();
+        let (b, x_ref) = make_problem(&l);
+
+        let sched_rep = solve_simulated(&cfg, &l, &b, Algorithm::Scheduled)
+            .unwrap_or_else(|err| panic!("{}: scheduled solve failed: {err}", e.name));
+        // The per-row accumulation follows CSR column order, exactly like
+        // the serial reference — correctness is bitwise, not approximate.
+        for (i, (x, r)) in sched_rep.x.iter().zip(&x_ref).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                r.to_bits(),
+                "{}: scheduled row {i} diverged from the serial reference",
+                e.name
+            );
+        }
+
+        let mut others: Vec<(String, u64, f64)> = Vec::new();
+        for algo in &existing {
+            let rep = solve_simulated(&cfg, &l, &b, *algo)
+                .unwrap_or_else(|err| panic!("{}/{}: {err}", e.name, algo.label()));
+            others.push((algo.label().to_string(), rep.stats.cycles, rep.exec_ms));
+        }
+        let (best_name, best_cycles, best_exec_ms) = others
+            .iter()
+            .min_by_key(|(_, cycles, _)| *cycles)
+            .cloned()
+            .expect("at least one existing algorithm ran");
+
+        let win_pct = 100.0 * (1.0 - sched_rep.stats.cycles as f64 / best_cycles.max(1) as f64);
+        let exec_win_ms = best_exec_ms - sched_rep.exec_ms;
+        let crossover = if exec_win_ms > 0.0 {
+            sched_rep.preprocessing_ms / exec_win_ms
+        } else {
+            f64::INFINITY
+        };
+        if (e.name == "chain-like" || e.name == "nlpkkt160-like") && win_pct >= 20.0 {
+            deep_wins += 1;
+        }
+
+        let choice = recommend_for_reuse(&stats, &sstats, sched_rep.preprocessing_ms, 64, None);
+        t.row(vec![
+            e.name.clone(),
+            format!("{} ({:.1}x)", sstats.n_units, sstats.coarsening),
+            sstats.saved_syncs.to_string(),
+            sched_rep.stats.cycles.to_string(),
+            format!("{best_name} ({best_cycles})"),
+            format!("{win_pct:+.1}%"),
+            format!("{:.3}", sched_rep.preprocessing_ms),
+            if crossover.is_finite() {
+                format!("{crossover:.1}")
+            } else {
+                "inf".into()
+            },
+            choice.algorithm.label().to_string(),
+        ]);
+
+        let others_json: Vec<String> = others
+            .iter()
+            .map(|(name, cycles, ms)| {
+                format!("{{\"algo\": \"{name}\", \"cycles\": {cycles}, \"exec_ms\": {ms:.4}}}")
+            })
+            .collect();
+        json_cases.push(format!(
+            "    {{\n      \"matrix\": \"{}\",\n      \"n\": {},\n      \"nnz\": {},\n      \"n_levels\": {},\n      \"units\": {},\n      \"coarsening\": {:.2},\n      \"saved_syncs\": {},\n      \"depth\": {},\n      \"scheduled_cycles\": {},\n      \"scheduled_exec_ms\": {:.4},\n      \"scheduled_analysis_ms\": {:.4},\n      \"best_other\": \"{best_name}\",\n      \"best_other_cycles\": {best_cycles},\n      \"cycle_win_pct\": {win_pct:.2},\n      \"crossover_solves\": {},\n      \"cost_aware_pick\": \"{}\",\n      \"bitwise_vs_reference\": true,\n      \"others\": [{}]\n    }}",
+            e.name,
+            stats.n,
+            stats.nnz,
+            stats.n_levels,
+            sstats.n_units,
+            sstats.coarsening,
+            sstats.saved_syncs,
+            sstats.depth,
+            sched_rep.stats.cycles,
+            sched_rep.exec_ms,
+            sched_rep.preprocessing_ms,
+            if crossover.is_finite() {
+                format!("{crossover:.2}")
+            } else {
+                "null".into()
+            },
+            choice.algorithm.label(),
+            others_json.join(", "),
+        ));
+    }
+
+    // The acceptance bar for ROADMAP 5(a): on the deep/unbalanced pair the
+    // coarsened kernel must beat the best existing kernel by >= 20% cycles.
+    assert!(
+        deep_wins >= 2,
+        "scheduled kernel won >=20% cycles on only {deep_wins} of the deep matrices"
+    );
+
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Full => "full",
+    };
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"platform\": \"{}\",\n  \"expected_solves\": 64,\n  \"cases\": [\n{}\n  ],\n  \"deep_matrix_wins_ge_20pct\": {deep_wins}\n}}\n",
+        cfg.name,
+        json_cases.join(",\n"),
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("schedule.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("[schedule] could not write {}: {e}", path.display());
+    }
+
+    format!(
+        "Scheduled SpTRSV: level-coarsened work units vs the live kernel roster\n({} platform; every Scheduled solve verified bitwise against the serial\nreference; crossover = warm solves needed to amortize the scheduling pass)\n\n{}\nrecord: {}\n",
+        cfg.name,
+        t.render(),
+        path.display(),
+    )
+}
+
 // ------------------------------------------------- Serving load generator
 
 /// One (scenario, configuration) cell of the serving load study.

@@ -13,6 +13,7 @@
 //! | [`cusparse_like_multi`] | its `csrsm2` (SpTRSM) analogue | warp, k accumulators | CSR + analysis |
 //! | [`syncfree_multi`] | SyncFree over k right-hand sides (Liu et al. [21]) | warp, k accumulators | CSR |
 //! | [`hybrid`] | §4.4 warp/thread fusion (future work) | mixed | CSR + row-block analysis |
+//! | [`scheduled`] | level-coarsened work units (arXiv 2503.05408) | one warp per unit, per-unit flags | CSR + coarsened schedule |
 //!
 //! The three `*_multi` modules batch `k` right-hand sides per launch for
 //! the evaluation trio; per column their floating-point schedule matches
@@ -24,6 +25,7 @@ pub mod cusparse_like_multi;
 pub mod hybrid;
 pub mod levelset;
 pub mod naive;
+pub mod scheduled;
 pub mod syncfree;
 pub mod syncfree_csc;
 pub mod syncfree_multi;

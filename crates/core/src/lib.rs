@@ -41,7 +41,10 @@ pub use buffers::{DeviceCsr, MultiSolveBuffers, PooledSolveBuffers, RhsLayout, S
 pub use iterative::{gauss_seidel, pcg_ssor, sor, IterResult, SsorPreconditioner};
 pub use kernels::SimSolve;
 pub use reference::{solve_serial_csc, solve_serial_csr};
-pub use select::{algorithm_traits, recommend, Algorithm, GRANULARITY_THRESHOLD};
+pub use select::{
+    algorithm_traits, recommend, recommend_for_reuse, Algorithm, CostAwareChoice, TraitRow,
+    GRANULARITY_THRESHOLD, NOMINAL_CYCLES_PER_MS,
+};
 pub use service::{
     MatrixHandle, ServiceConfig, ServiceError, ServiceMetrics, ServiceResponse, SolverService,
     TenantMetrics,

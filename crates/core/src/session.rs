@@ -47,6 +47,8 @@ enum Analysis {
     /// used to re-arm the consumable countdown before every solve
     /// (SyncFree-CSC).
     Csc { dc: DeviceCsc, deg: Vec<u32> },
+    /// The device-resident coarsened work-unit schedule (Scheduled).
+    Sched(kernels::scheduled::DeviceSchedule),
 }
 
 /// A solver bound to one matrix *and one device*: all analysis runs at
@@ -137,6 +139,17 @@ impl SolverSession {
                 let (tasks, n_tasks) =
                     kernels::hybrid::upload_tasks(&mut dev, &l, kernels::hybrid::DEFAULT_THRESHOLD);
                 (Analysis::Tasks { tasks, n_tasks }, pre)
+            }
+            Algorithm::Scheduled => {
+                let levels = LevelSets::analyze(&l);
+                let pre = host.scheduled_preprocessing_ms(n, nnz, levels.n_levels());
+                let schedule = capellini_sparse::Schedule::build(
+                    &l,
+                    &levels,
+                    capellini_sparse::ScheduleParams::for_warp(config.warp_size),
+                );
+                let ds = kernels::scheduled::upload_schedule(&mut dev, &schedule);
+                (Analysis::Sched(ds), pre)
             }
         };
 
@@ -300,6 +313,9 @@ impl SolverSession {
             }
             Analysis::Tasks { tasks, n_tasks } => {
                 kernels::hybrid::launch_with_tasks(&mut self.dev, self.dm, sb, *tasks, *n_tasks)
+            }
+            Analysis::Sched(ds) => {
+                kernels::scheduled::launch_with_schedule(&mut self.dev, self.dm, sb, *ds)
             }
             Analysis::Csc { dc, deg } => {
                 // The scatter kernel consumes its in-degree countdown and

@@ -106,6 +106,26 @@ pub fn solve_simulated(
             let pre = host.capellini_preprocessing_ms(n) + (n as f64 * 1.2) / 1e6;
             (kernels::hybrid::solve(&mut dev, l, b)?, pre)
         }
+        Algorithm::Scheduled => {
+            let levels = LevelSets::analyze(l);
+            let schedule = capellini_sparse::Schedule::build(
+                l,
+                &levels,
+                capellini_sparse::ScheduleParams::for_warp(config.warp_size),
+            );
+            let pre = host.scheduled_preprocessing_ms(n, nnz, levels.n_levels());
+            let dm = crate::buffers::DeviceCsr::upload(&mut dev, l);
+            let sb = crate::buffers::SolveBuffers::upload(&mut dev, b);
+            let ds = kernels::scheduled::upload_schedule(&mut dev, &schedule);
+            let stats = kernels::scheduled::launch_with_schedule(&mut dev, dm, sb, ds)?;
+            (
+                kernels::SimSolve {
+                    x: sb.read_x(&dev),
+                    stats,
+                },
+                pre,
+            )
+        }
     };
 
     let useful_flops = 2 * nnz as u64;

@@ -78,6 +78,16 @@ impl HostCostModel {
     pub fn capellini_preprocessing_ms(&self, n: usize) -> f64 {
         (self.ns_per_malloc + n as f64 * self.ns_per_byte_memset) / 1e6
     }
+
+    /// Preprocessing time of the Scheduled kernel: the full level-set
+    /// analysis plus the coarsening sweep — one cost-prefix walk over the
+    /// rows and the three unit arrays (`rows`, `desc`, `unit_of`).
+    pub fn scheduled_preprocessing_ms(&self, n: usize, nnz: usize, n_levels: usize) -> f64 {
+        let coarsen = n as f64 * 2.0 * self.ns_per_row
+            + 3.0 * self.ns_per_malloc
+            + (n * 12) as f64 * self.ns_per_byte_memset;
+        self.levelset_preprocessing_ms(n, nnz, n_levels) + coarsen / 1e6
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Measures the scheduled-kernel study (Algorithm::Scheduled, level-coarsened
+# work units) and records it as BENCH_<N>.json at the repo root so future
+# PRs can track the perf trajectory. N is the first unused number, so
+# successive runs append to the series instead of clobbering earlier
+# records.
+#
+# Runs `repro schedule`, which builds the coarsened schedule for the deep
+# and unbalanced dataset entries (chain-like, nlpkkt160-like, cant-like,
+# wiki-Talk-like), races the scheduled kernel against every previously live
+# algorithm (verifying each scheduled solve bitwise against the serial
+# reference), tabulates the analysis-cost vs execution-win crossover per
+# matrix, asserts the >= 20% cycle win on the deep pair, and copies
+# results/schedule.json into BENCH_<N>.json.
+#
+# Usage: scripts/bench_schedule.sh [scale]
+#   scale    small|medium|full (default: small)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+
+# schedule writes its JSON under the results dir; point it at a scratch
+# location so the repo's results/ cache is untouched.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" \
+    ./target/release/repro schedule --scale "$SCALE"
+
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/schedule.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -38,6 +38,12 @@ cargo test --release -q -p capellini-sptrsv --test cache_model
 echo "==> engine_cache smoke (calibration asserts cache-off zero counters + bit-stable solutions)"
 cargo bench -q -p capellini-bench --bench engine_cache -- --quick
 
+echo "==> scheduled-kernel suite (coarsened units bitwise vs reference across spin modes)"
+cargo test --release -q -p capellini-core scheduled
+
+echo "==> engine_schedule smoke (calibration asserts bitwise vs reference + chain cycle win)"
+cargo bench -q -p capellini-bench --bench engine_schedule -- --quick
+
 echo "==> service differential suite (concurrent tenants vs serial sessions bit-exactness)"
 cargo test --release -q -p capellini-sptrsv --test service
 

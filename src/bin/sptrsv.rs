@@ -1,12 +1,13 @@
 //! `sptrsv` — command-line sparse triangular solver.
 //!
 //! ```text
-//! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|auto]
+//! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|scheduled|auto]
 //!                [--device pascal|volta|turing] [--engine-threads N] [--cache]
 //!                [--rhs-cols K] [--session N]
 //!                [--profile trace.json [--profile-interval N]]
 //!                [--cpu [THREADS]] [--out x.txt]
 //! sptrsv stats   --matrix L.mtx
+//! sptrsv --list-algos
 //! sptrsv gen     --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]
 //! sptrsv serve   --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K]
 //!                [--device pascal|volta|turing]
@@ -40,6 +41,7 @@ fn main() {
         "stats" => cmd_stats(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "--list-algos" => list_algos(),
         _ => {
             usage();
             exit(2);
@@ -49,7 +51,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--cache] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)\n  --cache             model a finite per-SM L1 + shared L2 for read-only loads and report hit rates"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--cache] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n  sptrsv --list-algos\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)\n  --cache             model a finite per-SM L1 + shared L2 for read-only loads and report hit rates"
     );
 }
 
@@ -107,8 +109,24 @@ fn parse_algo(name: &str) -> Option<Algorithm> {
         "cusparse" => Algorithm::CusparseLike,
         "levelset" => Algorithm::LevelSet,
         "hybrid" => Algorithm::Hybrid,
+        "scheduled" => Algorithm::Scheduled,
         _ => return None,
     })
+}
+
+/// Prints every live algorithm's label with its Table 2-style trait row.
+fn list_algos() {
+    println!(
+        "{:<34} {:<13} {:<8} {:<16} granularity",
+        "algorithm", "preprocessing", "storage", "inter-level sync"
+    );
+    for algo in Algorithm::all_live() {
+        let row = algo.trait_row();
+        println!(
+            "{:<34} {:<13} {:<8} {:<16} {}",
+            row.algorithm, row.preprocessing, row.storage, row.synchronization, row.granularity
+        );
+    }
 }
 
 fn cmd_solve(args: &[String]) {

@@ -134,6 +134,60 @@ fn bad_batching_flags_are_usage_errors() {
     let _ = fs::remove_file(m);
 }
 
+/// An unknown `--algo` stays a readable exit-2 usage error even now that
+/// the roster includes the scheduled kernel.
+#[test]
+fn unknown_algo_is_a_usage_error() {
+    let m = scratch("good-algo.mtx", VALID_LOWER_3X3);
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--algo",
+        "schedulde",
+    ]);
+    assert_readable_failure(&out, "unknown algorithm");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = fs::remove_file(m);
+}
+
+/// `--algo scheduled` runs the coarsened-unit kernel end to end.
+#[test]
+fn scheduled_algo_solves_from_the_cli() {
+    let m = scratch("good-sched.mtx", VALID_LOWER_3X3);
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--algo",
+        "scheduled",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected success, stderr: {stderr}");
+    assert!(stderr.contains("Scheduled"), "stderr: {stderr}");
+    let _ = fs::remove_file(m);
+}
+
+/// `--list-algos` prints one trait row per live algorithm on stdout.
+#[test]
+fn list_algos_prints_every_live_algorithm() {
+    let out = sptrsv(&["--list-algos"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    for needle in [
+        "algorithm",
+        "Level-Set",
+        "SyncFree",
+        "cuSPARSE",
+        "Capellini",
+        "Hybrid",
+        "Scheduled",
+        "warp per unit",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}: {stdout}");
+    }
+}
+
 #[test]
 fn bad_serve_flags_are_usage_errors() {
     let m = scratch("good-serve.mtx", VALID_LOWER_3X3);

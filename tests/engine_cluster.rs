@@ -7,7 +7,7 @@
 //! 8 clusters must reproduce it bit-for-bit.
 
 use capellini_sptrsv::core::kernels::{
-    cusparse_like, hybrid, levelset, syncfree, syncfree_csc, two_phase, writing_first,
+    cusparse_like, hybrid, levelset, scheduled, syncfree, syncfree_csc, two_phase, writing_first,
 };
 use capellini_sptrsv::prelude::*;
 use capellini_sptrsv::simt::config::StoreScope;
@@ -32,6 +32,7 @@ fn kernels() -> Vec<(&'static str, Solve)> {
         ("levelset", levelset::solve as Solve),
         ("cusparse_like", cusparse_like::solve as Solve),
         ("hybrid", hybrid::solve as Solve),
+        ("scheduled", scheduled::solve as Solve),
     ]
 }
 

@@ -225,6 +225,49 @@ fn empty_system_is_a_wellformed_noop_for_every_live_algorithm() {
     }
 }
 
+/// Degenerate schedules (the coarsening satellite): a 0-row system builds a
+/// well-formed *empty* schedule, a diagonal-only system coalesces into
+/// balanced one-level parallel units, and the Scheduled solve handles both
+/// without panicking.
+#[test]
+fn degenerate_inputs_build_wellformed_schedules() {
+    use capellini_sptrsv::sparse::{LevelSets, Schedule, UnitKind};
+    let cfg = scaled(DeviceConfig::pascal_like());
+
+    // 0 rows: empty schedule, zero units, zero warps launched.
+    let empty = LowerTriangularCsr::try_new(
+        capellini_sptrsv::sparse::CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap(),
+    )
+    .unwrap();
+    let levels = LevelSets::analyze(&empty);
+    let sched = Schedule::build_default(&empty, &levels, cfg.warp_size);
+    assert_eq!(sched.n_units(), 0);
+    assert_eq!(sched.n_rows(), 0);
+    assert_eq!(sched.stats().depth, 0);
+    let rep = solve_simulated(&cfg, &empty, &[], Algorithm::Scheduled).unwrap();
+    assert!(rep.x.is_empty());
+    assert_eq!(rep.stats.warps_launched, 0);
+
+    // Diagonal-only: one level, split into lane-parallel units that cover
+    // every row exactly once; the solve is exact. Rows with no off-diagonal
+    // dependencies coarsen into dependency-parallel units (never Seq).
+    let diag = gen::diagonal(97);
+    let levels = LevelSets::analyze(&diag);
+    let sched = Schedule::build_default(&diag, &levels, cfg.warp_size);
+    assert_eq!(sched.stats().depth, 1, "diagonal has a single level");
+    assert!(sched.n_units() >= 1);
+    assert!((0..sched.n_units()).all(|u| sched.kind(u) != UnitKind::Seq));
+    let mut seen: Vec<u32> = sched.rows().to_vec();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..97).collect::<Vec<u32>>());
+    let b: Vec<f64> = (0..97).map(|i| (i % 11) as f64 - 5.0).collect();
+    let rep = solve_simulated(&cfg, &diag, &b, Algorithm::Scheduled).unwrap();
+    let x_ref = capellini_sptrsv::core::solve_serial_csr(&diag, &b);
+    for (x, r) in rep.x.iter().zip(&x_ref) {
+        assert_eq!(x.to_bits(), r.to_bits());
+    }
+}
+
 #[test]
 fn empty_system_zero_warp_kernel_launch_is_accounted() {
     // The naive kernel is not in `all_live`; drive it directly to cover the
