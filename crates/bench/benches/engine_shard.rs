@@ -1,0 +1,101 @@
+//! Sharded multi-device bench: host ns per solve when the triangular
+//! system is partitioned across 1, 2 or 4 simulated devices joined by a
+//! modeled interconnect (`capellini_core::solve_sharded`, DESIGN.md §15).
+//! The *correctness* claim — sharding changes no solution bit for
+//! CSR-ordered kernels — is enforced during calibration: every sharded
+//! run's solution must be bit-identical to the single-device oracle, or
+//! the run aborts before any timing happens. Calibration also pins that
+//! boundary traffic actually flowed (a sharded run with zero messages on a
+//! dependency-crossing matrix would mean the link model was bypassed).
+//!
+//! `--quick` shrinks the matrix and time budgets to a CI smoke run; the
+//! calibration equality check runs at every size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capellini_core::{solve_sharded, solve_simulated, Algorithm, ShardConfig};
+use capellini_simt::DeviceConfig;
+use capellini_sparse::dataset::{wiki_talk_like, Scale};
+use capellini_sparse::gen;
+use capellini_sparse::LowerTriangularCsr;
+
+const DEVICE_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn matrix() -> (&'static str, LowerTriangularCsr) {
+    if quick() {
+        ("random_k(800)", gen::random_k(800, 3, 800, 2395))
+    } else {
+        let e = wiki_talk_like(Scale::Small);
+        ("wiki_talk_like(small)", e.spec.build(e.seed))
+    }
+}
+
+fn bench_engine_shard(c: &mut Criterion) {
+    let cfg = DeviceConfig::pascal_like().scaled_down(4);
+    let (warm, meas) = if quick() {
+        (Duration::from_millis(100), Duration::from_millis(300))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(2))
+    };
+    let (mname, l) = matrix();
+    let b: Vec<f64> = (0..l.n()).map(|i| (i % 13) as f64 - 6.0).collect();
+
+    for algo in [Algorithm::CapelliniWritingFirst, Algorithm::Scheduled] {
+        // Calibration doubles as the determinism check: a sharded solve
+        // that drifts by one solution bit is wrong, and timing it would be
+        // meaningless.
+        let oracle = solve_simulated(&cfg, &l, &b, algo).expect("single-device solve");
+        for nd in DEVICE_COUNTS {
+            let sharded =
+                solve_sharded(&cfg, &l, &b, algo, &ShardConfig::pcie(nd)).expect("sharded solve");
+            for (i, (sv, ov)) in sharded.x.iter().zip(&oracle.x).enumerate() {
+                assert_eq!(
+                    sv.to_bits(),
+                    ov.to_bits(),
+                    "{}/{mname}: x[{i}] diverged at {nd} devices",
+                    algo.label()
+                );
+            }
+            if nd == 1 {
+                assert_eq!(
+                    sharded.link_messages,
+                    0,
+                    "{}/{mname}: a single shard has no links",
+                    algo.label()
+                );
+            } else {
+                assert!(
+                    sharded.link_messages > 0,
+                    "{}/{mname}: no boundary traffic at {nd} devices — link bypassed?",
+                    algo.label()
+                );
+            }
+        }
+        println!(
+            "[engine_shard] {}/{mname}: single-device == sharded at {DEVICE_COUNTS:?} devices (bit-exact)",
+            algo.label()
+        );
+
+        let mut g = c.benchmark_group("engine_shard");
+        g.warm_up_time(warm);
+        g.measurement_time(meas);
+        for nd in DEVICE_COUNTS {
+            let shard = ShardConfig::pcie(nd);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}/{mname}", algo.label()), format!("devices={nd}")),
+                &l,
+                |bch, l| bch.iter(|| solve_sharded(&cfg, l, &b, algo, &shard).unwrap()),
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine_shard);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!              ablation batch csc hybrid deadlock racecheck profile
-//!              sweep-timing cluster-timing locality schedule serve-load all
+//!              sweep-timing cluster-timing shard-scaling locality schedule serve-load all
 //! ```
 //!
 //! Sweep results are cached as CSV under `results/` (override with
@@ -17,7 +17,10 @@
 //! `results/sweep_timing.json`. `cluster-timing` compares the serial
 //! simulation engine against the clustered one
 //! (`DeviceConfig::with_engine_threads`) and writes
-//! `results/cluster_timing.json`. `locality` arms the finite L1/L2 cache
+//! `results/cluster_timing.json`. `shard-scaling` runs the sharded
+//! multi-device solve at 1..8 simulated devices over both interconnect
+//! classes (verifying bit-exactness against the single-device oracle) and
+//! writes `results/shard_scaling.json`. `locality` arms the finite L1/L2 cache
 //! model and trades row orderings (RCM-like, level-coalesced) and multi-RHS
 //! tilings against hit rates, writing `results/locality.json`. `serve-load`
 //! drives the multi-tenant
@@ -76,7 +79,7 @@ fn main() {
     }
     if which.is_empty() {
         eprintln!(
-            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|batch|hybrid|deadlock|racecheck|profile|sweep-timing|cluster-timing|locality|schedule|serve-load|all> [--scale small|medium|full] [--limit N] [--threads N]"
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig1|..|fig8|ablation|batch|hybrid|deadlock|racecheck|profile|sweep-timing|cluster-timing|shard-scaling|locality|schedule|serve-load|all> [--scale small|medium|full] [--limit N] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -160,6 +163,7 @@ fn main() {
             "hybrid" => exp::hybrid(scale),
             "sweep-timing" => exp::sweep_timing(scale, limit),
             "cluster-timing" => exp::cluster_timing(scale, limit),
+            "shard-scaling" => exp::shard_scaling(scale, limit),
             "locality" => exp::locality(scale),
             "schedule" => exp::schedule(scale),
             "serve-load" => exp::serve_load(scale),

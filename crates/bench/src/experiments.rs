@@ -1300,6 +1300,160 @@ pub fn cluster_timing(scale: Scale, limit: usize) -> String {
     )
 }
 
+// ------------------------------------- Sharded multi-device scaling
+
+/// ROADMAP item 4: strong and weak scaling of the sharded multi-device
+/// solve (DESIGN.md §15). Strong scaling reruns each suite matrix at 1, 2,
+/// 4 and 8 simulated devices, pinning the sharded solution bit-exact
+/// against the single-device oracle before reading any makespan; weak
+/// scaling grows the matrix with the device count so per-device work stays
+/// roughly constant. Both interconnect classes are modeled, so the table
+/// shows how much of the scaling loss is link latency (PCIe) versus
+/// intrinsic dependency serialization (NVLink barely improves a chain).
+/// Writes `results/shard_scaling.json`. `limit` truncates the matrix list
+/// (0 = all).
+pub fn shard_scaling(scale: Scale, limit: usize) -> String {
+    use crate::runner::results_dir;
+    use capellini_core::{solve_sharded, ShardConfig};
+
+    const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let cfg = pascal();
+    let algo = Algorithm::CapelliniWritingFirst;
+
+    let all = dataset::suite(scale);
+    let take = if limit == 0 { all.len() } else { limit };
+    let entries: Vec<&DatasetEntry> = all.iter().take(take).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Sharded multi-device SpTRSV scaling ({}, contiguous row shards)\n\n",
+        algo.label()
+    ));
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut solves = 0usize;
+
+    out.push_str("strong scaling: fixed matrix, 1..8 devices\n");
+    let mut table = TextTable::new(&[
+        "matrix",
+        "n",
+        "link",
+        "devices",
+        "makespan kcyc",
+        "speedup",
+        "msgs",
+        "KiB",
+    ]);
+    for entry in &entries {
+        let l = entry.spec.build(entry.seed);
+        let (b, _) = make_problem(&l);
+        let oracle = solve_simulated(&cfg, &l, &b, algo).expect("oracle solve");
+        for link in ["pcie", "nvlink"] {
+            let mut base_cycles = 0u64;
+            for nd in DEVICE_COUNTS {
+                let shard = match link {
+                    "pcie" => ShardConfig::pcie(nd),
+                    _ => ShardConfig::nvlink(nd),
+                };
+                let rep = solve_sharded(&cfg, &l, &b, algo, &shard)
+                    .unwrap_or_else(|e| panic!("{} x{nd}: {e}", entry.name));
+                assert_eq!(
+                    rep.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    oracle.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} x{nd} over {link}: sharded solution diverged",
+                    entry.name
+                );
+                solves += 1;
+                if nd == 1 {
+                    base_cycles = rep.makespan_cycles;
+                }
+                let speedup = safe_div(base_cycles as f64, rep.makespan_cycles as f64);
+                table.row(vec![
+                    entry.name.to_string(),
+                    l.n().to_string(),
+                    link.to_string(),
+                    nd.to_string(),
+                    fnum(rep.makespan_cycles as f64 / 1e3, 1),
+                    format!("{speedup:.2}x"),
+                    rep.link_messages.to_string(),
+                    fnum(rep.link_bytes as f64 / 1024.0, 1),
+                ]);
+                json_rows.push(format!(
+                    "{{\"mode\": \"strong\", \"matrix\": \"{}\", \"n\": {}, \"link\": \"{link}\", \
+                     \"devices\": {nd}, \"makespan_cycles\": {}, \"speedup\": {speedup:.3}, \
+                     \"link_messages\": {}, \"link_bytes\": {}}}",
+                    entry.name,
+                    l.n(),
+                    rep.makespan_cycles,
+                    rep.link_messages,
+                    rep.link_bytes
+                ));
+            }
+        }
+    }
+    out.push_str(&table.render());
+
+    // Weak scaling: per-device work held constant by growing the DAG with
+    // the device count. Ideal weak scaling is a flat makespan.
+    out.push_str("\nweak scaling: random_k DAG, 4000 rows per device\n");
+    let mut weak = TextTable::new(&["devices", "n", "makespan kcyc", "efficiency", "msgs"]);
+    let mut weak_base = 0u64;
+    for nd in DEVICE_COUNTS {
+        let n = 4_000 * nd;
+        let l = gen_weak_matrix(n);
+        let (b, _) = make_problem(&l);
+        let rep = solve_sharded(&cfg, &l, &b, algo, &ShardConfig::nvlink(nd))
+            .unwrap_or_else(|e| panic!("weak x{nd}: {e}"));
+        let oracle = solve_simulated(&cfg, &l, &b, algo).expect("weak oracle");
+        assert_eq!(
+            rep.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            oracle.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "weak x{nd}: sharded solution diverged"
+        );
+        solves += 1;
+        if nd == 1 {
+            weak_base = rep.makespan_cycles;
+        }
+        let efficiency = safe_div(weak_base as f64, rep.makespan_cycles as f64);
+        weak.row(vec![
+            nd.to_string(),
+            n.to_string(),
+            fnum(rep.makespan_cycles as f64 / 1e3, 1),
+            format!("{efficiency:.2}"),
+            rep.link_messages.to_string(),
+        ]);
+        json_rows.push(format!(
+            "{{\"mode\": \"weak\", \"matrix\": \"random_k\", \"n\": {n}, \"link\": \"nvlink\", \
+             \"devices\": {nd}, \"makespan_cycles\": {}, \"efficiency\": {efficiency:.3}, \
+             \"link_messages\": {}, \"link_bytes\": {}}}",
+            rep.makespan_cycles, rep.link_messages, rep.link_bytes
+        ));
+    }
+    out.push_str(&weak.render());
+    out.push_str(&format!(
+        "\nall {solves} sharded solve(s) verified against the single-device oracle (bitwise)\n"
+    ));
+
+    let json = format!(
+        "{{\n  \"algorithm\": \"{}\",\n  \"solves\": {solves},\n  \"identical\": true,\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        algo.label(),
+        json_rows.join(",\n    ")
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("shard_scaling.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("[shard-scaling] could not write {}: {e}", path.display());
+    }
+    out
+}
+
+/// The weak-scaling workload: a moderately parallel random DAG whose
+/// dependency window scales with n, keeping level structure comparable
+/// across sizes.
+fn gen_weak_matrix(n: usize) -> capellini_sparse::LowerTriangularCsr {
+    capellini_sparse::gen::random_k(n, 4, n / 8, 1234)
+}
+
 // ------------------------------------------------------- Cache locality
 
 /// The locality study behind ROADMAP item 3: with the finite sector/tag

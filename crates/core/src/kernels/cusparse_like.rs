@@ -52,6 +52,19 @@ pub struct CusparseLikeKernel {
     warp_size: u32,
 }
 
+impl CusparseLikeKernel {
+    /// Builds the kernel from pre-uploaded state — the sharded path
+    /// (`crate::shard`), which restricts the row range via a wrapper.
+    pub(crate) fn new(m: DeviceCsr, sb: SolveBuffers, info: BufU32, warp_size: usize) -> Self {
+        CusparseLikeKernel {
+            m,
+            sb,
+            info,
+            warp_size: warp_size as u32,
+        }
+    }
+}
+
 /// Per-lane registers.
 #[derive(Default)]
 pub struct CuLane {

@@ -137,6 +137,26 @@ pub struct HybridKernel {
     warp_size: u32,
 }
 
+impl HybridKernel {
+    /// Builds the kernel against an explicit task list — the sharded path
+    /// (`crate::shard`), which filters the global plan down to one shard's
+    /// rows before uploading.
+    pub(crate) fn new(m: DeviceCsr, sb: SolveBuffers, tasks: BufU32, warp_size: usize) -> Self {
+        HybridKernel {
+            m,
+            sb,
+            tasks,
+            warp_size: warp_size as u32,
+        }
+    }
+}
+
+/// Uploads an explicit task list (sharded path); returns the device buffer.
+pub(crate) fn upload_task_list(dev: &mut GpuDevice, tasks: &[Task]) -> BufU32 {
+    let encoded: Vec<u32> = tasks.iter().map(|t| t.encode()).collect();
+    dev.mem().alloc_u32(&encoded)
+}
+
 /// Per-lane registers (union of both halves).
 #[derive(Default)]
 pub struct HyLane {

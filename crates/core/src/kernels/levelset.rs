@@ -37,6 +37,28 @@ pub struct LevelSolveKernel {
     count: usize,
 }
 
+impl LevelSolveKernel {
+    /// Builds one level's kernel — the sharded path (`crate::shard`), which
+    /// drives the per-level launch loop itself over a filtered order array.
+    pub(crate) fn new(
+        m: DeviceCsr,
+        b: capellini_simt::BufF64,
+        x: capellini_simt::BufF64,
+        order: BufU32,
+        level_lo: usize,
+        count: usize,
+    ) -> Self {
+        LevelSolveKernel {
+            m,
+            b,
+            x,
+            order,
+            level_lo,
+            count,
+        }
+    }
+}
+
 /// Per-lane registers.
 #[derive(Default)]
 pub struct LvLane {

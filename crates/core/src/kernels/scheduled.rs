@@ -202,6 +202,25 @@ pub struct ScheduledKernel {
     warp_size: u32,
 }
 
+impl ScheduledKernel {
+    /// Builds the kernel against a hand-assembled [`DeviceSchedule`] — the
+    /// sharded path (`crate::shard`), which strips ghost rows out of a
+    /// per-shard schedule instead of using [`upload_schedule`].
+    pub(crate) fn new(
+        m: DeviceCsr,
+        sb: SolveBuffers,
+        sched: DeviceSchedule,
+        warp_size: usize,
+    ) -> Self {
+        ScheduledKernel {
+            m,
+            sb,
+            sched,
+            warp_size: warp_size as u32,
+        }
+    }
+}
+
 /// Per-lane registers.
 #[derive(Default)]
 pub struct SchedLane {

@@ -58,6 +58,25 @@ pub struct SyncFreeCscKernel {
     warp_size: u32,
 }
 
+impl SyncFreeCscKernel {
+    /// Builds the kernel from pre-uploaded state — the sharded path
+    /// (`crate::shard`), which restricts the column range via a wrapper and
+    /// forwards boundary scatter deltas over the inter-device link.
+    pub(crate) fn new(dc: DeviceCsc, b: BufF64, x: BufF64, warp_size: usize) -> Self {
+        SyncFreeCscKernel {
+            n: dc.n,
+            col_ptr: dc.col_ptr,
+            row_idx: dc.row_idx,
+            values: dc.values,
+            b,
+            x,
+            left_sum: dc.left_sum,
+            in_degree: dc.in_degree,
+            warp_size: warp_size as u32,
+        }
+    }
+}
+
 /// Per-lane registers.
 #[derive(Default)]
 pub struct ScLane {

@@ -34,6 +34,7 @@ pub mod reference;
 pub mod select;
 pub mod service;
 pub mod session;
+pub mod shard;
 pub mod solver;
 pub mod upper;
 
@@ -50,6 +51,9 @@ pub use service::{
     TenantMetrics,
 };
 pub use session::SolverSession;
+pub use shard::{
+    solve_sharded, solve_sharded_with_partition, ShardConfig, ShardedReport, MSG_BYTES,
+};
 pub use solver::{solve_multi_simulated, solve_simulated, MultiSolveReport, SolveReport, Solver};
 pub use upper::solve_upper_simulated;
 
@@ -63,6 +67,7 @@ pub mod prelude {
         MatrixHandle, ServiceConfig, ServiceError, ServiceResponse, SolverService,
     };
     pub use crate::session::SolverSession;
+    pub use crate::shard::{solve_sharded, ShardConfig, ShardedReport};
     pub use crate::solver::{
         solve_multi_simulated, solve_simulated, MultiSolveReport, SolveReport, Solver,
     };

@@ -38,7 +38,8 @@
 //!   aggregates ([`ServiceMetrics`]).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use capellini_simt::{DeviceConfig, SimtError};
@@ -46,6 +47,17 @@ use capellini_sparse::{fingerprint, LowerTriangularCsr};
 
 use crate::select::Algorithm;
 use crate::session::SolverSession;
+
+/// Locks a mutex, recovering from poison. A worker that panics mid-batch
+/// poisons every lock it held; the service treats the panic as that
+/// worker's failure (its callers get [`ServiceError::WorkerPanicked`]), not
+/// as a reason for *unrelated* tenants' requests to start panicking on
+/// `lock().expect(...)`. All guarded state stays consistent under panic:
+/// metrics are plain counters, and queue/registry invariants are restored
+/// by the panicking worker's deregistration path.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 // ------------------------------------------------------------ configuration
 
@@ -185,6 +197,22 @@ pub enum ServiceError {
     BadRequest(String),
     /// The underlying simulated launch failed.
     Solve(SimtError),
+    /// The worker thread for this matrix could not be spawned (resource
+    /// exhaustion). The registry entry is released, so a retry re-admits
+    /// the matrix from scratch.
+    SpawnFailed {
+        /// Fingerprint of the matrix whose worker failed to start.
+        fingerprint: u64,
+        /// The OS error.
+        reason: String,
+    },
+    /// The worker serving this matrix panicked. Its session is discarded
+    /// and the matrix deregistered; unrelated tenants are unaffected, and a
+    /// retry re-admits the matrix with a fresh session.
+    WorkerPanicked {
+        /// Fingerprint of the matrix whose worker panicked.
+        fingerprint: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -196,6 +224,17 @@ impl std::fmt::Display for ServiceError {
             ),
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::SpawnFailed {
+                fingerprint,
+                reason,
+            } => write!(
+                f,
+                "could not spawn worker for matrix {fingerprint:016x}: {reason}"
+            ),
+            ServiceError::WorkerPanicked { fingerprint } => write!(
+                f,
+                "worker for matrix {fingerprint:016x} panicked; the matrix was deregistered — retry to re-admit"
+            ),
         }
     }
 }
@@ -310,18 +349,21 @@ impl Ticket {
     }
 
     fn deliver(&self, result: Result<ServiceResponse, ServiceError>) {
-        let mut slot = self.slot.lock().expect("ticket lock");
+        let mut slot = lock_ok(&self.slot);
         *slot = Some(result);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<ServiceResponse, ServiceError> {
-        let mut slot = self.slot.lock().expect("ticket lock");
+        let mut slot = lock_ok(&self.slot);
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.ready.wait(slot).expect("ticket wait");
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 }
@@ -339,6 +381,7 @@ struct EntryQueue {
 /// (re)builds the session from.
 struct MatrixEntry {
     l: Arc<LowerTriangularCsr>,
+    fp: u64,
     queue: Mutex<EntryQueue>,
     arrivals: Condvar,
 }
@@ -361,6 +404,9 @@ impl Shard {
 struct ServiceShared {
     config: ServiceConfig,
     metrics: Mutex<MetricsInner>,
+    /// Registry shards live in the shared state so a panicking worker can
+    /// deregister its own matrix (see [`deregister`]).
+    shards: Vec<Mutex<Shard>>,
 }
 
 // ----------------------------------------------------------------- service
@@ -370,7 +416,6 @@ struct ServiceShared {
 /// against fresh serial [`SolverSession`] solves.
 pub struct SolverService {
     shared: Arc<ServiceShared>,
-    shards: Vec<Mutex<Shard>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -390,8 +435,8 @@ impl SolverService {
             shared: Arc::new(ServiceShared {
                 config,
                 metrics: Mutex::new(MetricsInner::default()),
+                shards,
             }),
-            shards,
             workers: Mutex::new(Vec::new()),
         }
     }
@@ -418,9 +463,9 @@ impl SolverService {
             )));
         }
         loop {
-            let entry = self.admit(matrix);
+            let entry = self.admit(matrix)?;
             let ticket = {
-                let mut q = entry.queue.lock().expect("entry queue lock");
+                let mut q = lock_ok(&entry.queue);
                 if q.shutdown {
                     // Evicted between lookup and enqueue; the registry no
                     // longer maps this fingerprint, so retry re-admits it.
@@ -428,7 +473,7 @@ impl SolverService {
                 }
                 if q.pending.len() >= self.shared.config.max_queue_depth {
                     drop(q);
-                    let mut m = self.shared.metrics.lock().expect("metrics lock");
+                    let mut m = lock_ok(&self.shared.metrics);
                     m.global.rejects += 1;
                     m.tenants.entry(tenant.to_string()).or_default().rejects += 1;
                     return Err(ServiceError::Overloaded {
@@ -452,17 +497,12 @@ impl SolverService {
 
     /// A snapshot of the service-wide counters.
     pub fn metrics(&self) -> ServiceMetrics {
-        let mut snap = self
-            .shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .global
-            .clone();
+        let mut snap = lock_ok(&self.shared.metrics).global.clone();
         snap.resident_sessions = self
+            .shared
             .shards
             .iter()
-            .map(|s| s.lock().expect("shard lock").entries.len())
+            .map(|s| lock_ok(s).entries.len())
             .sum();
         snap
     }
@@ -470,18 +510,12 @@ impl SolverService {
     /// A snapshot of one tenant's counters (`None` if the tenant has never
     /// submitted).
     pub fn tenant_metrics(&self, tenant: &str) -> Option<TenantMetrics> {
-        self.shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .tenants
-            .get(tenant)
-            .cloned()
+        lock_ok(&self.shared.metrics).tenants.get(tenant).cloned()
     }
 
     /// Snapshots of every tenant's counters, sorted by tenant name.
     pub fn all_tenant_metrics(&self) -> Vec<(String, TenantMetrics)> {
-        let m = self.shared.metrics.lock().expect("metrics lock");
+        let m = lock_ok(&self.shared.metrics);
         let mut v: Vec<(String, TenantMetrics)> = m
             .tenants
             .iter()
@@ -495,17 +529,17 @@ impl SolverService {
     /// `Drop`; also usable explicitly to quiesce before reading final
     /// metrics.
     pub fn shutdown(&self) {
-        for shard in &self.shards {
-            let mut s = shard.lock().expect("shard lock");
+        for shard in &self.shared.shards {
+            let mut s = lock_ok(shard);
             for entry in s.entries.values() {
-                let mut q = entry.queue.lock().expect("entry queue lock");
+                let mut q = lock_ok(&entry.queue);
                 q.shutdown = true;
                 entry.arrivals.notify_all();
             }
             s.entries.clear();
             s.lru.clear();
         }
-        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        let handles = std::mem::take(&mut *lock_ok(&self.workers));
         for h in handles {
             let _ = h.join();
         }
@@ -513,13 +547,19 @@ impl SolverService {
 
     /// Looks up (or creates) the registry entry for `matrix`, touching the
     /// LRU and evicting past the capacity bound.
-    fn admit(&self, matrix: &MatrixHandle) -> Arc<MatrixEntry> {
-        let shard_idx = (matrix.fp as usize) % self.shards.len();
-        let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+    ///
+    /// The worker thread is spawned *before* the entry is published to the
+    /// registry: a spawn failure (resource exhaustion) is the structured,
+    /// recoverable [`ServiceError::SpawnFailed`], and since nothing was
+    /// inserted there is no orphaned entry a later request could enqueue
+    /// onto and hang — a retry re-admits the matrix from scratch.
+    fn admit(&self, matrix: &MatrixHandle) -> Result<Arc<MatrixEntry>, ServiceError> {
+        let shard_idx = (matrix.fp as usize) % self.shared.shards.len();
+        let mut shard = lock_ok(&self.shared.shards[shard_idx]);
         if let Some(entry) = shard.entries.get(&matrix.fp) {
             let entry = Arc::clone(entry);
             shard.touch(matrix.fp);
-            return entry;
+            return Ok(entry);
         }
         // Miss: evict least-recently-used entries over capacity, then admit.
         while shard.entries.len() >= self.shared.config.sessions_per_shard {
@@ -527,37 +567,58 @@ impl SolverService {
                 break;
             };
             if let Some(old) = shard.entries.remove(&victim) {
-                let mut q = old.queue.lock().expect("entry queue lock");
+                let mut q = lock_ok(&old.queue);
                 q.shutdown = true;
                 old.arrivals.notify_all();
                 drop(q);
-                let mut m = self.shared.metrics.lock().expect("metrics lock");
+                let mut m = lock_ok(&self.shared.metrics);
                 m.global.evictions += 1;
             }
         }
         let entry = Arc::new(MatrixEntry {
             l: Arc::clone(&matrix.l),
+            fp: matrix.fp,
             queue: Mutex::new(EntryQueue {
                 pending: VecDeque::new(),
                 shutdown: false,
             }),
             arrivals: Condvar::new(),
         });
+
+        let shared = Arc::clone(&self.shared);
+        let worker_entry = Arc::clone(&entry);
+        let handle =
+            spawn_worker(matrix.fp, move || worker_loop(shared, worker_entry)).map_err(|e| {
+                ServiceError::SpawnFailed {
+                    fingerprint: matrix.fp,
+                    reason: e.to_string(),
+                }
+            })?;
         shard.entries.insert(matrix.fp, Arc::clone(&entry));
         shard.touch(matrix.fp);
         drop(shard);
 
-        let shared = Arc::clone(&self.shared);
-        let worker_entry = Arc::clone(&entry);
-        let handle = std::thread::Builder::new()
-            .name(format!("capellini-serve-{:08x}", matrix.fp as u32))
-            .spawn(move || worker_loop(shared, worker_entry))
-            .expect("spawn service worker");
-        let mut workers = self.workers.lock().expect("workers lock");
+        let mut workers = lock_ok(&self.workers);
         workers.retain(|h| !h.is_finished());
         workers.push(handle);
-        entry
+        Ok(entry)
     }
+}
+
+/// Spawns the per-matrix worker thread. The thread name carries the *full*
+/// 64-bit fingerprint (`{:016x}`); truncating it to 32 bits made distinct
+/// matrices indistinguishable in thread listings.
+fn spawn_worker(
+    fp: u64,
+    body: impl FnOnce() + Send + 'static,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    #[cfg(test)]
+    if tests::take_injected_spawn_failure(fp) {
+        return Err(std::io::Error::other("injected spawn failure"));
+    }
+    std::thread::Builder::new()
+        .name(format!("capellini-serve-{fp:016x}"))
+        .spawn(body)
 }
 
 impl Drop for SolverService {
@@ -568,25 +629,73 @@ impl Drop for SolverService {
 
 // ------------------------------------------------------------------ worker
 
+/// Removes a panicked worker's matrix from the registry and fails its
+/// queued requests, leaving every other tenant untouched. Guarded by
+/// `Arc::ptr_eq` so a re-admitted successor entry under the same
+/// fingerprint is never torn down by a stale worker.
+fn deregister(shared: &ServiceShared, entry: &Arc<MatrixEntry>) {
+    let shard_idx = (entry.fp as usize) % shared.shards.len();
+    {
+        let mut shard = lock_ok(&shared.shards[shard_idx]);
+        if shard
+            .entries
+            .get(&entry.fp)
+            .is_some_and(|current| Arc::ptr_eq(current, entry))
+        {
+            shard.entries.remove(&entry.fp);
+            if let Some(pos) = shard.lru.iter().position(|&f| f == entry.fp) {
+                shard.lru.remove(pos);
+            }
+        }
+    }
+    let drained: Vec<Pending> = {
+        let mut q = lock_ok(&entry.queue);
+        q.shutdown = true;
+        entry.arrivals.notify_all();
+        q.pending.drain(..).collect()
+    };
+    for p in drained {
+        p.ticket.deliver(Err(ServiceError::WorkerPanicked {
+            fingerprint: entry.fp,
+        }));
+    }
+}
+
 /// The per-matrix serving loop: builds the session (one analysis), then
 /// drains the request queue in coalesced batches until evicted and empty.
+///
+/// Both the session construction and every batch run inside
+/// `catch_unwind`: a panic (a bug in one matrix's analysis or kernel) is
+/// converted into [`ServiceError::WorkerPanicked`] for the affected
+/// callers and the matrix is deregistered — it never poisons the registry
+/// locks for unrelated tenants or leaves callers blocked forever.
 fn worker_loop(shared: Arc<ServiceShared>, entry: Arc<MatrixEntry>) {
     let config = &shared.config;
-    let mut session = match config.algorithm {
+    let built = catch_unwind(AssertUnwindSafe(|| match config.algorithm {
         Some(algo) => SolverSession::with_algorithm(&config.device, (*entry.l).clone(), algo),
         None => SolverSession::new(&config.device, (*entry.l).clone()),
+    }));
+    let mut session = match built {
+        Ok(session) => session,
+        Err(_) => {
+            deregister(&shared, &entry);
+            return;
+        }
     };
     {
-        let mut m = shared.metrics.lock().expect("metrics lock");
+        let mut m = lock_ok(&shared.metrics);
         m.global.sessions_created += 1;
         m.global.analysis_ms_total += session.analysis_ms();
     }
     let coalescing = config.coalesce_window > Duration::ZERO && config.max_batch > 1;
     loop {
         let batch: Vec<Pending> = {
-            let mut q = entry.queue.lock().expect("entry queue lock");
+            let mut q = lock_ok(&entry.queue);
             while q.pending.is_empty() && !q.shutdown {
-                q = entry.arrivals.wait(q).expect("arrivals wait");
+                q = entry
+                    .arrivals
+                    .wait(q)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
             if q.pending.is_empty() {
                 break; // shut down and fully drained
@@ -608,7 +717,7 @@ fn worker_loop(shared: Arc<ServiceShared>, entry: Arc<MatrixEntry>) {
                     let (guard, timeout) = entry
                         .arrivals
                         .wait_timeout(q, left)
-                        .expect("arrivals timed wait");
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                     q = guard;
                     if timeout.timed_out() {
                         break;
@@ -622,35 +731,71 @@ fn worker_loop(shared: Arc<ServiceShared>, entry: Arc<MatrixEntry>) {
             };
             q.pending.drain(..take).collect()
         };
-        serve_batch(&shared, &mut session, batch);
+        if let Some(failed) = serve_batch(&shared, &mut session, batch) {
+            // The launch panicked: the session may hold corrupt device
+            // state, so retire this worker and deregister the matrix
+            // before failing the tickets — a retry then re-admits the
+            // matrix with a fresh session.
+            deregister(&shared, &entry);
+            for p in failed {
+                p.ticket.deliver(Err(ServiceError::WorkerPanicked {
+                    fingerprint: entry.fp,
+                }));
+            }
+            return;
+        }
     }
     // Session (and its GpuDevice) dropped here: eviction bounds simulated
     // device memory.
 }
 
 /// Runs one coalesced launch and distributes per-column results.
-fn serve_batch(shared: &ServiceShared, session: &mut SolverSession, batch: Vec<Pending>) {
+/// Serves one coalesced batch. Returns the undelivered batch if the launch
+/// panicked — the caller must deregister the matrix FIRST and only then
+/// fail these tickets, so a caller that observes the failure and retries is
+/// guaranteed to re-admit a fresh entry rather than enqueue onto the dying
+/// one.
+fn serve_batch(
+    shared: &ServiceShared,
+    session: &mut SolverSession,
+    batch: Vec<Pending>,
+) -> Option<Vec<Pending>> {
     let launch_start = Instant::now();
     let k = batch.len();
     let n = session.matrix().n();
-    let launched = if k == 1 {
-        session.solve(&batch[0].b).map(|rep| (rep.x, rep.exec_ms))
-    } else {
-        // Pack the row-major n × k block in arrival order; column r belongs
-        // to batch[r]. The multi-RHS kernels return each column bit-
-        // identical to a looped single solve, so coalescing never changes
-        // any tenant's answer.
-        let mut bs = vec![0.0; n * k];
-        for (r, p) in batch.iter().enumerate() {
-            for i in 0..n {
-                bs[i * k + r] = p.b[i];
-            }
+    let launched = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(test)]
+        if tests::take_injected_solve_panic(session.fingerprint()) {
+            panic!("injected solve panic");
         }
-        session.solve_multi(&bs, k).map(|rep| (rep.x, rep.exec_ms))
+        if k == 1 {
+            session.solve(&batch[0].b).map(|rep| (rep.x, rep.exec_ms))
+        } else {
+            // Pack the row-major n × k block in arrival order; column r
+            // belongs to batch[r]. The multi-RHS kernels return each column
+            // bit-identical to a looped single solve, so coalescing never
+            // changes any tenant's answer.
+            let mut bs = vec![0.0; n * k];
+            for (r, p) in batch.iter().enumerate() {
+                for i in 0..n {
+                    bs[i * k + r] = p.b[i];
+                }
+            }
+            session.solve_multi(&bs, k).map(|rep| (rep.x, rep.exec_ms))
+        }
+    }));
+    let launched = match launched {
+        Ok(result) => result,
+        Err(_) => {
+            let mut m = lock_ok(&shared.metrics);
+            m.global.solve_errors += k as u64;
+            drop(m);
+            return Some(batch);
+        }
     };
     match launched {
         Ok((x, exec_ms)) => {
-            let mut m = shared.metrics.lock().expect("metrics lock");
+            let mut m = lock_ok(&shared.metrics);
             m.global.launches += 1;
             m.global.solves += k as u64;
             m.global.largest_batch = m.global.largest_batch.max(k);
@@ -680,7 +825,7 @@ fn serve_batch(shared: &ServiceShared, session: &mut SolverSession, batch: Vec<P
             }
         }
         Err(e) => {
-            let mut m = shared.metrics.lock().expect("metrics lock");
+            let mut m = lock_ok(&shared.metrics);
             m.global.solve_errors += k as u64;
             drop(m);
             for p in &batch {
@@ -688,12 +833,47 @@ fn serve_batch(shared: &ServiceShared, session: &mut SolverSession, batch: Vec<P
             }
         }
     }
+    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use capellini_sparse::gen;
+
+    /// Fault injection, keyed by matrix fingerprint so concurrently running
+    /// tests (each using distinct matrices) never consume each other's
+    /// injected faults.
+    static INJECTED_SPAWN_FAILURE: Mutex<Option<u64>> = Mutex::new(None);
+    static INJECTED_SOLVE_PANIC: Mutex<Option<u64>> = Mutex::new(None);
+
+    fn inject_spawn_failure(fp: u64) {
+        *lock_ok(&INJECTED_SPAWN_FAILURE) = Some(fp);
+    }
+
+    pub(super) fn take_injected_spawn_failure(fp: u64) -> bool {
+        let mut g = lock_ok(&INJECTED_SPAWN_FAILURE);
+        if *g == Some(fp) {
+            *g = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn inject_solve_panic(fp: u64) {
+        *lock_ok(&INJECTED_SOLVE_PANIC) = Some(fp);
+    }
+
+    pub(super) fn take_injected_solve_panic(fp: u64) -> bool {
+        let mut g = lock_ok(&INJECTED_SOLVE_PANIC);
+        if *g == Some(fp) {
+            *g = None;
+            true
+        } else {
+            false
+        }
+    }
 
     fn cfg() -> DeviceConfig {
         DeviceConfig::pascal_like().scaled_down(4)
@@ -766,6 +946,76 @@ mod tests {
             .solve("t0", &mats[0], &rhs(mats[0].matrix().n(), 9))
             .expect("re-admitted");
         assert!(service.metrics().sessions_created >= 4);
+    }
+
+    #[test]
+    fn spawn_failure_is_recoverable_and_releases_the_entry() {
+        let l = gen::powerlaw(200, 2.5, 41);
+        let handle = MatrixHandle::new(l.clone());
+        let service = SolverService::new(ServiceConfig::new(cfg()));
+        let b = rhs(l.n(), 3);
+
+        inject_spawn_failure(handle.fingerprint());
+        let err = service.solve("t0", &handle, &b).unwrap_err();
+        match err {
+            ServiceError::SpawnFailed {
+                fingerprint,
+                ref reason,
+            } => {
+                assert_eq!(fingerprint, handle.fingerprint());
+                assert!(reason.contains("injected spawn failure"));
+            }
+            other => panic!("expected SpawnFailed, got {other:?}"),
+        }
+        // The failed admission published nothing.
+        let m = service.metrics();
+        assert_eq!(m.resident_sessions, 0);
+        assert_eq!(m.sessions_created, 0);
+
+        // A plain retry re-admits the matrix and serves it correctly.
+        let resp = service.solve("t0", &handle, &b).expect("retry re-admits");
+        let mut reference = SolverSession::new(&cfg(), l);
+        let expect = reference.solve(&b).expect("reference");
+        for (a, e) in resp.x.iter().zip(&expect.x) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn panicking_worker_does_not_take_down_unrelated_tenants() {
+        let bad = gen::powerlaw(180, 2.4, 71);
+        let good = gen::powerlaw(220, 2.6, 72);
+        let bad_h = MatrixHandle::new(bad.clone());
+        let good_h = MatrixHandle::new(good.clone());
+        let service = SolverService::new(ServiceConfig::new(cfg()));
+        let gb = rhs(good.n(), 1);
+        let bb = rhs(bad.n(), 2);
+        let first = service.solve("good", &good_h, &gb).expect("good serves");
+
+        inject_solve_panic(bad_h.fingerprint());
+        let err = service.solve("bad", &bad_h, &bb).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::WorkerPanicked { fingerprint }
+                if fingerprint == bad_h.fingerprint()),
+            "expected WorkerPanicked, got {err:?}"
+        );
+        assert!(service.metrics().solve_errors >= 1);
+
+        // The unrelated tenant still serves, bit-identical to before.
+        let again = service
+            .solve("good", &good_h, &gb)
+            .expect("good unaffected");
+        for (a, e) in again.x.iter().zip(&first.x) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+
+        // The panicked matrix re-admits with a fresh session on retry.
+        let recovered = service.solve("bad", &bad_h, &bb).expect("bad re-admits");
+        let mut reference = SolverSession::new(&cfg(), bad);
+        let expect = reference.solve(&bb).expect("reference");
+        for (a, e) in recovered.x.iter().zip(&expect.x) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
     }
 
     #[test]

@@ -23,13 +23,16 @@
 //! Warm solves therefore report `preprocessing_ms = 0`; the one-time cost
 //! is available as [`SolverSession::analysis_ms`].
 
+use std::collections::BTreeMap;
+
 use capellini_simt::{BufU32, DeviceConfig, GpuDevice, HostCostModel, LaunchStats, SimtError};
-use capellini_sparse::{fingerprint, LevelSets, LowerTriangularCsr, MatrixStats};
+use capellini_sparse::{fingerprint, LevelSets, LowerTriangularCsr, MatrixStats, RowPartition};
 
 use crate::buffers::{DeviceCsr, PooledSolveBuffers};
 use crate::kernels;
 use crate::kernels::syncfree_csc::DeviceCsc;
 use crate::select::{recommend, Algorithm};
+use crate::shard::{solve_sharded_with_partition, ShardConfig, ShardedReport};
 use crate::solver::{MultiSolveReport, SolveReport};
 
 /// Per-algorithm cached analysis state, computed once at session creation.
@@ -65,6 +68,8 @@ pub struct SolverSession {
     pool: PooledSolveBuffers,
     analysis: Analysis,
     solves: u64,
+    /// Row partitions cached per device count for [`SolverSession::solve_sharded`].
+    partitions: BTreeMap<usize, RowPartition>,
 }
 
 impl SolverSession {
@@ -166,7 +171,46 @@ impl SolverSession {
             pool,
             analysis,
             solves: 0,
+            partitions: BTreeMap::new(),
         }
+    }
+
+    /// Solves `L x = b` sharded across `shard.devices` simulated devices
+    /// (see [`crate::shard::solve_sharded`]), reusing the session's cached
+    /// row partition for that device count — the partition is built on the
+    /// first call per device count and reused afterwards.
+    ///
+    /// The sharded path uses fresh per-shard devices (the boundary exchange
+    /// needs per-device watch state), so the session's persistent device and
+    /// pooled buffers are untouched; only the partitioning analysis is
+    /// amortized here.
+    pub fn solve_sharded(
+        &mut self,
+        b: &[f64],
+        shard: &ShardConfig,
+    ) -> Result<ShardedReport, SimtError> {
+        let n = self.l.n();
+        if b.len() != n {
+            return Err(SimtError::Launch(format!(
+                "rhs length {} does not match matrix dimension {n}",
+                b.len()
+            )));
+        }
+        shard.validate()?;
+        let part = self
+            .partitions
+            .entry(shard.devices)
+            .or_insert_with(|| RowPartition::build(&self.l, shard.devices, self.config.warp_size))
+            .clone();
+        let report =
+            solve_sharded_with_partition(&self.config, &self.l, b, self.algorithm, shard, part)?;
+        self.solves += 1;
+        Ok(report)
+    }
+
+    /// Number of distinct device counts with a cached row partition.
+    pub fn cached_partitions(&self) -> usize {
+        self.partitions.len()
     }
 
     /// Solves `L x = b` reusing every cached analysis product. Warm by
@@ -649,6 +693,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Session sharded solves reuse one cached partition per device count
+    /// and stay bit-identical to both the session's own single-device warm
+    /// path and the cold sharded entry point.
+    #[test]
+    fn sharded_session_solves_cache_the_partition() {
+        use crate::shard::ShardConfig;
+        let l = gen::random_k(500, 5, 70, 98);
+        let cfg = DeviceConfig::pascal_like();
+        let mut session =
+            SolverSession::with_algorithm(&cfg, l.clone(), Algorithm::CapelliniWritingFirst);
+        assert_eq!(session.cached_partitions(), 0);
+        let b = rhs(l.n(), 2);
+        let warm = session.solve(&b).unwrap();
+        let shard = ShardConfig::pcie(3);
+        let r1 = session.solve_sharded(&b, &shard).unwrap();
+        let r2 = session.solve_sharded(&b, &shard).unwrap();
+        assert_eq!(session.cached_partitions(), 1, "one partition per count");
+        session.solve_sharded(&b, &ShardConfig::pcie(2)).unwrap();
+        assert_eq!(session.cached_partitions(), 2);
+        for ((a, c), w) in r1.x.iter().zip(&r2.x).zip(&warm.x) {
+            assert_eq!(a.to_bits(), c.to_bits(), "sharded solves must repeat");
+            assert_eq!(a.to_bits(), w.to_bits(), "sharded must match unsharded");
+        }
+        assert_eq!(session.solves(), 4);
+        let err = session.solve_sharded(&[1.0; 3], &shard).unwrap_err();
+        assert!(matches!(err, SimtError::Launch(_)));
     }
 
     /// A session survives interleaving batched and single solves and a

@@ -124,6 +124,26 @@ impl ClusterSched {
         self.parts.heaps[c].pop().map(|Reverse(k)| k)
     }
 
+    /// The key [`ClusterSched::pop`] would return, without removing it.
+    /// May be a superseded (stale-seq) entry whose tick is earlier than the
+    /// next live event — callers using this as an event-application bound
+    /// are conservative-safe: they apply no later than necessary.
+    pub(crate) fn peek(&self) -> Option<HeapKey> {
+        let mut best: Option<HeapKey> = None;
+        for h in &self.parts.heaps {
+            if let Some(&Reverse(k)) = h.peek() {
+                let better = match best {
+                    None => true,
+                    Some(bk) => k < bk,
+                };
+                if better {
+                    best = Some(k);
+                }
+            }
+        }
+        best
+    }
+
     /// Returns the pooled storage to the launch scratch.
     pub(crate) fn into_parts(mut self) -> SchedParts {
         for h in &mut self.parts.heaps {

@@ -25,7 +25,9 @@ use crate::cluster::{self, ClusterSched, EagerScratch, SchedParts, Shadow};
 use crate::config::{DeviceConfig, MemoryModel, ProfileMode, SpinModel, StoreScope};
 use crate::error::{SimtError, WarpSnapshot};
 use crate::kernel::{Pc, WarpKernel, PC_EXIT};
-use crate::mem::{AccessKind, CacheHit, DeviceMemory, LaneMem, RawAccess, SpinRec, SECTOR_BYTES};
+use crate::mem::{
+    AccessKind, CacheHit, DeviceMemory, ExtEvent, LaneMem, RawAccess, SpinRec, SECTOR_BYTES,
+};
 use crate::metrics::{sat_add, LaunchStats};
 use crate::profile::{LaunchResult, Profile, Profiler, StallReason};
 use crate::trace::{Trace, TraceEvent};
@@ -211,6 +213,7 @@ fn snapshot_warps<L>(warps: &[Option<WarpRt<L>>], spin: &[SpinState]) -> Vec<War
                     ),
                 };
                 WarpSnapshot {
+                    device: 0,
                     warp: i as u32,
                     sm: w.sm,
                     pc,
@@ -1349,7 +1352,28 @@ impl GpuDevice {
         kernel: &K,
         n_warps: usize,
     ) -> Result<LaunchStats, SimtError> {
-        self.launch_inner(kernel, n_warps, None)
+        self.launch_inner(kernel, n_warps, None, &[])
+    }
+
+    /// Launches like [`GpuDevice::launch`] with a pre-scheduled stream of
+    /// external memory events (must be sorted by tick, ascending): each
+    /// event is applied to device memory the moment simulated time reaches
+    /// its tick, waking any parked warps that spin on the written word.
+    /// This is how the multi-device coordinator injects link-delivered
+    /// boundary values into a consumer shard's timeline. While events are
+    /// still pending the deadlock window is suspended — a warp spinning on
+    /// a word the link has not delivered yet is waiting, not deadlocked.
+    pub fn launch_with_events<K: WarpKernel>(
+        &mut self,
+        kernel: &K,
+        n_warps: usize,
+        events: &[ExtEvent],
+    ) -> Result<LaunchStats, SimtError> {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].tick <= w[1].tick),
+            "external events must be sorted by tick"
+        );
+        self.launch_inner(kernel, n_warps, None, events)
     }
 
     /// Launches like [`GpuDevice::launch`] but returns the launch's
@@ -1363,7 +1387,7 @@ impl GpuDevice {
         n_warps: usize,
     ) -> Result<LaunchResult, SimtError> {
         let before = self.profiles.len();
-        let stats = self.launch_inner(kernel, n_warps, None)?;
+        let stats = self.launch_inner(kernel, n_warps, None, &[])?;
         let profile = if self.profiles.len() > before {
             self.profiles.pop()
         } else {
@@ -1379,7 +1403,7 @@ impl GpuDevice {
         n_warps: usize,
         trace: &mut Trace,
     ) -> Result<LaunchStats, SimtError> {
-        self.launch_inner(kernel, n_warps, Some(trace))
+        self.launch_inner(kernel, n_warps, Some(trace), &[])
     }
 
     fn launch_inner<K: WarpKernel>(
@@ -1387,12 +1411,16 @@ impl GpuDevice {
         kernel: &K,
         n_warps: usize,
         mut trace: Option<&mut Trace>,
+        events: &[ExtEvent],
     ) -> Result<LaunchStats, SimtError> {
         if n_warps == 0 {
             // A zero-warp grid is a legal no-op launch: no kernel body ever
             // runs, so report well-formed zeroed stats (plus the fixed
             // launch overhead) instead of erroring or producing a bogus
-            // deadlock snapshot downstream.
+            // deadlock snapshot downstream. External events still land.
+            for ev in events {
+                self.mem.ext_apply(ev);
+            }
             self.last_heap_events = 0;
             return Ok(LaunchStats {
                 launches: 1,
@@ -1620,7 +1648,106 @@ impl GpuDevice {
         // `eager_gap` pops, backing off while no eligible work appears.
         let mut eager_gap: u32 = EAGER_GAP_MIN;
         let mut eager_count: u32 = 0;
-        while let Some((t, wid, sq)) = sched.pop() {
+        let mut ev_i = 0usize;
+        loop {
+            // Apply external (link-delivered) events that are due at or
+            // before the next scheduled pop, re-peeking after each one: an
+            // applied event may wake a parked warp whose kick lands earlier
+            // than the previous heap top. With an empty heap the remaining
+            // events apply unconditionally (every runnable warp is parked
+            // or done; only an event can unblock anything).
+            while ev_i < events.len() {
+                if let Some((nt, _, _)) = sched.peek() {
+                    if events[ev_i].tick > nt {
+                        break;
+                    }
+                }
+                let ev = events[ev_i];
+                ev_i += 1;
+                self.mem.ext_apply(&ev);
+                // The link delivering a value is forward progress for the
+                // deadlock accounting, exactly like a local store.
+                last_progress = last_progress.max(ev.tick);
+                end_tick = end_tick.max(ev.tick);
+                if ff_on && n_parked > 0 {
+                    let ev_dl = if ev_i < events.len() {
+                        u64::MAX
+                    } else {
+                        deadlock_ticks
+                    };
+                    self.mem.take_spin_wakes(&mut wakes);
+                    for &(wwid, wtick, wmin) in &wakes {
+                        let wsm = match &spin[wwid as usize] {
+                            SpinState::Parked(p) => p.sm,
+                            _ => continue,
+                        };
+                        if let Err(h) = ff_advance(
+                            kernel,
+                            &mut spin,
+                            &sm_parked,
+                            &mut sm_visit,
+                            &mut sm_ready,
+                            &mut mw_plans,
+                            &mut mw_res,
+                            Some(wsm),
+                            (ev.tick, 0),
+                            batch_ok,
+                            &mut stats,
+                            &mut prof,
+                            &mut trace,
+                            &mut sm_next_free,
+                            &mut sm_last_issue,
+                            &mut end_tick,
+                            last_progress,
+                            max_ticks,
+                            ev_dl,
+                            tpc,
+                        ) {
+                            self.mem.finish_relaxed(end_tick);
+                            self.mem.spin_clear();
+                            self.last_heap_events = heap_events;
+                            let live_warps = warps.iter().filter(|w| w.is_some()).count();
+                            return Err(if h.timeout {
+                                SimtError::Timeout {
+                                    kernel: kernel.name(),
+                                    max_cycles: cfg.max_cycles,
+                                    live_warps,
+                                    last_progress_cycle: last_progress / tpc,
+                                    warps: snapshot_warps(&warps, &spin),
+                                }
+                            } else {
+                                SimtError::Deadlock {
+                                    kernel: kernel.name(),
+                                    cycle: h.tick / tpc,
+                                    live_warps,
+                                    last_progress_cycle: last_progress / tpc,
+                                    warps: snapshot_warps(&warps, &spin),
+                                }
+                            });
+                        }
+                        if let SpinState::Parked(p) = &mut spin[wwid as usize] {
+                            let eff = eff_next(p, sm_next_free[wsm]);
+                            let kt = poll_at_or_after(p, eff, wtick, wmin, wwid);
+                            if p.kick.is_none_or(|old| kt < old) {
+                                p.kick = Some(kt);
+                                let s = bump(&mut seq, wwid);
+                                sched.push(wsm, (kt, wwid, s));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((t, wid, sq)) = sched.pop() else {
+                break;
+            };
+            // While link events are still pending, a stall is waiting on
+            // the link, not a deadlock: suspend the window (the max-cycles
+            // timeout stays armed as the backstop).
+            let dl_ticks = if ev_i < events.len() {
+                u64::MAX
+            } else {
+                deadlock_ticks
+            };
             heap_events += 1;
             if sq != seq[wid as usize] {
                 // Superseded event: the warp was re-kicked or re-scheduled
@@ -1655,7 +1782,7 @@ impl GpuDevice {
                         EagerLimits {
                             last_progress,
                             max_ticks,
-                            deadlock_ticks,
+                            deadlock_ticks: dl_ticks,
                         },
                     );
                     eager_gap = if did {
@@ -1699,10 +1826,10 @@ impl GpuDevice {
                     &mut end_tick,
                     last_progress,
                     max_ticks,
-                    deadlock_ticks,
+                    dl_ticks,
                     tpc,
                 ) {
-                    self.mem.finish_relaxed();
+                    self.mem.finish_relaxed(t);
                     self.mem.spin_clear();
                     self.last_heap_events = heap_events;
                     let live_warps = warps.iter().filter(|w| w.is_some()).count();
@@ -1769,7 +1896,7 @@ impl GpuDevice {
                 continue;
             }
             if t > max_ticks {
-                self.mem.finish_relaxed();
+                self.mem.finish_relaxed(t);
                 self.mem.spin_clear();
                 self.last_heap_events = heap_events;
                 return Err(SimtError::Timeout {
@@ -1780,8 +1907,8 @@ impl GpuDevice {
                     warps: snapshot_warps(&warps, &spin),
                 });
             }
-            if t.saturating_sub(last_progress) > deadlock_ticks {
-                self.mem.finish_relaxed();
+            if t.saturating_sub(last_progress) > dl_ticks {
+                self.mem.finish_relaxed(t);
                 self.mem.spin_clear();
                 self.last_heap_events = heap_events;
                 return Err(SimtError::Deadlock {
@@ -1845,7 +1972,7 @@ impl GpuDevice {
             );
             if racecheck {
                 if let Some(r) = self.mem.take_race() {
-                    self.mem.finish_relaxed();
+                    self.mem.finish_relaxed(t);
                     self.mem.spin_clear();
                     self.last_heap_events = heap_events;
                     return Err(SimtError::RaceDetected {
@@ -2105,10 +2232,10 @@ impl GpuDevice {
                         &mut end_tick,
                         last_progress,
                         max_ticks,
-                        deadlock_ticks,
+                        dl_ticks,
                         tpc,
                     ) {
-                        self.mem.finish_relaxed();
+                        self.mem.finish_relaxed(t);
                         self.mem.spin_clear();
                         self.last_heap_events = heap_events;
                         let live_warps = warps.iter().filter(|w| w.is_some()).count();
@@ -2148,7 +2275,7 @@ impl GpuDevice {
         // again: report the deadlock *now*, waiter graph attached, instead
         // of burning the deadlock window on an empty schedule.
         if ff_on && n_parked > 0 {
-            self.mem.finish_relaxed();
+            self.mem.finish_relaxed(end_tick);
             self.mem.spin_clear();
             self.last_heap_events = heap_events;
             return Err(SimtError::Deadlock {
@@ -2187,7 +2314,7 @@ impl GpuDevice {
         // model every still-buffered store drains here, which is what makes
         // launch-boundary-synchronized algorithms (Level-Set) correct.
         if relaxed_on {
-            let (stale, drained) = self.mem.finish_relaxed();
+            let (stale, drained) = self.mem.finish_relaxed(end_tick);
             stats.stale_reads = stale;
             stats.drained_stores = drained;
         }
@@ -3286,5 +3413,142 @@ mod tests {
         assert_eq!(stats.warps_launched, 10);
         let out = dev.mem_ref().read_f64(y);
         assert!(out.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64));
+    }
+
+    /// Spins on `flag[0]` (a value only an external event can set), then
+    /// copies `x[0]` to `y[0]` — the consumer half of a cross-device
+    /// boundary exchange, with no on-device producer at all.
+    struct WaitForLink {
+        flag: BufFlag,
+        x: BufF64,
+        y: BufF64,
+    }
+
+    #[derive(Default)]
+    struct WaitLane {
+        v: f64,
+    }
+
+    impl WarpKernel for WaitForLink {
+        type Lane = WaitLane;
+        fn name(&self) -> &'static str {
+            "wait-for-link"
+        }
+        fn make_lane(&self, _tid: u32) -> WaitLane {
+            WaitLane::default()
+        }
+        fn exec(&self, pc: Pc, lane: &mut WaitLane, _tid: u32, mem: &mut LaneMem<'_>) -> Effect {
+            match pc {
+                0 => {
+                    let f = mem.poll_flag(self.flag, 0);
+                    Effect::to(if f { 1 } else { 0 })
+                }
+                1 => {
+                    lane.v = mem.load_f64(self.x, 0);
+                    Effect::to(2)
+                }
+                2 => {
+                    mem.store_f64(self.y, 0, lane.v);
+                    Effect::exit()
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn reconv(&self, _pc: Pc) -> Pc {
+            PC_EXIT // the spin branch is warp-uniform, it never diverges
+        }
+        fn spin_pure(&self, pc: Pc) -> bool {
+            pc == 0
+        }
+    }
+
+    #[test]
+    fn external_events_unblock_a_spinning_warp_under_every_model() {
+        use crate::mem::{ExtEvent, ExtOp};
+        use crate::MemoryModel;
+        for mm in [
+            MemoryModel::SequentiallyConsistent,
+            MemoryModel::relaxed(64),
+            MemoryModel::racecheck(64),
+        ] {
+            for spin in [SpinModel::Replay, SpinModel::FastForward] {
+                let cfg = DeviceConfig::toy()
+                    .with_memory_model(mm)
+                    .with_spin_model(spin);
+                let mut dev = GpuDevice::new(cfg);
+                let flag = dev.mem().alloc_flags(1);
+                let x = dev.mem().alloc_f64_zeroed(1);
+                let y = dev.mem().alloc_f64_zeroed(1);
+                let k = WaitForLink { flag, x, y };
+                // The value arrives before its ready-flag, like a real
+                // boundary exchange (value message, then flag message).
+                let arrival = 4000u64;
+                let events = [
+                    ExtEvent {
+                        tick: arrival - 10,
+                        buf: x.raw(),
+                        idx: 0,
+                        op: ExtOp::StoreF64(6.5),
+                    },
+                    ExtEvent {
+                        tick: arrival,
+                        buf: flag.raw(),
+                        idx: 0,
+                        op: ExtOp::StoreFlag(true),
+                    },
+                ];
+                let stats = dev
+                    .launch_with_events(&k, 1, &events)
+                    .unwrap_or_else(|e| panic!("{mm:?}/{spin:?}: {e}"));
+                assert_eq!(dev.mem_ref().read_f64(y)[0], 6.5, "{mm:?}/{spin:?}");
+                // The spin cannot end before the flag's arrival tick.
+                let tpc = dev.config().schedulers_per_sm.max(1) as u64;
+                assert!(
+                    stats.cycles >= arrival / tpc,
+                    "{mm:?}/{spin:?}: finished at {} < arrival {}",
+                    stats.cycles,
+                    arrival / tpc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_spin_with_no_event_is_still_a_deadlock() {
+        let cfg = DeviceConfig::toy().with_spin_model(SpinModel::FastForward);
+        let mut dev = GpuDevice::new(cfg);
+        let flag = dev.mem().alloc_flags(1);
+        let x = dev.mem().alloc_f64_zeroed(1);
+        let y = dev.mem().alloc_f64_zeroed(1);
+        let k = WaitForLink { flag, x, y };
+        match dev.launch_with_events(&k, 1, &[]) {
+            Err(SimtError::Deadlock { warps, .. }) => {
+                assert!(
+                    warps
+                        .iter()
+                        .any(|w| w.waiting_on.contains(&(flag.raw(), 0))),
+                    "waiter graph names the flag: {warps:?}"
+                );
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_warp_launch_still_applies_events() {
+        use crate::mem::{ExtEvent, ExtOp};
+        let mut dev = GpuDevice::new(DeviceConfig::toy());
+        let x = dev.mem().alloc_f64_zeroed(2);
+        let events = [ExtEvent {
+            tick: 100,
+            buf: x.raw(),
+            idx: 1,
+            op: ExtOp::StoreF64(3.25),
+        }];
+        let y = dev.mem().alloc_f64_zeroed(1);
+        let flag = dev.mem().alloc_flags(1);
+        let k = WaitForLink { flag, x, y };
+        dev.launch_with_events(&k, 0, &events).unwrap();
+        assert_eq!(dev.mem_ref().read_f64(x)[1], 3.25);
     }
 }

@@ -8,6 +8,10 @@ use crate::kernel::{Pc, PC_EXIT};
 /// deadlock or timeout is debuggable from the error alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WarpSnapshot {
+    /// Device the warp belongs to. Always 0 for single-device launches;
+    /// the multi-device coordinator rewrites it when merging per-shard
+    /// snapshots into a cross-device waiter graph.
+    pub device: usize,
     /// Logical warp id (launch-wide, stable across slot recycling).
     pub warp: u32,
     /// SM the warp is resident on.
@@ -25,6 +29,11 @@ pub struct WarpSnapshot {
 
 impl fmt::Display for WarpSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Single-device snapshots (device 0) keep the historical format;
+        // only cross-device waiter graphs name the device.
+        if self.device != 0 {
+            write!(f, "device {} ", self.device)?;
+        }
         if self.pc == PC_EXIT {
             write!(f, "warp {} (sm {}) at EXIT", self.warp, self.sm)
         } else {
@@ -171,6 +180,7 @@ mod tests {
             live_warps: 2,
             last_progress_cycle: 400,
             warps: vec![WarpSnapshot {
+                device: 0,
                 warp: 1,
                 sm: 0,
                 pc: 7,

@@ -57,6 +57,7 @@ pub mod host;
 pub mod kernel;
 pub mod mem;
 pub mod metrics;
+pub mod multidev;
 pub mod profile;
 pub mod trace;
 
@@ -65,8 +66,9 @@ pub use engine::GpuDevice;
 pub use error::{SimtError, WarpSnapshot};
 pub use host::HostCostModel;
 pub use kernel::{Effect, Pc, WarpKernel, PC_EXIT};
-pub use mem::{BufF64, BufFlag, BufU32, LaneMem, SECTOR_BYTES};
+pub use mem::{BufF64, BufFlag, BufU32, ExtEvent, ExtOp, LaneMem, PubRecord, SECTOR_BYTES};
 pub use metrics::LaunchStats;
+pub use multidev::{merge_deadlock, DeviceOutcome, Link, LinkConfig, MAX_DEVICES};
 pub use profile::{
     LaunchResult, PhaseCount, Profile, StallBucket, StallReason, WarpSpan, N_STALL_REASONS,
 };

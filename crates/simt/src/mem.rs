@@ -30,6 +30,107 @@ pub struct BufU32(pub(crate) u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufFlag(pub(crate) u32);
 
+impl BufF64 {
+    /// Raw buffer id, for cross-device event plumbing ([`ExtEvent::buf`]).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl BufU32 {
+    /// Raw buffer id, for cross-device event plumbing ([`ExtEvent::buf`]).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl BufFlag {
+    /// Raw buffer id, for cross-device event plumbing ([`ExtEvent::buf`]).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Operation payload of a cross-device [`ExtEvent`] / [`PubRecord`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtOp {
+    /// Overwrite an `f64` word (a finished boundary `x` value).
+    StoreF64(f64),
+    /// Overwrite a completion flag (the paper's `get_value` bit).
+    StoreFlag(bool),
+    /// Atomic add of a delta to an `f64` word (CSC left-sum forwarding —
+    /// deltas, not totals, so FP accumulation order is preserved).
+    AddF64(f64),
+    /// Atomic subtract of a delta from a `u32` word (CSC in-degree
+    /// countdown forwarding).
+    SubU32(u32),
+}
+
+/// A link/host-injected memory operation applied to a running launch at a
+/// fixed tick (see `GpuDevice::launch_with_events`). The multi-device
+/// coordinator turns a producer's [`PubRecord`]s into consumer `ExtEvent`s
+/// by pushing them through the inter-device link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtEvent {
+    /// Engine tick (cycles × schedulers per SM) at which the operation
+    /// becomes visible on the consumer device.
+    pub tick: u64,
+    /// Raw buffer id on the *consumer* device ([`BufF64::raw`] etc.).
+    pub buf: u32,
+    /// Element index within the buffer.
+    pub idx: u32,
+    /// The operation to apply.
+    pub op: ExtOp,
+}
+
+/// One captured publication ([`DeviceMemory::set_watch`]): a store to a
+/// watched buffer became globally visible (reached DRAM) at `tick`. Under
+/// the relaxed model that is the drain/fence/atomic-sync tick, not the
+/// execution tick, so cross-device consumers never observe a value earlier
+/// than an on-device consumer could have.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PubRecord {
+    /// Raw buffer id on the producing device.
+    pub buf: u32,
+    /// Element index within the buffer.
+    pub idx: u32,
+    /// Visibility tick on the producing device's timeline.
+    pub tick: u64,
+    /// What was published (atomics record the delta, not the total).
+    pub op: ExtOp,
+}
+
+/// Publication watch: buffer ids to observe plus everything captured so
+/// far. Armed by the multi-device coordinator on producer devices.
+struct WatchState {
+    bufs: Vec<u32>,
+    records: Vec<PubRecord>,
+}
+
+/// Records a DRAM-visible write to a watched buffer. Free function so call
+/// sites inside `retain` closures can borrow it disjointly from the
+/// relaxed-model state.
+fn watch_note(watch: &mut Option<WatchState>, buf: u32, idx: usize, tick: u64, op: ExtOp) {
+    if let Some(w) = watch {
+        if w.bufs.contains(&buf) {
+            w.records.push(PubRecord {
+                buf,
+                idx: idx as u32,
+                tick,
+                op,
+            });
+        }
+    }
+}
+
+/// The [`ExtOp`] equivalent of draining a buffered store.
+fn drain_op(val: PendingVal) -> ExtOp {
+    match val {
+        PendingVal::F64(v) => ExtOp::StoreF64(v),
+        PendingVal::Flag(f) => ExtOp::StoreFlag(f != 0),
+    }
+}
+
 enum BufData {
     F64(Vec<f64>),
     U32(Vec<u32>),
@@ -412,6 +513,8 @@ pub struct DeviceMemory {
     spin: SpinWaiters,
     /// `Some` when the device was built with a [`crate::CacheConfig`].
     cache: Option<CacheSim>,
+    /// `Some` while a multi-device coordinator is capturing publications.
+    watch: Option<WatchState>,
 }
 
 impl DeviceMemory {
@@ -529,6 +632,56 @@ impl DeviceMemory {
         }
     }
 
+    /// Arms the publication watch on the given raw buffer ids: every write
+    /// that reaches DRAM (SC stores immediately; relaxed stores when they
+    /// drain; atomics at the RMW) in a watched buffer is captured as a
+    /// [`PubRecord`] with its visibility tick. Used by the multi-device
+    /// coordinator to observe a producer shard's boundary publications.
+    pub fn set_watch(&mut self, bufs: &[u32]) {
+        self.watch = Some(WatchState {
+            bufs: bufs.to_vec(),
+            records: Vec::new(),
+        });
+    }
+
+    /// Disarms the watch and returns everything captured since
+    /// [`DeviceMemory::set_watch`], in capture order (visibility ticks are
+    /// non-decreasing per word but not globally sorted).
+    pub fn take_watch(&mut self) -> Vec<PubRecord> {
+        self.watch.take().map_or_else(Vec::new, |w| w.records)
+    }
+
+    /// Applies one external (link-delivered) operation at tick `ev.tick`:
+    /// writes the backing store directly (after an atomic-style sync that
+    /// drains any buffered stores to the word), invalidates the sector in
+    /// every SM's L1, and wakes parked waiters with `min_warp = 0` — the
+    /// link is not a warp, so any poll at or after the tick may observe the
+    /// value. Traffic is not charged here; the link model accounts for the
+    /// transfer separately.
+    pub(crate) fn ext_apply(&mut self, ev: &ExtEvent) {
+        let idx = ev.idx as usize;
+        self.atomic_sync(ev.buf, idx, ev.tick);
+        let byte_off = match ev.op {
+            ExtOp::StoreF64(_) | ExtOp::AddF64(_) => idx * 8,
+            ExtOp::SubU32(_) => idx * 4,
+            ExtOp::StoreFlag(_) => idx,
+        };
+        match (&mut self.bufs[ev.buf as usize].data, ev.op) {
+            (BufData::F64(v), ExtOp::StoreF64(x)) => v[idx] = x,
+            (BufData::F64(v), ExtOp::AddF64(x)) => v[idx] += x,
+            (BufData::Flag(v), ExtOp::StoreFlag(x)) => v[idx] = x as u8,
+            (BufData::U32(v), ExtOp::SubU32(x)) => v[idx] = v[idx].wrapping_sub(x),
+            _ => panic!("external event type mismatch on buffer {}", ev.buf),
+        }
+        self.cache_invalidate(RawAccess {
+            buf: ev.buf,
+            sector: (byte_off as u32) / SECTOR_BYTES,
+            kind: AccessKind::Store,
+            bypass: true,
+        });
+        wake_waiters(&mut self.spin, ev.buf, idx, ev.tick, 0);
+    }
+
     fn f64s(&self, h: BufF64) -> &Vec<f64> {
         match &self.bufs[h.0 as usize].data {
             BufData::F64(v) => v,
@@ -594,10 +747,12 @@ impl DeviceMemory {
             return;
         }
         let bufs = &mut self.bufs;
+        let watch = &mut self.watch;
         let mut min_due = u64::MAX;
         rs.pending.retain(|ps| {
             if ps.due <= now {
                 apply_store(bufs, ps);
+                watch_note(watch, ps.buf, ps.idx, ps.due, drain_op(ps.val));
                 rs.drained_stores = rs.drained_stores.saturating_add(1);
                 *rs.owner_counts.get_mut(&ps.owner).expect("owner count") -= 1;
                 if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
@@ -620,10 +775,12 @@ impl DeviceMemory {
         let Some(rs) = &mut self.relaxed else { return };
         let bufs = &mut self.bufs;
         let spin = &mut self.spin;
+        let watch = &mut self.watch;
         let mut min_due = u64::MAX;
         rs.pending.retain(|ps| {
             if ps.owner == owner {
                 apply_store(bufs, ps);
+                watch_note(watch, ps.buf, ps.idx, now, drain_op(ps.val));
                 rs.drained_stores = rs.drained_stores.saturating_add(1);
                 if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
                     m.undrained = m.undrained.saturating_sub(1);
@@ -648,12 +805,13 @@ impl DeviceMemory {
     /// CUDA's launch semantics), clears the racecheck maps, and returns the
     /// `(stale_reads, drained_stores)` counters. Disarms the model, so host
     /// read-backs always see the drained state.
-    pub(crate) fn finish_relaxed(&mut self) -> (u64, u64) {
+    pub(crate) fn finish_relaxed(&mut self, now: u64) -> (u64, u64) {
         let Some(mut rs) = self.relaxed.take() else {
             return (0, 0);
         };
         for ps in &rs.pending {
             apply_store(&mut self.bufs, ps);
+            watch_note(&mut self.watch, ps.buf, ps.idx, now, drain_op(ps.val));
             rs.drained_stores = rs.drained_stores.saturating_add(1);
         }
         (rs.stale_reads, rs.drained_stores)
@@ -756,6 +914,7 @@ impl DeviceMemory {
                 .expect("owner count says an entry exists");
             let ps = rs.pending.remove(pos);
             apply_store(&mut self.bufs, &ps);
+            watch_note(&mut self.watch, ps.buf, ps.idx, now, drain_op(ps.val));
             rs.drained_stores = rs.drained_stores.saturating_add(1);
             if let Some(m) = rs.words.get_mut(&(ps.buf, ps.idx)) {
                 m.undrained = m.undrained.saturating_sub(1);
@@ -855,13 +1014,15 @@ impl DeviceMemory {
     /// Atomics synchronize the word they touch: all pending stores to it
     /// (any owner) drain first, in program order, and the word is published
     /// — an atomic RMW at the L2 is ordering-safe by construction.
-    fn atomic_sync(&mut self, buf: u32, idx: usize) {
+    fn atomic_sync(&mut self, buf: u32, idx: usize, now: u64) {
         let Some(rs) = &mut self.relaxed else { return };
         let bufs = &mut self.bufs;
+        let watch = &mut self.watch;
         let mut min_due = u64::MAX;
         rs.pending.retain(|ps| {
             if ps.buf == buf && ps.idx == idx {
                 apply_store(bufs, ps);
+                watch_note(watch, ps.buf, ps.idx, now, drain_op(ps.val));
                 rs.drained_stores = rs.drained_stores.saturating_add(1);
                 *rs.owner_counts.get_mut(&ps.owner).expect("owner count") -= 1;
                 false
@@ -987,6 +1148,7 @@ impl<'a> LaneMem<'a> {
             BufData::F64(vec) => vec[idx] = v,
             _ => panic!("buffer {} is not f64", h.0),
         }
+        watch_note(&mut self.dev.watch, h.0, idx, self.now, ExtOp::StoreF64(v));
         wake_waiters(
             &mut self.dev.spin,
             h.0,
@@ -1076,6 +1238,7 @@ impl<'a> LaneMem<'a> {
             BufData::Flag(vec) => vec[idx] = v as u8,
             _ => panic!("buffer {} is not flags", h.0),
         }
+        watch_note(&mut self.dev.watch, h.0, idx, self.now, ExtOp::StoreFlag(v));
         wake_waiters(
             &mut self.dev.spin,
             h.0,
@@ -1104,7 +1267,7 @@ impl<'a> LaneMem<'a> {
     pub fn atomic_add_f64(&mut self, h: BufF64, idx: usize, v: f64) -> f64 {
         self.record(h.0, idx * 8, AccessKind::Atomic, true);
         if self.dev.relaxed.is_some() {
-            self.dev.atomic_sync(h.0, idx);
+            self.dev.atomic_sync(h.0, idx, self.now);
         }
         let old = match &mut self.dev.bufs[h.0 as usize].data {
             BufData::F64(vec) => {
@@ -1114,6 +1277,7 @@ impl<'a> LaneMem<'a> {
             }
             _ => panic!("buffer {} is not f64", h.0),
         };
+        watch_note(&mut self.dev.watch, h.0, idx, self.now, ExtOp::AddF64(v));
         wake_waiters(
             &mut self.dev.spin,
             h.0,
@@ -1130,7 +1294,7 @@ impl<'a> LaneMem<'a> {
     pub fn atomic_sub_u32(&mut self, h: BufU32, idx: usize, v: u32) -> u32 {
         self.record(h.0, idx * 4, AccessKind::Atomic, true);
         if self.dev.relaxed.is_some() {
-            self.dev.atomic_sync(h.0, idx);
+            self.dev.atomic_sync(h.0, idx, self.now);
         }
         let old = match &mut self.dev.bufs[h.0 as usize].data {
             BufData::U32(vec) => {
@@ -1140,6 +1304,7 @@ impl<'a> LaneMem<'a> {
             }
             _ => panic!("buffer {} is not u32", h.0),
         };
+        watch_note(&mut self.dev.watch, h.0, idx, self.now, ExtOp::SubU32(v));
         wake_waiters(
             &mut self.dev.spin,
             h.0,
@@ -1439,7 +1604,7 @@ mod tests {
             let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 2, 2);
             assert_eq!(m.load_f64(f, 2), 7.0);
         }
-        let (stale, drained) = dev.finish_relaxed();
+        let (stale, drained) = dev.finish_relaxed(u64::MAX);
         assert_eq!(stale, 1);
         assert_eq!(drained, 1);
     }
@@ -1580,7 +1745,7 @@ mod tests {
             let mut m = lane_mem_as(&mut dev, &mut shared, &mut acc, &mut sops, &mut polls, 1, 0);
             m.store_f64(f, 1, 9.0);
         }
-        let (_, drained) = dev.finish_relaxed();
+        let (_, drained) = dev.finish_relaxed(u64::MAX);
         assert_eq!(drained, 1);
         assert_eq!(dev.read_f64(f), &[0.0, 9.0]);
     }

@@ -31,6 +31,7 @@ pub mod gen;
 pub mod io;
 pub mod levels;
 pub mod linalg;
+pub mod partition;
 pub mod permute;
 pub mod rhs;
 pub mod schedule;
@@ -43,6 +44,7 @@ pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use fingerprint::{fingerprint, fingerprint_csr, Fingerprinter};
 pub use levels::LevelSets;
+pub use partition::{GhostShard, RowPartition};
 pub use rhs::RhsBlock;
 pub use schedule::{Schedule, ScheduleParams, ScheduleStats, UnitKind};
 pub use stats::{parallel_granularity, GranularityParams, MatrixStats};

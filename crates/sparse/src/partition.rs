@@ -1,0 +1,366 @@
+//! Contiguous row-block partitioning for sharded (multi-device) SpTRSV.
+//!
+//! A [`RowPartition`] splits a lower-triangular system's rows into up to 8
+//! contiguous blocks, one per simulated device. Contiguity is what makes
+//! multi-device SpTRSV tractable: row `i` only depends on rows `j < i`, so
+//! with contiguous blocks every cross-shard dependency points from a
+//! *lower*-numbered shard to a higher one — the dependency graph between
+//! devices is acyclic by construction, and the coordinator can co-simulate
+//! the devices exactly in shard order (DESIGN.md §15).
+//!
+//! Cut points are aligned to the device warp size so a shard's first row
+//! starts a fresh warp on its device: the thread-per-row kernels
+//! (CapelliniSpTRSV, two-phase, naive) then see exactly the warp/lane
+//! geometry the unsharded launch gives those rows, which is one of the two
+//! pillars of the sharded-equals-unsharded bit-identity guarantee (the
+//! other is that per-row FP arithmetic is schedule-independent).
+//!
+//! The *boundary set* of an ordered shard pair (p → c) is the set of rows
+//! owned by `p` that some row of `c` reads; those are the `x` values (and
+//! completion flags) the inter-device link must carry.
+
+use crate::triangular::LowerTriangularCsr;
+use crate::CsrMatrix;
+
+/// A contiguous, cost-balanced partition of a triangular system's rows
+/// across `devices` shards, with the boundary sets precomputed.
+#[derive(Debug, Clone)]
+pub struct RowPartition {
+    /// Shard boundaries: shard `d` owns rows `starts[d]..starts[d + 1]`.
+    /// `starts.len() == devices + 1`; every interior boundary is a
+    /// multiple of the alignment (or `n`).
+    starts: Vec<u32>,
+    /// `imports[c][p]`: sorted global rows owned by shard `p` that shard
+    /// `c` reads (`p < c`; entries for `p >= c` are empty).
+    imports: Vec<Vec<Vec<u32>>>,
+    /// `exports[p]`: sorted union of rows shard `p` exports to any
+    /// downstream shard.
+    exports: Vec<Vec<u32>>,
+    /// Stored nonzeros per shard (balance reporting).
+    shard_nnz: Vec<u64>,
+}
+
+impl RowPartition {
+    /// Builds a partition of `l` into `devices` contiguous row blocks with
+    /// interior cut points aligned to `align` rows (the device warp size;
+    /// 0 is treated as 1). Blocks are balanced on stored nonzeros (each
+    /// row costs `nnz(row)`, diagonal included, so dense tails weigh more
+    /// than sparse tops); when `n < devices × align` trailing shards
+    /// legitimately receive zero rows.
+    pub fn build(l: &LowerTriangularCsr, devices: usize, align: usize) -> Self {
+        assert!(devices >= 1, "a partition needs at least one shard");
+        let n = l.n();
+        let align = align.max(1) as u64;
+        let row_ptr = l.csr().row_ptr();
+        let total = l.nnz() as u64;
+
+        // Cut greedily at the first aligned row whose cost prefix reaches
+        // each shard's proportional target. `row_ptr` *is* the cost prefix
+        // sum, so each cut is one binary search.
+        let mut starts = Vec::with_capacity(devices + 1);
+        starts.push(0u32);
+        for d in 1..devices {
+            let target = total * d as u64 / devices as u64;
+            let prev = *starts.last().expect("non-empty") as u64;
+            // Smallest aligned cut ≥ prev with prefix(cut) ≥ target.
+            let mut step = prev.div_ceil(align) * align;
+            while (step as usize) < n && (row_ptr[step as usize] as u64) < target {
+                step += align;
+            }
+            starts.push(step.min(n as u64) as u32);
+        }
+        starts.push(n as u32);
+
+        let devices = starts.len() - 1;
+        let mut imports: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); devices]; devices];
+        let mut exports: Vec<Vec<u32>> = vec![Vec::new(); devices];
+        let mut shard_nnz = vec![0u64; devices];
+        for c in 0..devices {
+            let (r0, r1) = (starts[c] as usize, starts[c + 1] as usize);
+            shard_nnz[c] = (row_ptr[r1] - row_ptr[r0]) as u64;
+            for i in r0..r1 {
+                for &dep in l.row_deps(i) {
+                    if (dep as usize) < r0 {
+                        let p = owner_of(&starts, dep);
+                        imports[c][p].push(dep);
+                    }
+                }
+            }
+            for p in 0..c {
+                let list = &mut imports[c][p];
+                list.sort_unstable();
+                list.dedup();
+                exports[p].extend_from_slice(list);
+            }
+        }
+        for e in &mut exports {
+            e.sort_unstable();
+            e.dedup();
+        }
+        RowPartition {
+            starts,
+            imports,
+            exports,
+            shard_nnz,
+        }
+    }
+
+    /// Number of shards (= devices).
+    pub fn devices(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Row range `[r0, r1)` owned by shard `d`.
+    pub fn range(&self, d: usize) -> (u32, u32) {
+        (self.starts[d], self.starts[d + 1])
+    }
+
+    /// Rows owned by shard `d`.
+    pub fn rows(&self, d: usize) -> usize {
+        (self.starts[d + 1] - self.starts[d]) as usize
+    }
+
+    /// Stored nonzeros owned by shard `d`.
+    pub fn nnz(&self, d: usize) -> u64 {
+        self.shard_nnz[d]
+    }
+
+    /// The shard owning global row `row`.
+    pub fn owner_of(&self, row: u32) -> usize {
+        owner_of(&self.starts, row)
+    }
+
+    /// Sorted global rows shard `consumer` imports from shard `producer`
+    /// (empty unless `producer < consumer`).
+    pub fn imports_from(&self, consumer: usize, producer: usize) -> &[u32] {
+        &self.imports[consumer][producer]
+    }
+
+    /// Sorted union of all rows shard `consumer` imports, across all
+    /// producers.
+    pub fn imports(&self, consumer: usize) -> Vec<u32> {
+        let mut all: Vec<u32> = self.imports[consumer]
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Sorted union of rows shard `producer` exports to any downstream
+    /// shard — the rows whose publications the coordinator must watch.
+    pub fn exports(&self, producer: usize) -> &[u32] {
+        &self.exports[producer]
+    }
+
+    /// Total boundary-set size: distinct (producer, consumer, row)
+    /// entries, i.e. messages one solve pushes through the links.
+    pub fn boundary_entries(&self) -> u64 {
+        self.imports
+            .iter()
+            .flat_map(|per_p| per_p.iter())
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+}
+
+fn owner_of(starts: &[u32], row: u32) -> usize {
+    // partition_point returns the first shard whose start exceeds `row`;
+    // the owner is the one before it. Zero-row shards share a start value
+    // with their successor, and `partition_point` then lands past all of
+    // them, onto the (unique) shard that actually contains the row.
+    starts.partition_point(|&s| s <= row) - 1
+}
+
+/// A shard's matrix padded with *ghost rows*: one diagonal-only row per
+/// imported global row, prepended before the shard's owned rows, with all
+/// column indices remapped into the padded local space. The scheduled
+/// kernel shards on this (its schedule builder needs a self-contained
+/// lower-triangular matrix), solving ghost rows trivially while the real
+/// dependency values arrive over the link.
+#[derive(Debug, Clone)]
+pub struct GhostShard {
+    /// The padded lower-triangular shard matrix.
+    pub matrix: CsrMatrix,
+    /// Global row id of each padded row: `global_of[g] = imports[g]` for
+    /// ghosts `g < n_ghost`, then the owned rows in order.
+    pub global_of: Vec<u32>,
+    /// Number of ghost (import) rows, occupying padded ids `0..n_ghost`.
+    pub n_ghost: usize,
+}
+
+impl GhostShard {
+    /// Builds the ghost-padded matrix for shard `d` of `part`.
+    ///
+    /// Ghost rows keep ascending global order, so the padded matrix stays
+    /// lower-triangular with strictly increasing columns and a trailing
+    /// diagonal per row: a ghost's id is its rank among the imports, every
+    /// owned column maps above all ghosts, and both maps preserve order.
+    pub fn build(l: &LowerTriangularCsr, part: &RowPartition, d: usize) -> Self {
+        let (r0, r1) = part.range(d);
+        let (r0, r1) = (r0 as usize, r1 as usize);
+        let ghosts = part.imports(d);
+        let n_ghost = ghosts.len();
+        let n_pad = n_ghost + (r1 - r0);
+
+        let mut row_ptr: Vec<u32> = Vec::with_capacity(n_pad + 1);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        row_ptr.push(0);
+        for g in 0..n_ghost {
+            col_idx.push(g as u32);
+            values.push(1.0);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        let local = |col: u32| -> u32 {
+            if (col as usize) >= r0 {
+                (n_ghost + col as usize - r0) as u32
+            } else {
+                let g = ghosts
+                    .binary_search(&col)
+                    .expect("every off-shard column is an import");
+                g as u32
+            }
+        };
+        for i in r0..r1 {
+            let (cols, vals) = l.csr().row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                col_idx.push(local(c));
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        let mut global_of: Vec<u32> = ghosts;
+        global_of.extend((r0 as u32)..(r1 as u32));
+        let matrix = CsrMatrix::new(n_pad, n_pad, row_ptr, col_idx, values)
+            .expect("ghost padding preserves CSR invariants");
+        GhostShard {
+            matrix,
+            global_of,
+            n_ghost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn chain(n: usize) -> LowerTriangularCsr {
+        gen::chain(n, 1, 7)
+    }
+
+    #[test]
+    fn partition_covers_all_rows_contiguously() {
+        let l = gen::random_k(500, 6, 80, 11);
+        for devices in 1..=8 {
+            let p = RowPartition::build(&l, devices, 32);
+            assert_eq!(p.devices(), devices);
+            assert_eq!(p.range(0).0, 0);
+            assert_eq!(p.range(devices - 1).1 as usize, l.n());
+            let mut nnz = 0;
+            for d in 0..devices {
+                let (r0, r1) = p.range(d);
+                assert!(r0 <= r1);
+                if d > 0 {
+                    assert_eq!(p.range(d - 1).1, r0, "contiguous");
+                    assert!(
+                        (r0 as usize).is_multiple_of(32) || r0 as usize == l.n(),
+                        "interior cuts are warp-aligned, got {r0}"
+                    );
+                }
+                nnz += p.nnz(d);
+            }
+            assert_eq!(nnz as usize, l.nnz());
+        }
+    }
+
+    #[test]
+    fn nnz_balance_is_reasonable_on_a_uniform_matrix() {
+        let l = gen::random_k(4096, 8, 400, 3);
+        let p = RowPartition::build(&l, 4, 32);
+        let per = (0..4).map(|d| p.nnz(d)).collect::<Vec<_>>();
+        let avg = l.nnz() as u64 / 4;
+        for (d, &nz) in per.iter().enumerate() {
+            assert!(
+                nz > avg / 2 && nz < avg * 2,
+                "shard {d} holds {nz} nnz vs avg {avg}: {per:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_matrix_leaves_trailing_shards_empty() {
+        let l = chain(3);
+        let p = RowPartition::build(&l, 4, 32);
+        // All rows fit below one 32-row alignment block: shard 0 takes
+        // everything, shards 1..4 are legitimately empty.
+        assert_eq!(p.range(0), (0, 3));
+        for d in 1..4 {
+            assert_eq!(p.rows(d), 0, "shard {d}");
+            assert!(p.imports(d).is_empty());
+        }
+        assert_eq!(p.boundary_entries(), 0);
+        // Ownership stays well-defined with empty shards around.
+        assert_eq!(p.owner_of(0), 0);
+        assert_eq!(p.owner_of(2), 0);
+    }
+
+    #[test]
+    fn chain_boundary_is_exactly_the_cut_row() {
+        // chain: row i depends only on row i-1, so the only boundary row
+        // of (p → p+1) is the last row of shard p.
+        let l = chain(128);
+        let p = RowPartition::build(&l, 2, 32);
+        let (r0, _) = p.range(1);
+        assert!(r0 > 0);
+        assert_eq!(p.imports_from(1, 0), &[r0 - 1]);
+        assert_eq!(p.exports(0), &[r0 - 1]);
+        assert_eq!(p.boundary_entries(), 1);
+    }
+
+    #[test]
+    fn diagonal_matrix_has_no_boundary_at_all() {
+        let l = gen::diagonal(96);
+        let p = RowPartition::build(&l, 3, 32);
+        for d in 0..3 {
+            assert!(p.exports(d).is_empty());
+            assert!(p.imports(d).is_empty());
+        }
+        assert_eq!(p.boundary_entries(), 0);
+    }
+
+    #[test]
+    fn ghost_shard_prepends_imports_and_stays_lower_triangular() {
+        let l = gen::random_k(300, 5, 60, 23);
+        let p = RowPartition::build(&l, 3, 32);
+        for d in 0..3 {
+            let g = GhostShard::build(&l, &p, d);
+            let (r0, r1) = p.range(d);
+            assert_eq!(g.n_ghost, p.imports(d).len());
+            assert_eq!(
+                g.matrix.n_rows(),
+                g.n_ghost + (r1 - r0) as usize,
+                "shard {d}"
+            );
+            assert!(g.matrix.is_lower_triangular());
+            assert!(g.matrix.has_trailing_diagonal());
+            // Ghost rows are diagonal-only identity rows.
+            for gi in 0..g.n_ghost {
+                let (cols, vals) = g.matrix.row(gi);
+                assert_eq!(cols, &[gi as u32]);
+                assert_eq!(vals, &[1.0]);
+            }
+            // Owned rows keep their values and map back to global ids.
+            for i in r0..r1 {
+                let pad = g.n_ghost + (i - r0) as usize;
+                assert_eq!(g.global_of[pad], i);
+                let (_, gvals) = g.matrix.row(pad);
+                let (_, lvals) = l.csr().row(i as usize);
+                assert_eq!(gvals, lvals, "row {i} values survive the remap");
+            }
+        }
+    }
+}

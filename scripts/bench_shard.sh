@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Measures sharded multi-device scaling (capellini_core::solve_sharded,
+# DESIGN.md §15) and records it as BENCH_<N>.json at the repo root so
+# future PRs can track the perf trajectory. N is the first unused number,
+# so successive runs append to the series instead of clobbering earlier
+# records.
+#
+# Runs `repro shard-scaling`, which reruns each suite matrix at 1, 2, 4 and
+# 8 simulated devices over both interconnect classes (verifying every
+# sharded solution is bit-identical to the single-device oracle before
+# reading any makespan) plus a weak-scaling series, and copies
+# results/shard_scaling.json into BENCH_<N>.json.
+#
+# Usage: scripts/bench_shard.sh [scale] [limit]
+#   scale    small|medium|full (default: small)
+#   limit    cap on suite matrices, 0 = no cap (default: 6)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+LIMIT="${2:-6}"
+
+# shard-scaling writes its JSON under the results dir; point it at a
+# scratch location so the repo's results/ cache is untouched.
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p capellini-bench
+
+CAPELLINI_RESULTS_DIR="$TMPDIR" \
+    ./target/release/repro shard-scaling --scale "$SCALE" --limit "$LIMIT"
+
+N=1
+while [ -e "BENCH_${N}.json" ]; do N=$((N + 1)); done
+OUT="BENCH_${N}.json"
+cp "$TMPDIR/shard_scaling.json" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -44,6 +44,12 @@ cargo test --release -q -p capellini-core scheduled
 echo "==> engine_schedule smoke (calibration asserts bitwise vs reference + chain cycle win)"
 cargo bench -q -p capellini-bench --bench engine_schedule -- --quick
 
+echo "==> multi-device differential suite (sharded vs single-device bit-exactness)"
+cargo test --release -q -p capellini-sptrsv --test multi_device
+
+echo "==> engine_shard smoke (calibration asserts sharded == single-device bit-exactness)"
+cargo bench -q -p capellini-bench --bench engine_shard -- --quick
+
 echo "==> service differential suite (concurrent tenants vs serial sessions bit-exactness)"
 cargo test --release -q -p capellini-sptrsv --test service
 

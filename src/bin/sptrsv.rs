@@ -3,6 +3,7 @@
 //! ```text
 //! sptrsv solve   --matrix L.mtx [--rhs b.txt] [--algo capellini|syncfree|syncfree-csc|cusparse|levelset|two-phase|hybrid|scheduled|auto]
 //!                [--device pascal|volta|turing] [--engine-threads N] [--cache]
+//!                [--devices N [--link pcie|nvlink]]
 //!                [--rhs-cols K] [--session N]
 //!                [--profile trace.json [--profile-interval N]]
 //!                [--cpu [THREADS]] [--out x.txt]
@@ -24,10 +25,11 @@ use std::io::BufReader;
 use std::process::exit;
 
 use capellini_sptrsv::core::{
-    solve_multi_simulated, solve_simulated, Algorithm, MatrixHandle, ServiceConfig, Solver,
-    SolverService, SolverSession,
+    solve_multi_simulated, solve_sharded, solve_simulated, Algorithm, MatrixHandle, ServiceConfig,
+    ShardConfig, Solver, SolverService, SolverSession,
 };
 use capellini_sptrsv::prelude::*;
+use capellini_sptrsv::simt::MAX_DEVICES;
 use capellini_sptrsv::sparse::{io as mmio, CsrMatrix};
 
 fn main() {
@@ -51,7 +53,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--cache] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n  sptrsv --list-algos\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)\n  --cache             model a finite per-SM L1 + shared L2 for read-only loads and report hit rates"
+        "usage:\n  sptrsv solve --matrix L.mtx [--rhs b.txt] [--algo NAME|auto] [--device pascal|volta|turing] [--engine-threads N] [--cache] [--devices N [--link pcie|nvlink]] [--rhs-cols K] [--session N] [--profile trace.json [--profile-interval N]] [--cpu [THREADS]] [--out x.txt]\n  sptrsv stats --matrix L.mtx\n  sptrsv gen --kind powerlaw|circuit|stencil|lp|band --n N --out L.mtx [--seed S]\n  sptrsv serve --matrix L.mtx [--clients N] [--requests N] [--window MS] [--max-batch K] [--device pascal|volta|turing]\n  sptrsv --list-algos\n\nbatching:\n  --rhs-cols K  solve K right-hand sides per launch (SpTRSM); column r scales the base rhs by r+1\n  --session N   analyze once, then run N warm solves through the cached SolverSession\n\nserving:\n  --clients N   concurrent client threads hammering the solver service (default 4)\n  --requests N  requests per client (default 8)\n  --window MS   coalesce window in milliseconds; 0 disables batching (default 3)\n  --max-batch K cap on right-hand sides per coalesced launch (default 8)\n\nsimulation:\n  --engine-threads N  advance the simulated SMs on N host threads (identical output, faster wall-clock)\n  --cache             model a finite per-SM L1 + shared L2 for read-only loads and report hit rates\n  --devices N         shard the solve across N simulated devices (1..=8) joined by a modeled interconnect\n  --link KIND         interconnect class for --devices: pcie (default) or nvlink"
     );
 }
 
@@ -169,6 +171,18 @@ fn cmd_solve(args: &[String]) {
             exit(2);
         })
     });
+    let devices: Option<usize> = flag_value(args, "--devices").map(|v| {
+        v.parse()
+            .ok()
+            .filter(|d| (1..=MAX_DEVICES).contains(d))
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "--devices must be between 1 and {MAX_DEVICES} simulated devices \
+                     (the interconnect budget), got {v}"
+                );
+                exit(2);
+            })
+    });
 
     // The row-major `n × K` right-hand-side block for batched solving:
     // column r scales the base rhs by (r + 1), so each column is distinct
@@ -189,6 +203,10 @@ fn cmd_solve(args: &[String]) {
     let x = if has_flag(args, "--cpu") {
         if rhs_cols > 1 || session_reps.is_some() {
             eprintln!("--rhs-cols and --session run on the simulated GPU; drop --cpu");
+            exit(2);
+        }
+        if devices.is_some() {
+            eprintln!("--devices shards across simulated GPUs; drop --cpu");
             exit(2);
         }
         let threads = flag_value(args, "--cpu")
@@ -260,11 +278,73 @@ fn cmd_solve(args: &[String]) {
             }
         };
         let trace_path = flag_value(args, "--profile");
-        if trace_path.is_some() && (rhs_cols > 1 || session_reps.is_some()) {
+        if trace_path.is_some() && (rhs_cols > 1 || session_reps.is_some() || devices.is_some()) {
             eprintln!("--profile is only supported for single cold solves");
             exit(2);
         }
-        if let Some(reps) = session_reps {
+        if let Some(nd) = devices {
+            if rhs_cols > 1 {
+                eprintln!(
+                    "--rhs-cols is not supported with --devices (sharded solves are single-rhs)"
+                );
+                exit(2);
+            }
+            let link_name = flag_value(args, "--link").unwrap_or("pcie");
+            let shard = match link_name {
+                "pcie" => ShardConfig::pcie(nd),
+                "nvlink" => ShardConfig::nvlink(nd),
+                other => {
+                    eprintln!("unknown link {other} (expected pcie or nvlink)");
+                    exit(2);
+                }
+            };
+            let report = if let Some(reps) = session_reps {
+                let mut session =
+                    SolverSession::with_algorithm(&device, solver.matrix().clone(), algo);
+                eprintln!(
+                    "session: {} analyzed once in {:.3} ms (fingerprint {:016x})",
+                    algo.label(),
+                    session.analysis_ms(),
+                    session.fingerprint()
+                );
+                let mut last = None;
+                for _ in 0..reps {
+                    last = Some(session.solve_sharded(&b, &shard).unwrap_or_else(|e| {
+                        eprintln!("solve failed: {e}");
+                        exit(1);
+                    }));
+                }
+                eprintln!(
+                    "{reps} warm sharded solve(s), {} cached partition(s)",
+                    session.cached_partitions()
+                );
+                last.expect("reps >= 1")
+            } else {
+                solve_sharded(&device, solver.matrix(), &b, algo, &shard).unwrap_or_else(|e| {
+                    eprintln!("solve failed: {e}");
+                    exit(1);
+                })
+            };
+            for d in 0..nd {
+                let (r0, r1) = report.partition.range(d);
+                eprintln!(
+                    "  device {d}: rows {r0}..{r1} ({} rows, {} nnz), {} cycles",
+                    r1 - r0,
+                    report.partition.nnz(d),
+                    report.per_device[d].cycles
+                );
+            }
+            eprintln!(
+                "{} sharded across {nd} simulated {} device(s) over {link_name}: \
+                 {:.3} ms makespan, {} boundary message(s), {} link byte(s)",
+                algo.label(),
+                device.name,
+                report.makespan_ms(&device),
+                report.link_messages,
+                report.link_bytes
+            );
+            report.x
+        } else if let Some(reps) = session_reps {
             // Analyze once, solve many: the amortized workflow.
             let mut session = SolverSession::with_algorithm(&device, solver.matrix().clone(), algo);
             eprintln!(

@@ -252,6 +252,57 @@ fn cache_flag_reports_hit_rates() {
     let _ = fs::remove_file(m);
 }
 
+/// `--devices 0` and a count beyond the interconnect budget are readable
+/// exit-2 usage errors, not panics or silent clamps.
+#[test]
+fn bad_device_counts_are_usage_errors() {
+    let m = scratch("good-devices.mtx", VALID_LOWER_3X3);
+    for bad in ["0", "9", "several"] {
+        let out = sptrsv(&["solve", "--matrix", m.to_str().unwrap(), "--devices", bad]);
+        assert_readable_failure(&out, "between 1 and 8");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--devices {bad} is a usage error"
+        );
+    }
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--devices",
+        "2",
+        "--link",
+        "carrier-pigeon",
+    ]);
+    assert_readable_failure(&out, "unknown link");
+    assert_eq!(out.status.code(), Some(2));
+    let out = sptrsv(&[
+        "solve",
+        "--matrix",
+        m.to_str().unwrap(),
+        "--devices",
+        "2",
+        "--cpu",
+    ]);
+    assert_readable_failure(&out, "drop --cpu");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = fs::remove_file(m);
+}
+
+/// `--devices 1` runs the sharded path end to end and reports the link
+/// summary; the degenerate single shard moves zero boundary messages.
+#[test]
+fn single_device_shard_solves_from_the_cli() {
+    let m = scratch("good-shard.mtx", VALID_LOWER_3X3);
+    let out = sptrsv(&["solve", "--matrix", m.to_str().unwrap(), "--devices", "1"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected success, stderr: {stderr}");
+    assert!(stderr.contains("sharded across 1"), "stderr: {stderr}");
+    assert!(stderr.contains("0 boundary message(s)"), "stderr: {stderr}");
+    let _ = fs::remove_file(m);
+}
+
 #[test]
 fn valid_input_still_succeeds() {
     let m = scratch("good4.mtx", VALID_LOWER_3X3);
